@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation bench for two Spindle design choices DESIGN.md calls out:
+ *
+ *  1. §3.4 step 2 resource extension — extending tuples of MetaOps
+ *     with large remaining work so no device idles inside a wave;
+ *  2. §3.2 piecewise alpha-beta estimation — planning on single-
+ *     piece (homogeneous) curves instead.
+ *
+ * Reports the Spindle iteration time with each feature disabled,
+ * relative to the full system.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace spindle;
+using namespace spindle::bench;
+
+namespace {
+
+double
+iterationMs(const HardwareModel &hw, const MetaGraph &meta,
+            PlannerOptions options)
+{
+    SpindleSystem sys(hw, options);
+    return toMs(sys.runIteration(meta).iterationSeconds);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Ablation: wavefront resource extension (§3.4) "
+                 "and piecewise estimation (§3.2) ===\n";
+    Table table({"workload", "cluster", "full_ms", "no_extension_ms",
+                 "single_piece_fit_ms", "ext_gain", "piecewise_gain"});
+
+    struct Case
+    {
+        std::string name;
+        ComputationGraph graph;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"Multitask-CLIP/7T",
+                     buildMultitaskClip({.numTasks = 7})});
+    cases.push_back({"OFASys/7T", buildOfasys({.numTasks = 7})});
+
+    for (const Case &c : cases) {
+        for (std::uint32_t nodes : {2u, 4u}) {
+            ClusterTopology topo = makeCluster(nodes);
+            HardwareModel hw(topo);
+            MetaGraph meta = contractGraph(c.graph);
+
+            const double full = iterationMs(hw, meta, {});
+
+            PlannerOptions no_ext;
+            no_ext.scheduler.extendResources = false;
+            const double without_ext = iterationMs(hw, meta, no_ext);
+
+            PlannerOptions single_piece;
+            single_piece.estimator.piecewise = false;
+            const double single = iterationMs(hw, meta, single_piece);
+
+            table.addRow({c.name, clusterLabel(nodes),
+                          Table::fmt(full, 1),
+                          Table::fmt(without_ext, 1),
+                          Table::fmt(single, 1),
+                          Table::fmt(without_ext / full, 3),
+                          Table::fmt(single / full, 3)});
+        }
+    }
+    table.printAligned(std::cout);
+    std::cout << "(gain columns: slowdown factor when the feature is "
+                 "disabled; > 1 means the feature helps)\n";
+    return 0;
+}

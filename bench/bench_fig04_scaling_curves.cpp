@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Fig. 4: per-operator execution time T_m(n) and resource
+ * scalability sigma_m(n) = T_m(1)/T_m(n) of the MetaOps in 4-task
+ * Multitask-CLIP, for n = 1..32 GPUs. Prints both the ground-truth
+ * "measurements" (scatter points in the paper) and the estimator's
+ * fitted scaling-curve values, plus the fit error of the piecewise
+ * alpha-beta model against the single-piece baseline (Appendix A).
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace spindle;
+using namespace spindle::bench;
+
+int
+main()
+{
+    ComputationGraph graph = buildMultitaskClip({.numTasks = 4});
+    MetaGraph meta = contractGraph(graph);
+    ClusterTopology topo = makeCluster(4); // up to 32 GPUs
+    HardwareModel hw(topo);
+    ScalabilityEstimator estimator(hw);
+
+    EstimatorOptions single;
+    single.piecewise = false;
+    ScalabilityEstimator baseline(hw, single);
+
+    const std::vector<std::uint32_t> grid{1, 2, 4, 8, 16, 32};
+
+    std::cout << "=== Fig. 4: MetaOp execution time (ms/op) and "
+                 "resource scalability, Multitask-CLIP 4 tasks ===\n";
+    Table time_table({"metaop", "kind", "n=1", "n=2", "n=4", "n=8",
+                      "n=16", "n=32"});
+    Table sigma_table({"metaop", "sigma(1)", "sigma(2)", "sigma(4)",
+                       "sigma(8)", "sigma(16)", "sigma(32)"});
+
+    double pw_err = 0, sp_err = 0;
+    std::size_t err_samples = 0;
+    for (const MetaOp &m : meta.metaOps()) {
+        if (m.type == OpType::Contrastive)
+            continue; // the paper plots the encoder MetaOps
+        ScalingCurve fitted = estimator.estimate(m, 32);
+        ScalingCurve single_fit = baseline.estimate(m, 32);
+
+        std::vector<std::string> truth_row{m.name, "measured"};
+        std::vector<std::string> fit_row{m.name, "fitted"};
+        std::vector<std::string> sigma_row{m.name};
+        for (std::uint32_t n : grid) {
+            if (!fitted.isValid(n)) {
+                truth_row.push_back("-");
+                fit_row.push_back("-");
+                sigma_row.push_back("-");
+                continue;
+            }
+            const double truth = hw.metaOpTime(m, n);
+            const double fit = fitted.timeAt(n);
+            truth_row.push_back(Table::fmt(toMs(truth), 3));
+            fit_row.push_back(Table::fmt(toMs(fit), 3));
+            sigma_row.push_back(Table::fmt(fitted.scalability(n), 2));
+            pw_err += std::abs(fit - truth) / truth;
+            sp_err += std::abs(single_fit.timeAt(n) - truth) / truth;
+            ++err_samples;
+        }
+        time_table.addRow(std::move(truth_row));
+        time_table.addRow(std::move(fit_row));
+        sigma_table.addRow(std::move(sigma_row));
+    }
+    time_table.printAligned(std::cout);
+    std::cout << "\nresource scalability sigma(n) = T(1)/T(n) "
+                 "(closer to n is better):\n";
+    sigma_table.printAligned(std::cout);
+
+    std::cout << "\nAppendix A fit quality (mean relative error over "
+              << err_samples << " samples):\n"
+              << "  piecewise alpha-beta: "
+              << Table::fmt(100 * pw_err / err_samples, 2) << " %\n"
+              << "  single-piece alpha-beta: "
+              << Table::fmt(100 * sp_err / err_samples, 2) << " %\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Fig. 8: end-to-end iteration time of Spindle,
+ * Spindle-Optimus, DistMM-MT, Megatron-LM and DeepSpeed across
+ *  - Multitask-CLIP with 4 / 7 / 10 tasks on 8 / 16 / 32 GPUs,
+ *  - OFASys with 4 / 7 tasks on 8 / 16 / 32 GPUs,
+ *  - QWen-VAL (9.25B) with 3 tasks on 32 / 64 GPUs,
+ * reporting each system's speedup over DeepSpeed (numbers above the
+ * bars in the paper). Also prints the Tab. 1b workload inventory.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace spindle;
+using namespace spindle::bench;
+
+int
+main()
+{
+    std::cout << "=== Tab. 1b: MT MM workload inventory ===\n";
+    {
+        Table inv({"model", "#params(B)", "#modalities", "#tasks",
+                   "cross-modal module"});
+        ComputationGraph clip = buildMultitaskClip({.numTasks = 10});
+        ComputationGraph ofa = buildOfasys({.numTasks = 7});
+        ComputationGraph qwen = buildQwenVal({});
+        inv.addRow({"Multitask-CLIP",
+                    Table::fmt(clip.totalUniqueParamBytes() / 2 / 1e9, 2),
+                    "6", "10", "Contrastive Loss"});
+        inv.addRow({"OFASys",
+                    Table::fmt(ofa.totalUniqueParamBytes() / 2 / 1e9, 2),
+                    "6", "7", "Enc-Dec LM"});
+        inv.addRow({"QWen-VAL",
+                    Table::fmt(qwen.totalUniqueParamBytes() / 2 / 1e9, 2),
+                    "3", "3", "Dec-only LLM"});
+        inv.printAligned(std::cout);
+    }
+
+    std::cout << "\n=== Fig. 8: end-to-end performance "
+                 "(speedup vs DeepSpeed) ===\n";
+    Table table({"workload", "cluster", "system", "iter_ms",
+                 "speedup_vs_DS"});
+
+    for (std::uint32_t tasks : {4u, 7u, 10u}) {
+        ComputationGraph graph = buildMultitaskClip({.numTasks = tasks});
+        for (std::uint32_t nodes : {1u, 2u, 4u})
+            sweepSystems(strCat("Multitask-CLIP/", tasks, "T"), nodes,
+                         graph, table);
+    }
+    for (std::uint32_t tasks : {4u, 7u}) {
+        ComputationGraph graph = buildOfasys({.numTasks = tasks});
+        for (std::uint32_t nodes : {1u, 2u, 4u})
+            sweepSystems(strCat("OFASys/", tasks, "T"), nodes, graph,
+                         table);
+    }
+    {
+        ComputationGraph graph = buildQwenVal({});
+        for (std::uint32_t nodes : {4u, 8u})
+            sweepSystems("QWen-VAL-9B/3T", nodes, graph, table);
+    }
+
+    table.printAligned(std::cout);
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reproduces Fig. 9 (case study, Multitask-CLIP 4 tasks, 16 GPUs):
+ *  (a) average cluster utilization over one iteration for Spindle,
+ *      Spindle-Optimus, DistMM-MT and DeepSpeed;
+ *  (b) per-device utilization and per-MetaOp compute utilization
+ *      (the spider charts).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace spindle;
+using namespace spindle::bench;
+
+int
+main()
+{
+    ComputationGraph graph = buildMultitaskClip({.numTasks = 4});
+    MetaGraph meta = contractGraph(graph);
+    ClusterTopology topo = makeCluster(2); // 16 GPUs
+    HardwareModel hw(topo);
+    const double peak = topo.device().peakFlops;
+
+    std::vector<std::unique_ptr<System>> systems;
+    systems.push_back(std::make_unique<SpindleSystem>(hw));
+    systems.push_back(std::make_unique<SpindleOptimusSystem>(hw));
+    systems.push_back(std::make_unique<DistMMMTSystem>(hw));
+    systems.push_back(
+        std::make_unique<SequentialSystem>(hw, SequentialMode::DeepSpeed));
+
+    std::vector<SystemResult> results;
+    for (const auto &sys : systems)
+        results.push_back(sys->runIteration(meta));
+
+    const std::size_t bins = 20;
+    std::cout << "=== Fig. 9a: cluster utilization over one iteration "
+                 "(TFLOPs/s per bin; x = fraction of iteration) ===\n";
+    Table series({"timeline_frac", results[0].system, results[1].system,
+                  results[2].system, results[3].system});
+    std::vector<std::vector<double>> all;
+    for (const SystemResult &r : results)
+        all.push_back(r.timeline.clusterFlopsSeries(bins));
+    for (std::size_t b = 0; b < bins; ++b) {
+        series.addRow({Table::fmt((b + 0.5) / bins, 3),
+                       Table::fmt(toTflops(all[0][b]), 1),
+                       Table::fmt(toTflops(all[1][b]), 1),
+                       Table::fmt(toTflops(all[2][b]), 1),
+                       Table::fmt(toTflops(all[3][b]), 1)});
+    }
+    series.printAligned(std::cout);
+
+    std::cout << "\naverage cluster utilization (TFLOPs/s):\n";
+    for (const SystemResult &r : results) {
+        std::cout << "  " << r.system << ": "
+                  << Table::fmt(toTflops(r.timeline.totalFlops() /
+                                         r.timeline.makespan()),
+                                1)
+                  << " (iter " << Table::fmt(toMs(r.iterationSeconds), 1)
+                  << " ms)\n";
+    }
+
+    std::cout << "\n=== Fig. 9b (left): per-device utilization "
+                 "(busy fraction, %) ===\n";
+    Table dev({"device", results[0].system, results[1].system,
+               results[2].system, results[3].system});
+    std::vector<std::vector<double>> busy;
+    for (const SystemResult &r : results)
+        busy.push_back(r.timeline.deviceBusyFraction(topo.numDevices()));
+    for (std::uint32_t d = 0; d < topo.numDevices(); ++d) {
+        dev.addRow({strCat(d + 1), Table::fmt(100 * busy[0][d], 1),
+                    Table::fmt(100 * busy[1][d], 1),
+                    Table::fmt(100 * busy[2][d], 1),
+                    Table::fmt(100 * busy[3][d], 1)});
+    }
+    dev.printAligned(std::cout);
+
+    std::cout << "\n=== Fig. 9b (right): per-MetaOp compute "
+                 "utilization (% of peak) ===\n";
+    Table mop({"metaop", results[0].system, results[1].system,
+               results[2].system, results[3].system});
+    for (const MetaOp &m : meta.metaOps()) {
+        if (m.type == OpType::Contrastive)
+            continue;
+        mop.addRow(
+            {m.name,
+             Table::fmt(100 * results[0].timeline.metaOpUtilization(
+                                  m.id, peak), 1),
+             Table::fmt(100 * results[1].timeline.metaOpUtilization(
+                                  m.id, peak), 1),
+             Table::fmt(100 * results[2].timeline.metaOpUtilization(
+                                  m.id, peak), 1),
+             Table::fmt(100 * results[3].timeline.metaOpUtilization(
+                                  m.id, peak), 1)});
+    }
+    mop.printAligned(std::cout);
+    return 0;
+}

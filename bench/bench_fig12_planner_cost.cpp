@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Fig. 12: wall-clock cost of Spindle's execution
+ * planning (graph contraction excluded, profiling + allocation +
+ * wavefront scheduling + placement included) across workloads and
+ * cluster sizes of 8..64 GPUs. The paper's plans complete within 3
+ * seconds; this is a google-benchmark binary so the measurement
+ * methodology is the standard one.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+using namespace spindle;
+using namespace spindle::bench;
+
+namespace {
+
+void
+planWorkload(benchmark::State &state, const ComputationGraph &graph)
+{
+    const auto nodes = static_cast<std::uint32_t>(state.range(0));
+    ClusterTopology topo = makeCluster(nodes);
+    HardwareModel hw(topo);
+    MetaGraph meta = contractGraph(graph);
+    ExecutionPlanner planner(hw);
+    double last_plan_seconds = 0;
+    for (auto _ : state) {
+        PlannerOutput out = planner.plan(meta);
+        last_plan_seconds = out.planningSeconds;
+        benchmark::DoNotOptimize(out.plan.estimatedSpan);
+    }
+    state.counters["gpus"] = nodes * 8;
+    state.counters["plan_seconds"] = last_plan_seconds;
+}
+
+const ComputationGraph clip4 = buildMultitaskClip({.numTasks = 4});
+const ComputationGraph clip7 = buildMultitaskClip({.numTasks = 7});
+const ComputationGraph clip10 = buildMultitaskClip({.numTasks = 10});
+const ComputationGraph ofa4 = buildOfasys({.numTasks = 4});
+const ComputationGraph ofa7 = buildOfasys({.numTasks = 7});
+const ComputationGraph qwen = buildQwenVal({});
+
+} // namespace
+
+BENCHMARK_CAPTURE(planWorkload, CLIP_4Tasks, clip4)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(planWorkload, CLIP_7Tasks, clip7)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(planWorkload, CLIP_10Tasks, clip10)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(planWorkload, OFASys_4Tasks, ofa4)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(planWorkload, OFASys_7Tasks, ofa7)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(planWorkload, QWenVAL_3Tasks, qwen)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

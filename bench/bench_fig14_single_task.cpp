@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Reproduces Fig. 14 (Appendix F): the single-task multi-modal
+ * special case — 1-task Multitask-CLIP on 8/16/32 GPUs. Spindle's
+ * operator-level strategy still beats the SOTA systems (paper: up to
+ * 48%), while DistMM-MT, designed exactly for single-task MM
+ * workloads, performs close to Spindle.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace spindle;
+using namespace spindle::bench;
+
+int
+main()
+{
+    std::cout << "=== Fig. 14: single-task Multitask-CLIP "
+                 "(speedup vs DeepSpeed) ===\n";
+    Table table({"workload", "cluster", "system", "iter_ms",
+                 "speedup_vs_DS"});
+    ComputationGraph graph = buildMultitaskClip({.numTasks = 1});
+    for (std::uint32_t nodes : {1u, 2u, 4u})
+        sweepSystems("Multitask-CLIP/1T", nodes, graph, table);
+    table.printAligned(std::cout);
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: cluster construction,
+ * uniform system sweeps, and speedup-table rendering in the shape of
+ * the paper's figures.
+ */
+
+#ifndef SPINDLE_BENCH_BENCH_UTIL_H
+#define SPINDLE_BENCH_BENCH_UTIL_H
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "spindle/spindle.h"
+
+namespace spindle::bench {
+
+/** The paper's cluster: nodes of 8 A800s, NVLink + 400Gb/s IB. */
+inline ClusterTopology
+makeCluster(std::uint32_t num_nodes)
+{
+    ClusterConfig cfg;
+    cfg.numNodes = num_nodes;
+    cfg.gpusPerNode = 8;
+    return ClusterTopology(cfg);
+}
+
+/** Label like "1Node(8GPUs)". */
+inline std::string
+clusterLabel(std::uint32_t num_nodes)
+{
+    return strCat(num_nodes, num_nodes == 1 ? "Node(" : "Nodes(",
+                  num_nodes * 8, "GPUs)");
+}
+
+/** The five systems of Fig. 8, in the paper's legend order. */
+inline std::vector<std::unique_ptr<System>>
+makeAllSystems(const HardwareModel &hw)
+{
+    std::vector<std::unique_ptr<System>> systems;
+    systems.push_back(std::make_unique<SpindleSystem>(hw));
+    systems.push_back(std::make_unique<SpindleOptimusSystem>(hw));
+    systems.push_back(std::make_unique<DistMMMTSystem>(hw));
+    systems.push_back(
+        std::make_unique<SequentialSystem>(hw, SequentialMode::Megatron));
+    systems.push_back(
+        std::make_unique<SequentialSystem>(hw, SequentialMode::DeepSpeed));
+    return systems;
+}
+
+/**
+ * Run every system on one workload/cluster combination and print
+ * rows of iteration time plus speedup over DeepSpeed (the paper's
+ * normalization in Fig. 8).
+ */
+inline void
+sweepSystems(const std::string &workload, std::uint32_t num_nodes,
+             const ComputationGraph &graph, Table &table,
+             const std::function<void(const SystemResult &)> &observe =
+                 nullptr)
+{
+    ClusterTopology topo = makeCluster(num_nodes);
+    HardwareModel hw(topo);
+    MetaGraph meta = contractGraph(graph);
+
+    auto systems = makeAllSystems(hw);
+    std::vector<SystemResult> results;
+    results.reserve(systems.size());
+    for (const auto &sys : systems)
+        results.push_back(sys->runIteration(meta));
+
+    const double deepspeed = results.back().iterationSeconds;
+    for (const SystemResult &r : results) {
+        table.addRow({workload, clusterLabel(num_nodes), r.system,
+                      Table::fmt(toMs(r.iterationSeconds), 1),
+                      Table::fmt(deepspeed / r.iterationSeconds, 2)});
+        if (observe)
+            observe(r);
+    }
+}
+
+} // namespace spindle::bench
+
+#endif // SPINDLE_BENCH_BENCH_UTIL_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * DistMM-MT baseline (paper §5.1 (3)): the multi-task extension of
+ * DistMM [NSDI'24].
+ *
+ * DistMM is intra-task heterogeneity aware: within one multi-modal
+ * task it allocates appropriate resources to the different
+ * multi-tower modality encoders and runs them concurrently. The MT
+ * extension decouples tasks and executes them sequentially, each
+ * task optimized in isolation with the whole cluster — so inter-task
+ * heterogeneity is never exploited.
+ *
+ * Implementation: per task and per dependency level, the same MPSP
+ * allocator and wavefront scheduler as Spindle are applied, but only
+ * over that task's MetaOps; tasks run back-to-back.
+ */
+
+#ifndef SPINDLE_BASELINES_DISTMM_MT_H
+#define SPINDLE_BASELINES_DISTMM_MT_H
+
+#include "baselines/system.h"
+#include "cost/estimator.h"
+
+namespace spindle {
+
+/** Intra-task aware, inter-task sequential system. */
+class DistMMMTSystem : public System
+{
+  public:
+    explicit DistMMMTSystem(const HardwareModel &hw,
+                            EstimatorOptions estimator = {});
+
+    std::string name() const override { return "DistMM-MT"; }
+
+    ExecutionPlan buildPlan(const MetaGraph &graph) const override;
+
+  private:
+    EstimatorOptions estimator_;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_BASELINES_DISTMM_MT_H

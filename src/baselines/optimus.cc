@@ -1,0 +1,170 @@
+#include "baselines/optimus.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace spindle {
+
+namespace {
+
+/** Serial completion time of a task's MetaOps on n devices, each
+ *  MetaOp using its largest valid allocation <= n. */
+double
+taskTime(const MetaGraph &graph, const std::vector<ScalingCurve> &curves,
+         const std::vector<MetaOpId> &ids, std::uint32_t n)
+{
+    double total = 0;
+    for (MetaOpId id : ids) {
+        const ScalingCurve &curve = curves[id];
+        std::uint32_t best = curve.minValid();
+        for (std::uint32_t v : curve.validNs()) {
+            if (v <= n)
+                best = v;
+            else
+                break;
+        }
+        total += curve.timeAt(best) *
+                 static_cast<double>(graph.metaOp(id).numOps());
+    }
+    return total;
+}
+
+} // namespace
+
+SpindleOptimusSystem::SpindleOptimusSystem(const HardwareModel &hw,
+                                           EstimatorOptions estimator)
+    : System(hw), estimator_(estimator)
+{
+}
+
+std::map<std::int32_t, std::vector<MetaOpId>>
+SpindleOptimusSystem::groupTasks(const MetaGraph &graph) const
+{
+    // One job per task; with more tasks than devices, tasks are
+    // folded round-robin into per-device job queues (each queue
+    // runs its tasks back to back on the shared block).
+    const std::uint32_t n_total = hw_.topology().numDevices();
+    std::map<std::int32_t, std::vector<MetaOpId>> tasks;
+    for (const MetaOp &m : graph.metaOps())
+        tasks[m.taskId].push_back(m.id);
+    if (tasks.size() <= n_total)
+        return tasks;
+
+    std::map<std::int32_t, std::vector<MetaOpId>> groups;
+    std::int32_t next = 0;
+    for (const auto &[task, ids] : tasks) {
+        auto &group = groups[next % static_cast<std::int32_t>(n_total)];
+        group.insert(group.end(), ids.begin(), ids.end());
+        ++next;
+    }
+    return groups;
+}
+
+std::map<std::int32_t, std::uint32_t>
+SpindleOptimusSystem::allocateTasks(
+    const MetaGraph &graph, const std::vector<ScalingCurve> &curves) const
+{
+    const std::uint32_t n_total = hw_.topology().numDevices();
+    std::map<std::int32_t, std::vector<MetaOpId>> tasks =
+        groupTasks(graph);
+
+    std::map<std::int32_t, std::uint32_t> alloc;
+    for (const auto &[task, ids] : tasks)
+        alloc[task] = 1;
+    std::uint32_t used = static_cast<std::uint32_t>(tasks.size());
+
+    // Greedy: repeatedly grow the task with the largest marginal
+    // gain (T(n) - T(n')) / (n' - n), where n' is the task's next
+    // valid (time-improving) allocation above n (§5.1).
+    while (used < n_total) {
+        double best_gain = 0;
+        std::int32_t best_task = -1;
+        std::uint32_t best_next = 0;
+        for (const auto &[task, ids] : tasks) {
+            const std::uint32_t cur = alloc[task];
+            const double t_cur = taskTime(graph, curves, ids, cur);
+            // Next allocation that actually improves the task time
+            // and still fits in the unallocated budget.
+            for (std::uint32_t next = cur + 1;
+                 next <= cur + (n_total - used); ++next) {
+                const double t_next =
+                    taskTime(graph, curves, ids, next);
+                if (t_next >= t_cur)
+                    continue;
+                const double gain =
+                    (t_cur - t_next) / static_cast<double>(next - cur);
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best_task = task;
+                    best_next = next;
+                }
+                break; // only the *next* valid allocation counts
+            }
+        }
+        if (best_task < 0)
+            break; // no task benefits from more devices
+        used += best_next - alloc[best_task];
+        alloc[best_task] = best_next;
+    }
+    return alloc;
+}
+
+ExecutionPlan
+SpindleOptimusSystem::buildPlan(const MetaGraph &graph) const
+{
+    const std::uint32_t n_total = hw_.topology().numDevices();
+    ScalabilityEstimator estimator(hw_, estimator_);
+    std::vector<ScalingCurve> curves =
+        estimator.estimateAll(graph, n_total);
+    std::map<std::int32_t, std::uint32_t> alloc =
+        allocateTasks(graph, curves);
+
+    std::map<std::int32_t, std::vector<MetaOpId>> tasks =
+        groupTasks(graph);
+
+    // Tasks run concurrently on disjoint consecutive device blocks;
+    // within a block, the task executes its MetaOps sequentially in
+    // dependency-level order, each on the block's largest valid
+    // allocation (task-level granularity: no operator awareness).
+    ExecutionPlan plan;
+    plan.numDevices = n_total;
+    std::uint32_t block_start = 0;
+    std::int32_t stream = 0;
+    for (auto &[task, ids] : tasks) {
+        const std::uint32_t block = alloc[task];
+        std::sort(ids.begin(), ids.end(),
+                  [&](MetaOpId a, MetaOpId b) {
+                      const MetaOp &ma = graph.metaOp(a);
+                      const MetaOp &mb = graph.metaOp(b);
+                      if (ma.level != mb.level)
+                          return ma.level < mb.level;
+                      return a < b;
+                  });
+        for (MetaOpId id : ids) {
+            const MetaOp &m = graph.metaOp(id);
+            const std::uint32_t n = largestValid(m, block);
+            Wave wave;
+            wave.index = static_cast<std::int32_t>(plan.waves.size());
+            wave.level = m.level;
+            wave.stream = stream;
+
+            WaveEntry e;
+            e.metaOp = id;
+            e.n = n;
+            e.opBegin = 0;
+            e.numOps = m.numOps();
+            e.devices.resize(n);
+            std::iota(e.devices.begin(), e.devices.end(), block_start);
+            wave.entries.push_back(std::move(e));
+            plan.waves.push_back(std::move(wave));
+        }
+        block_start += block;
+        ++stream;
+    }
+    return plan;
+}
+
+} // namespace spindle

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Spindle-Optimus baseline (paper §5.1 (4)): workload-aware
+ * *task-level* resource allocation in the spirit of Optimus
+ * [EuroSys'18].
+ *
+ * Each task is treated as one job with completion time T_task(n) =
+ * the serial execution of its MetaOps on n devices. Devices are
+ * assigned greedily to the task with the largest marginal gain
+ * (T(n) - T(n')) / (n' - n); tasks then run concurrently on disjoint
+ * static device blocks. Intra-task operator heterogeneity is
+ * ignored — the coarse granularity the paper's case study blames for
+ * devices idling once light tasks finish.
+ */
+
+#ifndef SPINDLE_BASELINES_OPTIMUS_H
+#define SPINDLE_BASELINES_OPTIMUS_H
+
+#include <map>
+
+#include "baselines/system.h"
+#include "cost/estimator.h"
+
+namespace spindle {
+
+/** Task-level marginal-gain allocation system. */
+class SpindleOptimusSystem : public System
+{
+  public:
+    explicit SpindleOptimusSystem(const HardwareModel &hw,
+                                  EstimatorOptions estimator = {});
+
+    std::string name() const override { return "Spindle-Optimus"; }
+
+    ExecutionPlan buildPlan(const MetaGraph &graph) const override;
+
+    /**
+     * The greedy task-level allocation itself (exposed for tests):
+     * devices per task id, summing to min(N, ...) with every task
+     * getting at least one device.
+     */
+    std::map<std::int32_t, std::uint32_t>
+    allocateTasks(const MetaGraph &graph,
+                  const std::vector<ScalingCurve> &curves) const;
+
+    /**
+     * Job formation: one job per task, except when tasks outnumber
+     * devices, in which case tasks fold round-robin into shared
+     * job queues so every job can own at least one device.
+     */
+    std::map<std::int32_t, std::vector<MetaOpId>>
+    groupTasks(const MetaGraph &graph) const;
+
+  private:
+    EstimatorOptions estimator_;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_BASELINES_OPTIMUS_H

@@ -1,0 +1,86 @@
+#include "baselines/sequential.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace spindle {
+
+SequentialSystem::SequentialSystem(const HardwareModel &hw,
+                                   SequentialMode mode)
+    : System(hw), mode_(mode)
+{
+}
+
+std::string
+SequentialSystem::name() const
+{
+    switch (mode_) {
+      case SequentialMode::Megatron: return "Megatron-LM";
+      case SequentialMode::DeepSpeed: return "DeepSpeed";
+      case SequentialMode::SpindleSeq: return "Spindle-Seq";
+    }
+    panic("SequentialSystem: unknown mode");
+}
+
+std::uint32_t
+SequentialSystem::modeAllocation(const MetaOp &m) const
+{
+    const std::uint32_t n = hw_.topology().numDevices();
+    if (mode_ == SequentialMode::DeepSpeed) {
+        // ZeRO pure DP: the largest DP degree dividing the batch.
+        const auto batch = static_cast<std::uint32_t>(
+            std::max<std::int64_t>(m.input.batch, 1));
+        std::uint32_t best = 1;
+        for (std::uint32_t d = 1; d <= std::min(n, batch); ++d)
+            if (batch % d == 0)
+                best = d;
+        return best;
+    }
+    return largestValid(m, n);
+}
+
+ExecutionPlan
+SequentialSystem::buildPlan(const MetaGraph &graph) const
+{
+    ExecutionPlan plan;
+    plan.numDevices = hw_.topology().numDevices();
+
+    // Tasks in id order; within a task, MetaOps in dependency-level
+    // order (ties by id). Each MetaOp becomes one whole-cluster wave.
+    std::map<std::int32_t, std::vector<MetaOpId>> tasks;
+    for (const MetaOp &m : graph.metaOps())
+        tasks[m.taskId].push_back(m.id);
+    for (auto &[task, ids] : tasks) {
+        std::sort(ids.begin(), ids.end(),
+                  [&](MetaOpId a, MetaOpId b) {
+                      const MetaOp &ma = graph.metaOp(a);
+                      const MetaOp &mb = graph.metaOp(b);
+                      if (ma.level != mb.level)
+                          return ma.level < mb.level;
+                      return a < b;
+                  });
+        for (MetaOpId id : ids) {
+            const MetaOp &m = graph.metaOp(id);
+            const std::uint32_t n = modeAllocation(m);
+            Wave wave;
+            wave.index = static_cast<std::int32_t>(plan.waves.size());
+            wave.level = m.level;
+
+            WaveEntry e;
+            e.metaOp = id;
+            e.n = n;
+            e.opBegin = 0;
+            e.numOps = m.numOps();
+            e.devices.resize(n);
+            std::iota(e.devices.begin(), e.devices.end(), 0u);
+            wave.entries.push_back(std::move(e));
+            plan.waves.push_back(std::move(wave));
+        }
+    }
+    return plan;
+}
+
+} // namespace spindle

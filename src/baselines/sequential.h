@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Temporally decoupled sequential baselines (paper §5.1 (1)&(2) and
+ * Appendix H).
+ *
+ * Megatron-LM and DeepSpeed are single-task systems; the paper's MT
+ * adaptation decouples the sub-models on the temporal dimension:
+ * within each iteration every task takes up the whole cluster for a
+ * short period and executes dependently and sequentially. Both are
+ * workload-unaware — every operator is parallelized over as many
+ * devices as its validity constraints permit:
+ *
+ *  - Megatron-LM: best hybrid DP x TP configuration (manually tuned
+ *    3D parallelism);
+ *  - DeepSpeed: ZeRO pure data parallelism (TP degree 1);
+ *  - Spindle-Seq: the same decoupled strategy implemented on the
+ *    Spindle runtime (Appendix H implementation-overhead control).
+ */
+
+#ifndef SPINDLE_BASELINES_SEQUENTIAL_H
+#define SPINDLE_BASELINES_SEQUENTIAL_H
+
+#include "baselines/system.h"
+
+namespace spindle {
+
+/** Flavor of the sequential whole-cluster strategy. */
+enum class SequentialMode : std::uint8_t
+{
+    Megatron,  ///< hybrid DP x TP, whole cluster per operator
+    DeepSpeed, ///< ZeRO pure DP, whole cluster per operator
+    SpindleSeq ///< Megatron-like plan run through Spindle's stack
+};
+
+/**
+ * Whole-cluster sequential execution: one wave per MetaOp, tasks one
+ * after another, every wave on the maximal valid allocation.
+ */
+class SequentialSystem : public System
+{
+  public:
+    SequentialSystem(const HardwareModel &hw, SequentialMode mode);
+
+    std::string name() const override;
+
+    ExecutionPlan buildPlan(const MetaGraph &graph) const override;
+
+  private:
+    /** Maximal allocation under the mode's parallelism menu. */
+    std::uint32_t modeAllocation(const MetaOp &m) const;
+
+    SequentialMode mode_;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_BASELINES_SEQUENTIAL_H

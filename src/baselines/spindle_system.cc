@@ -1,0 +1,34 @@
+#include "baselines/spindle_system.h"
+
+namespace spindle {
+
+SpindleSystem::SpindleSystem(const HardwareModel &hw,
+                             PlannerOptions options)
+    : System(hw), options_(options)
+{
+}
+
+std::string
+SpindleSystem::name() const
+{
+    if (options_.placement.strategy == PlacementStrategy::Sequential)
+        return "Spindle w/o DP";
+    return "Spindle";
+}
+
+ExecutionPlan
+SpindleSystem::buildPlan(const MetaGraph &graph) const
+{
+    ExecutionPlanner planner(hw_, options_);
+    return planner.plan(graph).plan;
+}
+
+SpindleSystem
+makeSpindleWithoutPlacement(const HardwareModel &hw)
+{
+    PlannerOptions options;
+    options.placement.strategy = PlacementStrategy::Sequential;
+    return SpindleSystem(hw, options);
+}
+
+} // namespace spindle

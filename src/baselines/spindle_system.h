@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Spindle itself, packaged behind the common System interface so the
+ * benchmark harnesses can sweep every competitor uniformly.
+ */
+
+#ifndef SPINDLE_BASELINES_SPINDLE_SYSTEM_H
+#define SPINDLE_BASELINES_SPINDLE_SYSTEM_H
+
+#include "baselines/system.h"
+#include "planner/planner.h"
+
+namespace spindle {
+
+/** The full Spindle planner + runtime as a System. */
+class SpindleSystem : public System
+{
+  public:
+    explicit SpindleSystem(const HardwareModel &hw,
+                           PlannerOptions options = {});
+
+    std::string name() const override;
+
+    ExecutionPlan buildPlan(const MetaGraph &graph) const override;
+
+    const PlannerOptions &plannerOptions() const { return options_; }
+
+  private:
+    PlannerOptions options_;
+};
+
+/** Convenience: Spindle with the Fig. 10 sequential-placement
+ *  ablation enabled ("Sp*: Spindle w/o DP" = without the device
+ *  placement strategies of §3.5). */
+SpindleSystem makeSpindleWithoutPlacement(const HardwareModel &hw);
+
+} // namespace spindle
+
+#endif // SPINDLE_BASELINES_SPINDLE_SYSTEM_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Common interface of every training system under evaluation
+ * (paper §5.1, Tab. 1a).
+ *
+ * Each system is characterized by the execution plan it builds for a
+ * contracted workload graph; all systems then execute their plans on
+ * the identical simulator substrate through the same runtime engine,
+ * exactly like the paper's Appendix E simulation methodology.
+ */
+
+#ifndef SPINDLE_BASELINES_SYSTEM_H
+#define SPINDLE_BASELINES_SYSTEM_H
+
+#include <memory>
+#include <string>
+
+#include "runtime/engine.h"
+
+namespace spindle {
+
+/** One measured training iteration of one system. */
+struct SystemResult
+{
+    std::string system;
+    double iterationSeconds = 0;
+    TimeBreakdown breakdown;
+    std::vector<double> peakMemoryBytes;
+    Timeline timeline;
+
+    /** Wall-clock spent building the execution plan. */
+    double planningSeconds = 0;
+
+    /** Theoretical optimum C~* when the system computes one (Spindle
+     *  only, Fig. 11); 0 otherwise. */
+    double theoreticalOptimum = 0;
+
+    double transmissionBytes = 0;
+    double syncBytes = 0;
+};
+
+/**
+ * Abstract training system: strategy = how the plan is built.
+ */
+class System
+{
+  public:
+    explicit System(const HardwareModel &hw);
+    virtual ~System() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Build the system's execution plan (placed, validated by the
+     * caller) for one iteration of the workload.
+     */
+    virtual ExecutionPlan buildPlan(const MetaGraph &graph) const = 0;
+
+    /**
+     * Template method: build the plan, validate it, execute one
+     * iteration on the simulator, and package the measurements.
+     */
+    SystemResult runIteration(const MetaGraph &graph) const;
+
+    const HardwareModel &hardware() const { return hw_; }
+
+  protected:
+    /** Largest valid allocation of @p m not exceeding @p cap. */
+    std::uint32_t largestValid(const MetaOp &m, std::uint32_t cap) const;
+
+    const HardwareModel &hw_;
+    Engine engine_;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_BASELINES_SYSTEM_H

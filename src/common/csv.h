@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A tiny table builder used by the benchmark harnesses to print the
+ * rows/series each paper figure reports, both human-aligned on the
+ * console and as CSV for downstream plotting.
+ */
+
+#ifndef SPINDLE_COMMON_CSV_H
+#define SPINDLE_COMMON_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spindle {
+
+/**
+ * Column-oriented result table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"system", "gpus", "iter_ms"});
+ *   t.addRow({"Spindle", "16", "812.4"});
+ *   t.printAligned(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Print with space-aligned columns for the console. */
+    void printAligned(std::ostream &os) const;
+
+    /** Print as comma-separated values (header first). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return header_.size(); }
+
+    /** Format a double with @p precision fractional digits. */
+    static std::string fmt(double value, int precision = 2);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_COMMON_CSV_H

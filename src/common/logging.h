@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * `fatal` terminates because of a user error (bad configuration or
+ * arguments); `panic` terminates because of an internal invariant
+ * violation (a Spindle bug); `warn`/`inform` print status without
+ * stopping the run.
+ */
+
+#ifndef SPINDLE_COMMON_LOGGING_H
+#define SPINDLE_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace spindle {
+
+/** Terminate with exit(1); use for user-caused errors. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Terminate with abort(); use for internal invariant violations. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a non-fatal warning to stderr. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Build a message from stream-insertable pieces. */
+template <typename... Args>
+std::string
+strCat(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    return os.str();
+}
+
+/**
+ * Check a caller-supplied condition; fatal() on failure.
+ *
+ * @param cond condition expected to hold
+ * @param msg message describing the user error when it does not
+ */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+/** Check an internal invariant; panic() on failure. */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+} // namespace spindle
+
+#endif // SPINDLE_COMMON_LOGGING_H

@@ -1,0 +1,72 @@
+#include "common/math_util.h"
+
+#include "common/logging.h"
+
+namespace spindle {
+
+bool
+nearlyEqual(double a, double b, double rel_tol, double abs_tol)
+{
+    double diff = std::fabs(a - b);
+    if (diff <= abs_tol)
+        return true;
+    double scale = std::max(std::fabs(a), std::fabs(b));
+    return diff <= rel_tol * scale;
+}
+
+std::pair<double, double>
+linearFit(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    panicIf(xs.size() != ys.size() || xs.empty(),
+            "linearFit: mismatched or empty samples");
+    const double n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    if (std::fabs(denom) < 1e-30) {
+        // All abscissae identical: flat fit through the mean.
+        return {sy / n, 0.0};
+    }
+    const double b = (n * sxy - sx * sy) / denom;
+    const double a = (sy - b * sx) / n;
+    return {a, b};
+}
+
+bool
+isPowerOfTwo(std::uint32_t n)
+{
+    return n >= 1 && (n & (n - 1)) == 0;
+}
+
+std::uint32_t
+floorPowerOfTwo(std::uint32_t n)
+{
+    panicIf(n < 1, "floorPowerOfTwo: n must be >= 1");
+    std::uint32_t p = 1;
+    while (p * 2 <= n)
+        p *= 2;
+    return p;
+}
+
+std::uint32_t
+ceilPowerOfTwo(std::uint32_t n)
+{
+    panicIf(n < 1, "ceilPowerOfTwo: n must be >= 1");
+    std::uint32_t p = 1;
+    while (p < n)
+        p *= 2;
+    return p;
+}
+
+std::int64_t
+roundNearest(double x)
+{
+    return static_cast<std::int64_t>(std::llround(x));
+}
+
+} // namespace spindle

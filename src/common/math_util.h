@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small numeric helpers shared by the cost model and the planner.
+ */
+
+#ifndef SPINDLE_COMMON_MATH_UTIL_H
+#define SPINDLE_COMMON_MATH_UTIL_H
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace spindle {
+
+/** Relative/absolute closeness test for doubles. */
+bool nearlyEqual(double a, double b, double rel_tol = 1e-9,
+                 double abs_tol = 1e-12);
+
+/**
+ * Ordinary least squares fit of y = a + b * x.
+ *
+ * @param xs sample abscissae (size >= 2 with at least two distinct
+ *           values; with fewer, the slope degenerates to 0)
+ * @param ys sample ordinates, same size as @p xs
+ * @return pair {a, b} of intercept and slope
+ */
+std::pair<double, double> linearFit(const std::vector<double> &xs,
+                                    const std::vector<double> &ys);
+
+/** True iff @p n is a power of two (n >= 1). */
+bool isPowerOfTwo(std::uint32_t n);
+
+/** Largest power of two <= n (n >= 1). */
+std::uint32_t floorPowerOfTwo(std::uint32_t n);
+
+/** Smallest power of two >= n (n >= 1). */
+std::uint32_t ceilPowerOfTwo(std::uint32_t n);
+
+/** Round a positive real to the nearest integer, half away from zero. */
+std::int64_t roundNearest(double x);
+
+} // namespace spindle
+
+#endif // SPINDLE_COMMON_MATH_UTIL_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit conventions used throughout Spindle.
+ *
+ * All quantities are plain doubles with a documented unit; the helper
+ * constants below make call sites read naturally (e.g. `3 * GiB`).
+ *
+ *   time        seconds
+ *   compute     FLOPs (floating-point operations, not FLOPs/s)
+ *   throughput  FLOPs per second
+ *   data        bytes
+ *   bandwidth   bytes per second
+ */
+
+#ifndef SPINDLE_COMMON_UNITS_H
+#define SPINDLE_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace spindle {
+
+/** Seconds in engineering notation. */
+constexpr double kMilli = 1e-3;
+constexpr double kMicro = 1e-6;
+
+/** Decimal compute/bandwidth multipliers. */
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+constexpr double kTera = 1e12;
+
+/** Binary data-size multipliers. */
+constexpr double KiB = 1024.0;
+constexpr double MiB = 1024.0 * KiB;
+constexpr double GiB = 1024.0 * MiB;
+
+/** Bytes per element for the mixed-precision regimes we model. */
+constexpr double kBytesFp16 = 2.0;
+constexpr double kBytesFp32 = 4.0;
+
+/** Convert seconds to milliseconds for reporting. */
+constexpr double
+toMs(double seconds)
+{
+    return seconds * 1e3;
+}
+
+/** Convert FLOPs/s to TFLOPs/s for reporting. */
+constexpr double
+toTflops(double flops_per_s)
+{
+    return flops_per_s / kTera;
+}
+
+} // namespace spindle
+
+#endif // SPINDLE_COMMON_UNITS_H

@@ -1,0 +1,91 @@
+#include "cost/alpha_beta.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace spindle {
+
+void
+PiecewiseAlphaBeta::addPiece(AlphaBetaPiece piece)
+{
+    panicIf(piece.nLo <= 0 || piece.nHi < piece.nLo,
+            "addPiece: bad piece range");
+    if (!pieces_.empty())
+        panicIf(!nearlyEqual(pieces_.back().nHi, piece.nLo, 1e-9, 1e-9),
+                "addPiece: pieces must be contiguous");
+    pieces_.push_back(piece);
+}
+
+double
+PiecewiseAlphaBeta::nMin() const
+{
+    panicIf(pieces_.empty(), "nMin: empty curve");
+    return pieces_.front().nLo;
+}
+
+double
+PiecewiseAlphaBeta::nMax() const
+{
+    panicIf(pieces_.empty(), "nMax: empty curve");
+    return pieces_.back().nHi;
+}
+
+double
+PiecewiseAlphaBeta::eval(double n) const
+{
+    panicIf(pieces_.empty(), "eval: empty curve");
+    panicIf(n <= 0, "eval: n must be positive");
+    const AlphaBetaPiece &first = pieces_.front();
+    if (n < first.nLo) {
+        // Hyperbolic extension below the first knot: time scales as
+        // workload / n relative to the first knot's value.
+        return first.eval(first.nLo) * first.nLo / n;
+    }
+    for (const AlphaBetaPiece &p : pieces_) {
+        if (n <= p.nHi)
+            return p.eval(n);
+    }
+    return pieces_.back().eval(n); // clamp above the last knot
+}
+
+PiecewiseAlphaBeta
+PiecewiseAlphaBeta::fit(const std::vector<double> &ns,
+                        const std::vector<double> &times,
+                        bool single_piece)
+{
+    panicIf(ns.size() != times.size() || ns.empty(),
+            "fit: mismatched or empty samples");
+    for (std::size_t i = 1; i < ns.size(); ++i)
+        panicIf(ns[i] <= ns[i - 1], "fit: samples must ascend in n");
+
+    PiecewiseAlphaBeta curve;
+    if (ns.size() == 1) {
+        curve.addPiece({ns[0], ns[0], times[0], 0.0});
+        return curve;
+    }
+
+    if (single_piece) {
+        // Least squares on t = a + b * (1/n) over all samples.
+        std::vector<double> inv(ns.size());
+        for (std::size_t i = 0; i < ns.size(); ++i)
+            inv[i] = 1.0 / ns[i];
+        auto [a, b] = linearFit(inv, times);
+        curve.addPiece({ns.front(), ns.back(), a, b});
+        return curve;
+    }
+
+    // One exact piece per adjacent sample pair:
+    //   b = (t_i - t_{i+1}) / (1/n_i - 1/n_{i+1}),  a = t_i - b/n_i.
+    for (std::size_t i = 0; i + 1 < ns.size(); ++i) {
+        const double inv0 = 1.0 / ns[i];
+        const double inv1 = 1.0 / ns[i + 1];
+        const double b = (times[i] - times[i + 1]) / (inv0 - inv1);
+        const double a = times[i] - b * inv0;
+        curve.addPiece({ns[i], ns[i + 1], a, b});
+    }
+    return curve;
+}
+
+} // namespace spindle

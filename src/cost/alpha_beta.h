@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Generalized piecewise alpha-beta execution-time model (Appendix A).
+ *
+ * The paper models the per-operator time of MetaOp m on n devices as
+ *
+ *   T_m(n) = alpha_{m,i} + beta_{m,i} c_m + beta'_{m,i} w_m / n
+ *            for n in [n_{i-1}, n_i],
+ *
+ * i.e. within each piece the time is affine in 1/n: the alpha term
+ * captures fixed overheads (kernel launches), the beta terms capture
+ * non-scaling and scaling workload. Since c_m and w_m are constants
+ * of the MetaOp, each piece folds to T(n) = a + b / n; pieces exist
+ * because different per-device workloads invoke different kernels.
+ */
+
+#ifndef SPINDLE_COST_ALPHA_BETA_H
+#define SPINDLE_COST_ALPHA_BETA_H
+
+#include <cstdint>
+#include <vector>
+
+namespace spindle {
+
+/** One affine-in-1/n piece covering device counts [nLo, nHi]. */
+struct AlphaBetaPiece
+{
+    double nLo = 1;
+    double nHi = 1;
+    double a = 0; ///< folded alpha + beta * c term
+    double b = 0; ///< folded beta' * w term
+
+    /** Evaluate the piece at (possibly fractional) n > 0. */
+    double eval(double n) const { return a + b / n; }
+};
+
+/**
+ * A fitted piecewise alpha-beta curve. Pieces are contiguous and
+ * ascending in n; evaluation clamps into [nLo of first, nHi of last]
+ * except below the first knot, where the curve extrapolates
+ * hyperbolically (workload / n with no fixed-cost change), which is
+ * what the continuous MPSP relaxation needs for n < 1.
+ */
+class PiecewiseAlphaBeta
+{
+  public:
+    /** Append a piece; must continue the previous piece's range. */
+    void addPiece(AlphaBetaPiece piece);
+
+    bool empty() const { return pieces_.empty(); }
+    std::size_t numPieces() const { return pieces_.size(); }
+    const std::vector<AlphaBetaPiece> &pieces() const { return pieces_; }
+
+    double nMin() const;
+    double nMax() const;
+
+    /** Evaluate at fractional n > 0 (see class comment for range). */
+    double eval(double n) const;
+
+    /**
+     * Fit a curve through profiled samples (n_i, t_i), n ascending:
+     * one piece per adjacent sample pair, solved exactly for (a, b).
+     * With @p single_piece, fit one least-squares piece over all
+     * samples instead (the non-piecewise baseline the paper compares
+     * against in Appendix A).
+     */
+    static PiecewiseAlphaBeta fit(const std::vector<double> &ns,
+                                  const std::vector<double> &times,
+                                  bool single_piece = false);
+
+  private:
+    std::vector<AlphaBetaPiece> pieces_;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_COST_ALPHA_BETA_H

@@ -1,0 +1,97 @@
+#include "cost/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace spindle {
+
+ScalabilityEstimator::ScalabilityEstimator(const HardwareModel &hw,
+                                           EstimatorOptions options)
+    : hw_(hw), options_(options)
+{
+    fatalIf(options_.noiseStdFrac < 0, "Estimator: negative noise");
+}
+
+std::vector<std::uint32_t>
+ScalabilityEstimator::profilePoints(const MetaOp &m,
+                                    std::uint32_t max_devices) const
+{
+    std::vector<std::uint32_t> valid = hw_.validAllocations(m, max_devices);
+    if (options_.profileAllValid)
+        return valid;
+
+    // Power-of-two valid allocations, always including the extremes,
+    // mirroring the paper's "several discrete data points".
+    std::vector<std::uint32_t> points;
+    for (std::uint32_t n : valid) {
+        if (isPowerOfTwo(n) || n == valid.front() || n == valid.back())
+            points.push_back(n);
+    }
+    return points;
+}
+
+double
+ScalabilityEstimator::probe(const MetaOp &m, std::uint32_t n) const
+{
+    ++num_probes_;
+    double t = hw_.metaOpTime(m, n);
+    if (options_.noiseStdFrac > 0) {
+        // Deterministic per-(MetaOp, n) noise stream so repeated
+        // estimation is reproducible.
+        std::seed_seq seq{options_.seed,
+                          static_cast<std::uint64_t>(m.id),
+                          static_cast<std::uint64_t>(n)};
+        std::mt19937_64 rng(seq);
+        std::normal_distribution<double> dist(0.0, options_.noiseStdFrac);
+        t *= std::max(0.05, 1.0 + dist(rng));
+    }
+    return t;
+}
+
+ScalingCurve
+ScalabilityEstimator::estimate(const MetaOp &m,
+                               std::uint32_t max_devices) const
+{
+    const std::vector<std::uint32_t> points =
+        profilePoints(m, max_devices);
+    panicIf(points.empty(), "estimate: no profile points");
+
+    std::vector<double> ns, times;
+    ns.reserve(points.size());
+    times.reserve(points.size());
+    for (std::uint32_t n : points) {
+        ns.push_back(static_cast<double>(n));
+        times.push_back(probe(m, n));
+    }
+
+    PiecewiseAlphaBeta fitted =
+        PiecewiseAlphaBeta::fit(ns, times, !options_.piecewise);
+
+    // Evaluate the fitted model on the full valid grid: profiled
+    // knots reproduce their samples; unprofiled valid allocations
+    // get the model's interpolation.
+    std::vector<std::uint32_t> valid = hw_.validAllocations(m, max_devices);
+    std::vector<double> grid_times;
+    grid_times.reserve(valid.size());
+    for (std::uint32_t n : valid)
+        grid_times.push_back(fitted.eval(static_cast<double>(n)));
+
+    return ScalingCurve(std::move(valid), std::move(grid_times));
+}
+
+std::vector<ScalingCurve>
+ScalabilityEstimator::estimateAll(const MetaGraph &graph,
+                                  std::uint32_t max_devices) const
+{
+    std::vector<ScalingCurve> curves;
+    curves.reserve(graph.numMetaOps());
+    for (const MetaOp &m : graph.metaOps())
+        curves.push_back(estimate(m, max_devices));
+    return curves;
+}
+
+} // namespace spindle

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Scalability estimator (paper §3.2): profile each MetaOp at a few
+ * discrete device counts, fit a piecewise alpha-beta curve, and emit
+ * the scaling curve the resource allocator optimizes against.
+ *
+ * In the paper the profiling source is the physical cluster; here it
+ * is the analytical HardwareModel oracle (see DESIGN.md §1 for why
+ * the substitution preserves behaviour). Optional multiplicative
+ * measurement noise exercises fit robustness deterministically.
+ */
+
+#ifndef SPINDLE_COST_ESTIMATOR_H
+#define SPINDLE_COST_ESTIMATOR_H
+
+#include <vector>
+
+#include "cost/scaling_curve.h"
+#include "hardware/hardware_model.h"
+
+namespace spindle {
+
+/** Estimator configuration. */
+struct EstimatorOptions
+{
+    /**
+     * Fit one alpha-beta piece per adjacent profiled pair (paper's
+     * piecewise model) or a single least-squares piece over all
+     * samples (the homogeneous baseline of Appendix A).
+     */
+    bool piecewise = true;
+
+    /**
+     * Profile every valid allocation instead of only the power-of-
+     * two subset. More samples, exact knots, slower "profiling".
+     */
+    bool profileAllValid = false;
+
+    /** Std-dev of multiplicative measurement noise (0 = exact). */
+    double noiseStdFrac = 0.0;
+
+    /** Seed for the deterministic noise stream. */
+    std::uint64_t seed = 0x5eed;
+};
+
+/**
+ * Produces scaling curves for MetaOps by profiling the hardware
+ * oracle and fitting the Appendix A model.
+ */
+class ScalabilityEstimator
+{
+  public:
+    ScalabilityEstimator(const HardwareModel &hw,
+                         EstimatorOptions options = {});
+
+    /**
+     * Estimate the scaling curve of MetaOp @p m for allocations up
+     * to @p max_devices: profile, fit, then evaluate the fit on the
+     * full valid-allocation grid.
+     */
+    ScalingCurve estimate(const MetaOp &m, std::uint32_t max_devices) const;
+
+    /** Curves for every MetaOp of @p graph, indexed by MetaOpId. */
+    std::vector<ScalingCurve> estimateAll(const MetaGraph &graph,
+                                          std::uint32_t max_devices) const;
+
+    /** The device counts that estimate() would profile for @p m. */
+    std::vector<std::uint32_t> profilePoints(const MetaOp &m,
+                                             std::uint32_t max_devices) const;
+
+    /** Number of oracle probes issued so far (profiling cost proxy). */
+    std::uint64_t numProbes() const { return num_probes_; }
+
+    const HardwareModel &hardware() const { return hw_; }
+    const EstimatorOptions &options() const { return options_; }
+
+  private:
+    double probe(const MetaOp &m, std::uint32_t n) const;
+
+    const HardwareModel &hw_;
+    EstimatorOptions options_;
+    mutable std::uint64_t num_probes_ = 0;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_COST_ESTIMATOR_H

@@ -1,0 +1,112 @@
+#include "cost/scaling_curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace spindle {
+
+ScalingCurve::ScalingCurve(std::vector<std::uint32_t> valid_ns,
+                           std::vector<double> times)
+    : ns_(std::move(valid_ns)), times_(std::move(times))
+{
+    fatalIf(ns_.empty() || ns_.size() != times_.size(),
+            "ScalingCurve: mismatched or empty grid");
+    fatalIf(ns_.front() < 1, "ScalingCurve: allocations start at 1");
+    for (std::size_t i = 1; i < ns_.size(); ++i)
+        fatalIf(ns_[i] <= ns_[i - 1], "ScalingCurve: grid must ascend");
+    for (double t : times_)
+        fatalIf(t <= 0, "ScalingCurve: times must be positive");
+
+    // Theorem 1 requires T positive and non-increasing; clamp any
+    // estimation wiggle (e.g. a kernel-regime penalty) downward.
+    for (std::size_t i = 1; i < times_.size(); ++i)
+        times_[i] = std::min(times_[i], times_[i - 1]);
+}
+
+bool
+ScalingCurve::isValid(std::uint32_t n) const
+{
+    return std::binary_search(ns_.begin(), ns_.end(), n);
+}
+
+double
+ScalingCurve::timeAt(std::uint32_t n) const
+{
+    auto it = std::lower_bound(ns_.begin(), ns_.end(), n);
+    fatalIf(it == ns_.end() || *it != n,
+            strCat("timeAt: n=", n, " is not a valid allocation"));
+    return times_[static_cast<std::size_t>(it - ns_.begin())];
+}
+
+double
+ScalingCurve::eval(double n) const
+{
+    panicIf(n <= 0, "eval: n must be positive");
+    const double n1 = static_cast<double>(ns_.front());
+    if (n <= n1)
+        return times_.front() * n1 / n; // hyperbolic extension
+    if (n >= static_cast<double>(ns_.back()))
+        return times_.back();
+
+    // Linear interpolation in n between bracketing grid points.
+    std::size_t hi = 1;
+    while (static_cast<double>(ns_[hi]) < n)
+        ++hi;
+    const double n_lo = ns_[hi - 1], n_hi = ns_[hi];
+    const double t_lo = times_[hi - 1], t_hi = times_[hi];
+    const double w = (n - n_lo) / (n_hi - n_lo);
+    return t_lo + w * (t_hi - t_lo);
+}
+
+double
+ScalingCurve::inverse(double t) const
+{
+    panicIf(t <= 0, "inverse: t must be positive");
+    if (t >= times_.front()) {
+        // Slower than the smallest valid allocation: hyperbolic
+        // region, n = n_1 * T(n_1) / t (possibly < 1).
+        return static_cast<double>(ns_.front()) * times_.front() / t;
+    }
+    if (t <= times_.back())
+        return static_cast<double>(ns_.back());
+
+    // Find the grid segment with T(n_lo) >= t >= T(n_hi) and apply
+    // the linear combination of Eq. (11).
+    for (std::size_t i = 1; i < ns_.size(); ++i) {
+        if (times_[i] <= t) {
+            const double n_lo = ns_[i - 1], n_hi = ns_[i];
+            const double t_lo = times_[i - 1], t_hi = times_[i];
+            if (t_lo == t_hi)
+                return n_lo;
+            return ((t_lo - t) * n_hi + (t - t_hi) * n_lo) /
+                   (t_lo - t_hi);
+        }
+    }
+    panic("inverse: unreachable");
+}
+
+double
+ScalingCurve::scalability(std::uint32_t n) const
+{
+    return times_.front() / timeAt(n);
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+ScalingCurve::bracketValid(double n_star) const
+{
+    panicIf(n_star <= 0, "bracketValid: n* must be positive");
+    if (n_star < static_cast<double>(ns_.front()))
+        return {0u, ns_.front()}; // dummy lower allocation (§3.3)
+    if (n_star >= static_cast<double>(ns_.back()))
+        return {ns_.back(), ns_.back()};
+    std::size_t hi = 1;
+    while (static_cast<double>(ns_[hi]) < n_star)
+        ++hi;
+    if (static_cast<double>(ns_[hi]) == n_star)
+        return {ns_[hi], ns_[hi]}; // exactly on the grid
+    return {ns_[hi - 1], ns_[hi]};
+}
+
+} // namespace spindle

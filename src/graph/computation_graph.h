@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The unified directed acyclic computation graph G = (V, E) of an MT
+ * MM training workload (paper §3, problem formulation).
+ *
+ * Nodes are operators; a directed edge <i, j> denotes the data flow
+ * from operator i to operator j. The graph is built incrementally
+ * (addOperator / addEdge) and then finalized, which validates
+ * acyclicity and computes a topological order.
+ */
+
+#ifndef SPINDLE_GRAPH_COMPUTATION_GRAPH_H
+#define SPINDLE_GRAPH_COMPUTATION_GRAPH_H
+
+#include <vector>
+
+#include "graph/operator.h"
+
+namespace spindle {
+
+/** Directed data-flow edge between two operators. */
+struct Edge
+{
+    OpId src = -1;
+    OpId dst = -1;
+
+    bool operator==(const Edge &other) const = default;
+};
+
+/**
+ * Mutable-then-frozen DAG of operators.
+ *
+ * After finalize() the structure is immutable and exposes adjacency
+ * and a topological order; all later pipeline stages (§3.1 onwards)
+ * consume the frozen form.
+ */
+class ComputationGraph
+{
+  public:
+    /**
+     * Add an operator; its id is assigned densely in insertion order.
+     *
+     * @param desc operator description (desc.id is overwritten)
+     * @return the assigned id
+     */
+    OpId addOperator(OperatorDesc desc);
+
+    /** Add a data-flow edge; both endpoints must already exist. */
+    void addEdge(OpId src, OpId dst);
+
+    /**
+     * Freeze the graph: validate acyclicity and precompute adjacency
+     * plus a topological order. fatal() on a cyclic graph.
+     */
+    void finalize();
+
+    bool finalized() const { return finalized_; }
+
+    std::size_t numOps() const { return ops_.size(); }
+    std::size_t numEdges() const { return edges_.size(); }
+
+    const OperatorDesc &op(OpId id) const;
+    const std::vector<OperatorDesc> &ops() const { return ops_; }
+    const std::vector<Edge> &edges() const { return edges_; }
+
+    /** Successor op ids of @p id (requires finalized()). */
+    const std::vector<OpId> &successors(OpId id) const;
+
+    /** Predecessor op ids of @p id (requires finalized()). */
+    const std::vector<OpId> &predecessors(OpId id) const;
+
+    /** Out-degree / in-degree (requires finalized()). */
+    std::size_t outDegree(OpId id) const { return successors(id).size(); }
+    std::size_t inDegree(OpId id) const { return predecessors(id).size(); }
+
+    /** Operator ids in a valid topological order (requires finalized()). */
+    const std::vector<OpId> &topoOrder() const;
+
+    /** Total forward FLOPs over all operators. */
+    double totalFlopsFwd() const;
+
+    /** Total parameter bytes, counting each shared ParamKey once. */
+    double totalUniqueParamBytes() const;
+
+  private:
+    void checkFinalized(bool expect) const;
+
+    std::vector<OperatorDesc> ops_;
+    std::vector<Edge> edges_;
+    std::vector<std::vector<OpId>> succ_;
+    std::vector<std::vector<OpId>> pred_;
+    std::vector<OpId> topo_;
+    bool finalized_ = false;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_GRAPH_COMPUTATION_GRAPH_H

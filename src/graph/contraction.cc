@@ -1,0 +1,91 @@
+#include "graph/contraction.h"
+
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace spindle {
+
+namespace {
+
+/** Contraction criterion for appending op j to the chain ending at i. */
+bool
+contractible(const ComputationGraph &g, OpId i, OpId j)
+{
+    if (g.outDegree(i) != 1 || g.inDegree(j) != 1)
+        return false;
+    const OperatorDesc &a = g.op(i);
+    const OperatorDesc &b = g.op(j);
+    return a.type == b.type && a.input == b.input &&
+           nearlyEqual(a.flopsFwd, b.flopsFwd) &&
+           nearlyEqual(a.activationBytes, b.activationBytes);
+}
+
+} // namespace
+
+MetaGraph
+contractGraph(const ComputationGraph &graph)
+{
+    fatalIf(!graph.finalized(), "contractGraph: graph must be finalized");
+
+    // chain_of[op] = id of the chain the operator belongs to.
+    std::vector<std::int32_t> chain_of(graph.numOps(), -1);
+    std::vector<std::vector<OpId>> chains;
+
+    for (OpId id : graph.topoOrder()) {
+        // Extend the predecessor's chain when the criterion holds;
+        // topological order guarantees the predecessor was visited.
+        bool extended = false;
+        if (graph.inDegree(id) == 1) {
+            OpId p = graph.predecessors(id)[0];
+            if (contractible(graph, p, id)) {
+                std::int32_t c = chain_of[p];
+                chains[c].push_back(id);
+                chain_of[id] = c;
+                extended = true;
+            }
+        }
+        if (!extended) {
+            chain_of[id] = static_cast<std::int32_t>(chains.size());
+            chains.push_back({id});
+        }
+    }
+
+    std::vector<MetaOp> nodes;
+    nodes.reserve(chains.size());
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+        const OperatorDesc &head = graph.op(chains[c][0]);
+        MetaOp m;
+        m.id = static_cast<MetaOpId>(c);
+        m.name = strCat(opTypeName(head.type), head.input.str(),
+                        "@task", head.taskId);
+        m.type = head.type;
+        m.input = head.input;
+        m.ops = chains[c];
+        m.taskId = head.taskId;
+        m.flopsFwdPerOp = head.flopsFwd;
+        m.paramBytesPerOp = head.paramBytes;
+        m.activationBytes = head.activationBytes;
+        nodes.push_back(std::move(m));
+    }
+
+    // Lift base edges to meta edges, accumulating parallel flows.
+    std::map<std::pair<MetaOpId, MetaOpId>, double> flow;
+    for (const Edge &e : graph.edges()) {
+        MetaOpId ms = chain_of[e.src];
+        MetaOpId md = chain_of[e.dst];
+        if (ms == md)
+            continue; // intra-MetaOp flow
+        flow[{ms, md}] += graph.op(e.src).activationBytes;
+    }
+    std::vector<MetaEdge> edges;
+    edges.reserve(flow.size());
+    for (const auto &[key, bytes] : flow)
+        edges.push_back({key.first, key.second, bytes});
+
+    return MetaGraph(&graph, std::move(nodes), std::move(edges));
+}
+
+} // namespace spindle

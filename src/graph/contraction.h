@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Graph contraction (paper §3.1): fuse runs of identical consecutive
+ * operators into MetaOps, producing the MetaGraph the planner
+ * optimizes over.
+ */
+
+#ifndef SPINDLE_GRAPH_CONTRACTION_H
+#define SPINDLE_GRAPH_CONTRACTION_H
+
+#include "graph/meta_graph.h"
+
+namespace spindle {
+
+/**
+ * Contract @p graph into a MetaGraph.
+ *
+ * Operators i and j merge into one MetaOp iff (paper §3.1):
+ *  1. <i, j> is an edge, out-degree(i) == 1 and in-degree(j) == 1,
+ *     so they are direct predecessor/successor of each other; and
+ *  2. they share the same operator type and input data size
+ *     (we additionally require equal FLOPs and activation bytes,
+ *     which "identical workload" implies).
+ *
+ * The traversal follows topological order and contracts until no
+ * further pair qualifies, yielding maximal chains. MetaLevels are
+ * assigned by dependency depth inside the MetaGraph constructor.
+ *
+ * @param graph finalized computation graph (must outlive the result)
+ * @return contracted MetaGraph with MetaLevels assigned
+ */
+MetaGraph contractGraph(const ComputationGraph &graph);
+
+} // namespace spindle
+
+#endif // SPINDLE_GRAPH_CONTRACTION_H

@@ -1,0 +1,32 @@
+#include "graph/operator.h"
+
+#include "common/logging.h"
+
+namespace spindle {
+
+const char *
+opTypeName(OpType type)
+{
+    switch (type) {
+      case OpType::Text: return "Text";
+      case OpType::Vision: return "Vision";
+      case OpType::Audio: return "Audio";
+      case OpType::Depth: return "Depth";
+      case OpType::Thermal: return "Thermal";
+      case OpType::Motion: return "Motion";
+      case OpType::Box: return "Box";
+      case OpType::LM: return "LM";
+      case OpType::Adaptor: return "Adaptor";
+      case OpType::Contrastive: return "Contrastive";
+      case OpType::Custom: return "Custom";
+    }
+    panic("opTypeName: unknown OpType");
+}
+
+std::string
+TensorShape::str() const
+{
+    return strCat("[", batch, ", ", seq, ", ", hidden, "]");
+}
+
+} // namespace spindle

@@ -1,0 +1,88 @@
+#include "hardware/collective.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spindle {
+
+CollectiveModel::CollectiveModel(const ClusterTopology &topo)
+    : topo_(topo)
+{
+}
+
+double
+CollectiveModel::ringAllReduce(double bytes, std::uint32_t group_size,
+                               const LinkParams &link)
+{
+    if (group_size <= 1 || bytes <= 0)
+        return 0.0;
+    const double g = static_cast<double>(group_size);
+    return 2.0 * (g - 1.0) / g * bytes / link.bandwidth +
+           2.0 * (g - 1.0) * link.latency;
+}
+
+double
+CollectiveModel::ringAllGather(double bytes, std::uint32_t group_size,
+                               const LinkParams &link)
+{
+    if (group_size <= 1 || bytes <= 0)
+        return 0.0;
+    const double g = static_cast<double>(group_size);
+    return (g - 1.0) / g * bytes / link.bandwidth +
+           (g - 1.0) * link.latency;
+}
+
+double
+CollectiveModel::allReduceTime(double bytes, const DeviceSet &group) const
+{
+    if (group.size() <= 1)
+        return 0.0;
+    return ringAllReduce(bytes, static_cast<std::uint32_t>(group.size()),
+                         topo_.groupLink(group));
+}
+
+double
+CollectiveModel::allGatherTime(double bytes, const DeviceSet &group) const
+{
+    if (group.size() <= 1)
+        return 0.0;
+    return ringAllGather(bytes, static_cast<std::uint32_t>(group.size()),
+                         topo_.groupLink(group));
+}
+
+double
+CollectiveModel::p2pTime(double bytes, DeviceId src, DeviceId dst) const
+{
+    if (bytes <= 0)
+        return 0.0;
+    LinkParams link = topo_.linkBetween(src, dst);
+    return bytes / link.bandwidth + link.latency;
+}
+
+double
+CollectiveModel::flowTime(double bytes, const DeviceSet &src,
+                          const DeviceSet &dst) const
+{
+    panicIf(src.empty() || dst.empty(), "flowTime: empty device set");
+    if (bytes <= 0)
+        return 0.0;
+    if (src == dst)
+        return 0.0; // data already resident where it is consumed
+
+    // Best pairwise link class available between the two sets.
+    LinkParams best{0.0, 0.0};
+    for (DeviceId s : src) {
+        for (DeviceId d : dst) {
+            LinkParams l = topo_.linkBetween(s, d);
+            if (l.bandwidth > best.bandwidth)
+                best = l;
+        }
+    }
+    // Sharded across parallel streams: each stream moves a slice.
+    const double streams =
+        static_cast<double>(std::min(src.size(), dst.size()));
+    return bytes / streams / best.bandwidth + best.latency;
+}
+
+} // namespace spindle

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Analytical cost model for the NCCL-style collectives Spindle's
+ * runtime relies on: ring all-reduce for parameter/gradient sync and
+ * TP activations, and batched point-to-point for inter-wave data
+ * flows (§3.6). The classic alpha-beta formulation [Hockney 94].
+ */
+
+#ifndef SPINDLE_HARDWARE_COLLECTIVE_H
+#define SPINDLE_HARDWARE_COLLECTIVE_H
+
+#include "hardware/topology.h"
+
+namespace spindle {
+
+/**
+ * Collective/communication cost oracle over a concrete topology.
+ * Group collectives are bottlenecked by the slowest link class the
+ * group spans (NVLink inside one island, InfiniBand across).
+ */
+class CollectiveModel
+{
+  public:
+    explicit CollectiveModel(const ClusterTopology &topo);
+
+    /**
+     * Ring all-reduce of @p bytes across @p group.
+     * t = 2 (g-1)/g * bytes / bw + 2 (g-1) * lat; 0 for g <= 1.
+     */
+    double allReduceTime(double bytes, const DeviceSet &group) const;
+
+    /** Ring all-gather: t = (g-1)/g * bytes / bw + (g-1) * lat. */
+    double allGatherTime(double bytes, const DeviceSet &group) const;
+
+    /** Point-to-point transfer of @p bytes from @p src to @p dst. */
+    double p2pTime(double bytes, DeviceId src, DeviceId dst) const;
+
+    /**
+     * Transfer @p bytes from source device set to destination set,
+     * as the runtime's batched P2P does at wave boundaries. Picks
+     * the cheapest pairing class available: free when the sets are
+     * identical singletons, on-device copy when any device overlaps,
+     * otherwise the best pairwise link. Data is assumed sharded
+     * across min(|src|,|dst|) parallel streams.
+     */
+    double flowTime(double bytes, const DeviceSet &src,
+                    const DeviceSet &dst) const;
+
+    /** Stateless ring all-reduce over an explicit link class. */
+    static double ringAllReduce(double bytes, std::uint32_t group_size,
+                                const LinkParams &link);
+
+    /** Stateless ring all-gather over an explicit link class. */
+    static double ringAllGather(double bytes, std::uint32_t group_size,
+                                const LinkParams &link);
+
+    const ClusterTopology &topology() const { return topo_; }
+
+  private:
+    const ClusterTopology &topo_;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_HARDWARE_COLLECTIVE_H

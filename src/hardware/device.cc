@@ -1,0 +1,64 @@
+#include "hardware/device.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spindle {
+
+std::string
+deviceSetStr(const DeviceSet &devices)
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        if (i)
+            out += ",";
+        out += std::to_string(devices[i]);
+    }
+    out += "}";
+    return out;
+}
+
+bool
+isCanonicalDeviceSet(const DeviceSet &devices)
+{
+    for (std::size_t i = 1; i < devices.size(); ++i)
+        if (devices[i - 1] >= devices[i])
+            return false;
+    return true;
+}
+
+void
+canonicalize(DeviceSet &devices)
+{
+    std::sort(devices.begin(), devices.end());
+    devices.erase(std::unique(devices.begin(), devices.end()),
+                  devices.end());
+}
+
+bool
+intersects(const DeviceSet &a, const DeviceSet &b)
+{
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j])
+            return true;
+        if (a[i] < b[j])
+            ++i;
+        else
+            ++j;
+    }
+    return false;
+}
+
+DeviceSet
+unionOf(const DeviceSet &a, const DeviceSet &b)
+{
+    DeviceSet out;
+    out.reserve(a.size() + b.size());
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(out));
+    return out;
+}
+
+} // namespace spindle

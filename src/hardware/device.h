@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Device identity and per-GPU capability description.
+ *
+ * This substrate stands in for the paper's physical testbed (8-GPU
+ * NVIDIA A800 nodes); the defaults follow that hardware.
+ */
+
+#ifndef SPINDLE_HARDWARE_DEVICE_H
+#define SPINDLE_HARDWARE_DEVICE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace spindle {
+
+/** Global, dense device (GPU) index within the cluster. */
+using DeviceId = std::uint32_t;
+
+/** A sorted set of device ids; the planner's unit of assignment. */
+using DeviceSet = std::vector<DeviceId>;
+
+/** Capability of one accelerator. */
+struct DeviceSpec
+{
+    /** Peak dense throughput in FLOPs/s (A800 fp16 tensor core). */
+    double peakFlops = 312 * kTera;
+
+    /** HBM capacity in bytes (A800 80 GB). */
+    double memoryBytes = 80 * GiB;
+
+    /** On-device memcpy bandwidth in bytes/s (HBM-to-HBM). */
+    double copyBandwidth = 1200 * kGiga;
+};
+
+/** Render a device set as "{0,1,2}" for logs and tests. */
+std::string deviceSetStr(const DeviceSet &devices);
+
+/** True iff @p devices is sorted ascending with no duplicates. */
+bool isCanonicalDeviceSet(const DeviceSet &devices);
+
+/** Sort and deduplicate @p devices in place. */
+void canonicalize(DeviceSet &devices);
+
+/** True iff the two sorted sets intersect. */
+bool intersects(const DeviceSet &a, const DeviceSet &b);
+
+/** Set union of two sorted device sets. */
+DeviceSet unionOf(const DeviceSet &a, const DeviceSet &b);
+
+} // namespace spindle
+
+#endif // SPINDLE_HARDWARE_DEVICE_H

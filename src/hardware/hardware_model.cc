@@ -1,0 +1,157 @@
+#include "hardware/hardware_model.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace spindle {
+
+HardwareModel::HardwareModel(const ClusterTopology &topo,
+                             HardwareParams params)
+    : topo_(topo), params_(params), coll_(topo)
+{
+    fatalIf(params_.halfEffFlops <= 0, "HardwareModel: bad halfEffFlops");
+    fatalIf(params_.maxTpDegree == 0 || !isPowerOfTwo(params_.maxTpDegree),
+            "HardwareModel: maxTpDegree must be a power of two");
+}
+
+double
+HardwareModel::efficiency(double per_device_flops) const
+{
+    if (per_device_flops <= 0)
+        return params_.minEfficiency;
+    double eff = per_device_flops / (per_device_flops + params_.halfEffFlops);
+    if (per_device_flops < params_.tinyKernelFlops)
+        eff *= params_.tinyKernelFactor;
+    else if (per_device_flops < params_.smallKernelFlops)
+        eff *= params_.smallKernelFactor;
+    return std::max(eff, params_.minEfficiency);
+}
+
+std::vector<ParallelConfig>
+HardwareModel::configsFor(const OperatorDesc &op, std::uint32_t n) const
+{
+    std::vector<ParallelConfig> out;
+    if (n == 0)
+        return out;
+    const auto batch = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(op.input.batch, 1));
+    const auto hidden = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(op.input.hidden, 1));
+    // TP shards attention heads / MLP columns; cap so each shard
+    // keeps a sane width, and keep the TP group inside one island.
+    std::uint32_t tp_cap = std::min(params_.maxTpDegree,
+                                    topo_.islandSize());
+    tp_cap = std::min(tp_cap, std::max(1u, hidden / 64));
+
+    for (std::uint32_t tp = 1; tp <= tp_cap && tp <= n; tp *= 2) {
+        if (n % tp != 0)
+            continue;
+        std::uint32_t dp = n / tp;
+        if (batch % dp != 0)
+            continue; // §3.3: DP degree must divide the global batch
+        out.push_back({dp, tp});
+    }
+    return out;
+}
+
+bool
+HardwareModel::isValidAllocation(const OperatorDesc &op,
+                                 std::uint32_t n) const
+{
+    return !configsFor(op, n).empty();
+}
+
+std::vector<std::uint32_t>
+HardwareModel::validAllocations(const OperatorDesc &op,
+                                std::uint32_t max_n) const
+{
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t n = 1; n <= max_n; ++n)
+        if (isValidAllocation(op, n))
+            out.push_back(n);
+    panicIf(out.empty(), "validAllocations: not even n=1 is valid");
+    return out;
+}
+
+ParallelConfig
+HardwareModel::bestConfig(const OperatorDesc &op, std::uint32_t n) const
+{
+    auto configs = configsFor(op, n);
+    fatalIf(configs.empty(),
+            strCat("bestConfig: no valid config for op '", op.name,
+                   "' with n=", n));
+    ParallelConfig best = configs.front();
+    double best_t = std::numeric_limits<double>::infinity();
+    for (const ParallelConfig &cfg : configs) {
+        double t = opTimeFwd(op, cfg);
+        if (t < best_t) {
+            best_t = t;
+            best = cfg;
+        }
+    }
+    return best;
+}
+
+double
+HardwareModel::passTime(double flops, double act_bytes,
+                        ParallelConfig cfg) const
+{
+    const double n = cfg.devices();
+    panicIf(n < 1, "passTime: empty config");
+    const double per_dev = flops / n;
+    const double compute =
+        per_dev / (topo_.device().peakFlops * efficiency(per_dev));
+
+    // Megatron-style TP: two all-reduces of the (per-replica share
+    // of the) activation per pass, within one island.
+    double comm = 0.0;
+    if (cfg.tp > 1) {
+        const double shard_bytes = act_bytes / cfg.dp;
+        comm = 2.0 * CollectiveModel::ringAllReduce(
+            shard_bytes, cfg.tp, topo_.config().intraIsland);
+    }
+    return params_.kernelLaunch + compute + comm;
+}
+
+double
+HardwareModel::opTimeFwd(const OperatorDesc &op, ParallelConfig cfg) const
+{
+    return passTime(op.flopsFwd, op.activationBytes, cfg);
+}
+
+double
+HardwareModel::opTimeFwd(const OperatorDesc &op, std::uint32_t n) const
+{
+    return opTimeFwd(op, bestConfig(op, n));
+}
+
+double
+HardwareModel::opTimeBwd(const OperatorDesc &op, ParallelConfig cfg) const
+{
+    return passTime(op.flopsFwd * params_.bwdFlopsFactor,
+                    op.activationBytes, cfg);
+}
+
+double
+HardwareModel::opTime(const OperatorDesc &op, std::uint32_t n) const
+{
+    ParallelConfig cfg = bestConfig(op, n);
+    return opTimeFwd(op, cfg) + opTimeBwd(op, cfg);
+}
+
+double
+HardwareModel::metaOpTime(const MetaOp &m, std::uint32_t n) const
+{
+    return opTime(memberDesc(m), n);
+}
+
+std::vector<std::uint32_t>
+HardwareModel::validAllocations(const MetaOp &m, std::uint32_t max_n) const
+{
+    return validAllocations(memberDesc(m), max_n);
+}
+
+} // namespace spindle

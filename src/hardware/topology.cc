@@ -1,0 +1,82 @@
+#include "hardware/topology.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace spindle {
+
+ClusterTopology::ClusterTopology(ClusterConfig config)
+    : config_(config),
+      num_devices_(config.numNodes * config.gpusPerNode)
+{
+    fatalIf(config_.numNodes == 0 || config_.gpusPerNode == 0,
+            "ClusterTopology: empty cluster");
+    fatalIf(config_.intraIsland.bandwidth <= 0 ||
+            config_.interIsland.bandwidth <= 0,
+            "ClusterTopology: bandwidths must be positive");
+}
+
+std::uint32_t
+ClusterTopology::islandOf(DeviceId dev) const
+{
+    panicIf(dev >= num_devices_, strCat("islandOf: bad device ", dev));
+    return dev / config_.gpusPerNode;
+}
+
+bool
+ClusterTopology::sameIsland(DeviceId a, DeviceId b) const
+{
+    return islandOf(a) == islandOf(b);
+}
+
+bool
+ClusterTopology::withinOneIsland(const DeviceSet &devices) const
+{
+    panicIf(devices.empty(), "withinOneIsland: empty set");
+    std::uint32_t island = islandOf(devices.front());
+    for (DeviceId d : devices)
+        if (islandOf(d) != island)
+            return false;
+    return true;
+}
+
+DeviceSet
+ClusterTopology::islandDevices(std::uint32_t island) const
+{
+    panicIf(island >= numIslands(), strCat("islandDevices: bad ", island));
+    DeviceSet out(config_.gpusPerNode);
+    std::iota(out.begin(), out.end(), island * config_.gpusPerNode);
+    return out;
+}
+
+DeviceSet
+ClusterTopology::allDevices() const
+{
+    DeviceSet out(num_devices_);
+    std::iota(out.begin(), out.end(), 0u);
+    return out;
+}
+
+LinkParams
+ClusterTopology::linkBetween(DeviceId a, DeviceId b) const
+{
+    if (a == b)
+        return {config_.device.copyBandwidth, 0.0};
+    if (sameIsland(a, b))
+        return config_.intraIsland;
+    return config_.interIsland;
+}
+
+LinkParams
+ClusterTopology::groupLink(const DeviceSet &devices) const
+{
+    panicIf(devices.empty(), "groupLink: empty group");
+    if (devices.size() == 1)
+        return {config_.device.copyBandwidth, 0.0};
+    if (withinOneIsland(devices))
+        return config_.intraIsland;
+    return config_.interIslandCollective;
+}
+
+} // namespace spindle

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Cluster topology with device islands (paper §3.5).
+ *
+ * A device island is a set of devices connected by high-bandwidth
+ * interconnects (NVLink within a node); islands talk over the slower
+ * inter-node fabric (InfiniBand). Spindle's device placement is built
+ * around this two-tier structure.
+ */
+
+#ifndef SPINDLE_HARDWARE_TOPOLOGY_H
+#define SPINDLE_HARDWARE_TOPOLOGY_H
+
+#include "hardware/device.h"
+
+namespace spindle {
+
+/** One point-to-point link class: bandwidth plus per-message latency. */
+struct LinkParams
+{
+    double bandwidth = 0; ///< bytes per second
+    double latency = 0;   ///< seconds per message
+};
+
+/** Static description of a homogeneous two-tier GPU cluster. */
+struct ClusterConfig
+{
+    std::uint32_t numNodes = 1;
+    std::uint32_t gpusPerNode = 8;
+    DeviceSpec device;
+
+    /** NVLink class (A800: ~200 GB/s effective per direction). */
+    LinkParams intraIsland{200 * kGiga, 3 * kMicro};
+
+    /**
+     * Inter-node point-to-point transfer: one 400 Gb/s InfiniBand
+     * rail ~= 50 GB/s.
+     */
+    LinkParams interIsland{50 * kGiga, 10 * kMicro};
+
+    /**
+     * Inter-node *collectives*: rail-optimized rings use one HCA per
+     * GPU, aggregating to ~400 GB/s per node pair.
+     */
+    LinkParams interIslandCollective{400 * kGiga, 10 * kMicro};
+};
+
+/**
+ * Frozen cluster topology. One island per node; devices are numbered
+ * densely, island k owning ids [k*gpusPerNode, (k+1)*gpusPerNode).
+ */
+class ClusterTopology
+{
+  public:
+    explicit ClusterTopology(ClusterConfig config);
+
+    std::uint32_t numDevices() const { return num_devices_; }
+    std::uint32_t numIslands() const { return config_.numNodes; }
+    std::uint32_t islandSize() const { return config_.gpusPerNode; }
+    const DeviceSpec &device() const { return config_.device; }
+    const ClusterConfig &config() const { return config_; }
+
+    /** Island (node) index owning device @p dev. */
+    std::uint32_t islandOf(DeviceId dev) const;
+
+    /** True iff both devices sit in the same island. */
+    bool sameIsland(DeviceId a, DeviceId b) const;
+
+    /** True iff all devices of the (non-empty) set share one island. */
+    bool withinOneIsland(const DeviceSet &devices) const;
+
+    /** All device ids of island @p island, ascending. */
+    DeviceSet islandDevices(std::uint32_t island) const;
+
+    /** All device ids of the cluster, ascending. */
+    DeviceSet allDevices() const;
+
+    /**
+     * Link class between two devices: same device -> on-device copy,
+     * same island -> NVLink, otherwise inter-island fabric.
+     */
+    LinkParams linkBetween(DeviceId a, DeviceId b) const;
+
+    /**
+     * The slowest link class spanned by a device group: the
+     * bottleneck of a ring collective over the group. Groups
+     * spanning islands use the rail-aggregated collective class.
+     */
+    LinkParams groupLink(const DeviceSet &devices) const;
+
+  private:
+    ClusterConfig config_;
+    std::uint32_t num_devices_;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_HARDWARE_TOPOLOGY_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Multitask-CLIP workload (paper §5.1 (1), Appendix C): a multi-task
+ * generalization of CLIP with the model structure and configuration
+ * of ImageBind — six modality encoders (text, vision, audio, depth,
+ * thermal, motion) and contrastive-loss cross-modal modules. Each
+ * task pairs two modalities; the paired encoders are activated
+ * simultaneously (no data-flow dependency between them) and feed a
+ * shared contrastive head. Encoders are parameter-shared across all
+ * tasks that activate them. Total ~1.2 B parameters at 10 tasks.
+ */
+
+#ifndef SPINDLE_MODELS_MULTITASK_CLIP_H
+#define SPINDLE_MODELS_MULTITASK_CLIP_H
+
+#include "models/task.h"
+
+namespace spindle {
+
+/** Configuration of the Multitask-CLIP workload. */
+struct MultitaskClipConfig
+{
+    /** Number of contrastive modality-pair tasks (1..10). */
+    std::uint32_t numTasks = 4;
+
+    /** Global batch of tasks pairing only lightweight modalities. */
+    std::int64_t batchLight = 64;
+
+    /** Global batch of tasks involving the heavy vision encoder. */
+    std::int64_t batchHeavy = 48;
+};
+
+/**
+ * Build the Multitask-CLIP computation graph. The first four tasks
+ * match the Fig. 4 legend: (text,audio), (vision,depth),
+ * (audio,thermal), (motion,thermal).
+ */
+ComputationGraph buildMultitaskClip(const MultitaskClipConfig &config = {});
+
+} // namespace spindle
+
+#endif // SPINDLE_MODELS_MULTITASK_CLIP_H

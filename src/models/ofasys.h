@@ -1,0 +1,37 @@
+/**
+ * @file
+ * OFASys workload (paper §5.1 (2), Appendix C): a generalist MT MM
+ * paradigm where lightweight modality adaptors feed a *unified
+ * encoder-decoder language model* shared by every task, trained with
+ * a generative loss. The cross-modal module's workload is comparable
+ * to the modality encoders'. ~0.66 B parameters.
+ *
+ * Seven tasks are modeled (text summarization, image captioning,
+ * visual grounding, speech recognition, text-to-SQL, image
+ * infilling, motion captioning), each activating its modality
+ * encoder(s)/adaptors plus the shared LM.
+ */
+
+#ifndef SPINDLE_MODELS_OFASYS_H
+#define SPINDLE_MODELS_OFASYS_H
+
+#include "models/task.h"
+
+namespace spindle {
+
+/** Configuration of the OFASys workload. */
+struct OfasysConfig
+{
+    /** Number of tasks (1..7). */
+    std::uint32_t numTasks = 7;
+
+    /** Global batch per task. */
+    std::int64_t batch = 64;
+};
+
+/** Build the OFASys computation graph. */
+ComputationGraph buildOfasys(const OfasysConfig &config = {});
+
+} // namespace spindle
+
+#endif // SPINDLE_MODELS_OFASYS_H

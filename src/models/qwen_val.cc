@@ -1,0 +1,96 @@
+#include "models/qwen_val.h"
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace spindle {
+
+ComputationGraph
+buildQwenVal(const QwenValConfig &config)
+{
+    fatalIf(config.numTasks < 1 || config.numTasks > 3,
+            "buildQwenVal: numTasks must be 1..3");
+
+    // LLM dimensions per scale: ~6.4B / ~29.6B / ~64B of transformer
+    // parameters (embeddings make up the rest of the nominal size).
+    std::int64_t llm_hidden = 4096;
+    std::uint32_t llm_layers = 32;
+    switch (config.size) {
+      case QwenValConfig::Size::B9:
+        break;
+      case QwenValConfig::Size::B30:
+        llm_hidden = 7168;
+        llm_layers = 48;
+        break;
+      case QwenValConfig::Size::B70:
+        llm_hidden = 8192;
+        llm_layers = 80;
+        break;
+    }
+
+    WorkloadBuilder builder;
+
+    // ViT-bigG vision encoder (~1.9B) and Whisper-large audio
+    // encoder (~0.6B), both shared across the tasks that use them;
+    // the LLM is shared by every task.
+    SharedModule vision = builder.declareShared(transformerStack(
+        "vit-bigg", OpType::Vision, config.batch, 256, 1664, 48));
+    SharedModule audio = builder.declareShared(transformerStack(
+        "whisper-large", OpType::Audio, config.batch, 512, 1280, 32));
+    SharedModule llm = builder.declareShared(transformerStack(
+        "qwen-llm", OpType::LM, config.batch, 512, llm_hidden,
+        llm_layers));
+    SharedModule lm_head = builder.declareShared(transformerStack(
+        "qwen-lm-head", OpType::Adaptor, config.batch, 512, llm_hidden,
+        1));
+
+    struct TaskCfg
+    {
+        const char *name;
+        bool vision;
+        bool audio;
+    };
+    const TaskCfg tasks[3] = {
+        {"qwen-vl", true, false},
+        {"qwen-al", false, true},
+        {"qwen-val", true, true},
+    };
+
+    for (std::uint32_t t = 0; t < config.numTasks; ++t) {
+        const TaskCfg &cfg = tasks[t];
+        const std::int32_t task = builder.addTask(cfg.name);
+
+        ModuleSpec llm_spec = transformerStack(
+            strCat("t", t, ".llm"), OpType::LM, config.batch, 512,
+            llm_hidden, llm_layers);
+        NodeRange llm_range = builder.addModule(task, llm_spec, &llm);
+
+        // Embedding + LM head: ~vocab x hidden parameters, shared
+        // across tasks, with roughly one layer's worth of compute.
+        ModuleSpec head_spec = transformerStack(
+            strCat("t", t, ".lm-head"), OpType::Adaptor, config.batch,
+            512, llm_hidden, 1);
+        head_spec.paramBytesPerLayer =
+            152064.0 * static_cast<double>(llm_hidden) * kBytesFp16;
+        NodeRange head = builder.addModule(task, head_spec, &lm_head);
+        builder.addFlow(llm_range, head);
+
+        if (cfg.vision) {
+            ModuleSpec enc = transformerStack(
+                strCat("t", t, ".vision"), OpType::Vision, config.batch,
+                256, 1664, 48);
+            NodeRange v = builder.addModule(task, enc, &vision);
+            builder.addFlow(v, llm_range);
+        }
+        if (cfg.audio) {
+            ModuleSpec enc = transformerStack(
+                strCat("t", t, ".audio"), OpType::Audio, config.batch,
+                512, 1280, 32);
+            NodeRange a = builder.addModule(task, enc, &audio);
+            builder.addFlow(a, llm_range);
+        }
+    }
+    return builder.build();
+}
+
+} // namespace spindle

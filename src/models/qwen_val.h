@@ -1,0 +1,40 @@
+/**
+ * @file
+ * QWen-VAL workload (paper §5.1 (3), Appendix C): a larger-scale MT
+ * MM model following QWen-VL / QWen-Audio — a ViT-bigG vision
+ * encoder (~1.9 B), a Whisper-large audio encoder (~0.6 B), and a
+ * compute-intensive decoder-only LLM (~7 B) fed by the extracted
+ * modality features together with text tokens. Three tasks:
+ * vision-language (VL), audio-language (AL) and vision-audio-
+ * language (VAL). ~9.25 B parameters; Appendix E scales the LLM to
+ * 30 B / 70 B.
+ */
+
+#ifndef SPINDLE_MODELS_QWEN_VAL_H
+#define SPINDLE_MODELS_QWEN_VAL_H
+
+#include "models/task.h"
+
+namespace spindle {
+
+/** Configuration of the QWen-VAL workload. */
+struct QwenValConfig
+{
+    /** LLM scale (Appendix E uses 30B and 70B variants). */
+    enum class Size : std::uint8_t { B9, B30, B70 };
+
+    Size size = Size::B9;
+
+    /** Number of tasks (1..3: VL, AL, VAL). */
+    std::uint32_t numTasks = 3;
+
+    /** Global batch per task. */
+    std::int64_t batch = 64;
+};
+
+/** Build the QWen-VAL computation graph. */
+ComputationGraph buildQwenVal(const QwenValConfig &config = {});
+
+} // namespace spindle
+
+#endif // SPINDLE_MODELS_QWEN_VAL_H

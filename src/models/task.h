@@ -1,0 +1,124 @@
+/**
+ * @file
+ * User-facing workload definition API (paper §4).
+ *
+ * Training tasks are defined as SpindleTasks: the user instantiates
+ * modules (stacks of identical operators) inside tasks and connects
+ * them with addFlow(), mirroring the paper's add_flow API. Modules
+ * may be declared *shared* so that several tasks reference the same
+ * parameter sets (the sub-model sharing of MT MM models); Spindle's
+ * runtime then synchronizes their gradients through the parameter
+ * device-group pool.
+ */
+
+#ifndef SPINDLE_MODELS_TASK_H
+#define SPINDLE_MODELS_TASK_H
+
+#include <string>
+#include <vector>
+
+#include "graph/computation_graph.h"
+
+namespace spindle {
+
+/**
+ * Specification of a module: @p layers stacked identical operators.
+ * Workload quantities left at 0 are derived from the input shape by
+ * the standard Transformer accounting (see transformerStack()).
+ */
+struct ModuleSpec
+{
+    std::string name;
+    OpType type = OpType::Custom;
+    TensorShape input;
+    std::uint32_t layers = 1;
+
+    double flopsPerLayer = 0;
+    double paramBytesPerLayer = 0;
+    double activationBytes = 0;
+};
+
+/** Forward FLOPs of one Transformer layer on [B, S, H] input. */
+double transformerFwdFlops(std::int64_t batch, std::int64_t seq,
+                           std::int64_t hidden);
+
+/** Parameter bytes of one Transformer layer of width H (fp16). */
+double transformerParamBytes(std::int64_t hidden);
+
+/** Activation bytes of a [B, S, H] tensor (fp16). */
+double activationBytesOf(const TensorShape &shape);
+
+/**
+ * Convenience ModuleSpec for a Transformer stack with derived
+ * workload quantities.
+ */
+ModuleSpec transformerStack(std::string name, OpType type,
+                            std::int64_t batch, std::int64_t seq,
+                            std::int64_t hidden, std::uint32_t layers);
+
+/**
+ * Convenience ModuleSpec for a lightweight loss / fusion module
+ * (e.g. a contrastive head): a single nearly parameter-free op.
+ */
+ModuleSpec lossModule(std::string name, std::int64_t batch,
+                      std::int64_t hidden);
+
+/** A contiguous range of operators added by one addModule() call. */
+struct NodeRange
+{
+    OpId first = -1;
+    OpId last = -1;
+};
+
+/** Handle to a shared parameter stack (one key per layer). */
+class SharedModule
+{
+  public:
+    const std::vector<ParamKey> &keys() const { return keys_; }
+
+  private:
+    friend class WorkloadBuilder;
+    std::vector<ParamKey> keys_;
+};
+
+/**
+ * Incremental builder of an MT MM workload graph.
+ */
+class WorkloadBuilder
+{
+  public:
+    /** Register a parameter stack shareable across tasks. */
+    SharedModule declareShared(const ModuleSpec &spec);
+
+    /** Begin a new task (SpindleTask); returns its id. */
+    std::int32_t addTask(const std::string &name);
+
+    /**
+     * Instantiate @p spec inside @p task. With @p shared, the ops
+     * reference the shared parameter keys (layer counts must match);
+     * otherwise each op owns private parameters.
+     */
+    NodeRange addModule(std::int32_t task, const ModuleSpec &spec,
+                        const SharedModule *shared = nullptr);
+
+    /** Connect the output of @p from to the input of @p to. */
+    void addFlow(NodeRange from, NodeRange to);
+
+    /** Finalize and return the computation graph. */
+    ComputationGraph build();
+
+    std::int32_t numTasks() const
+    {
+        return static_cast<std::int32_t>(task_names_.size());
+    }
+
+  private:
+    ComputationGraph graph_;
+    std::vector<std::string> task_names_;
+    ParamKey next_key_ = 0;
+    bool built_ = false;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_MODELS_TASK_H

@@ -1,0 +1,14 @@
+#include "planner/allocation.h"
+
+namespace spindle {
+
+std::int64_t
+MetaOpAllocation::totalOps() const
+{
+    std::int64_t total = 0;
+    for (const AslTuple &t : tuples)
+        total += t.l;
+    return total;
+}
+
+} // namespace spindle

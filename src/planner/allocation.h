@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Allocation-plan types shared by the resource allocator (§3.3) and
+ * the wavefront scheduler (§3.4).
+ *
+ * An ASL-tuple <n, s, l> schedules l consecutive operators of a
+ * MetaOp from time s on n devices. The allocator produces tuples
+ * with undetermined start times (the paper writes <n, ., l>); the
+ * scheduler fills the starts when it crafts waves.
+ */
+
+#ifndef SPINDLE_PLANNER_ALLOCATION_H
+#define SPINDLE_PLANNER_ALLOCATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/meta_graph.h"
+
+namespace spindle {
+
+/** An <n, s, l> tuple; start < 0 encodes "not yet scheduled". */
+struct AslTuple
+{
+    std::uint32_t n = 0;  ///< allocated devices (0 = dummy, ignored)
+    double start = -1;    ///< scheduled start time, seconds
+    std::int64_t l = 0;   ///< consecutive operators covered
+};
+
+/** Discretized allocation of one MetaOp: its ASL-tuples. */
+struct MetaOpAllocation
+{
+    MetaOpId metaOp = -1;
+
+    /** Non-dummy tuples, largest n first (scheduling order). */
+    std::vector<AslTuple> tuples;
+
+    /** Sum of operator counts across tuples. */
+    std::int64_t totalOps() const;
+};
+
+/** Continuous MPSP optimum for one MetaLevel (Theorem 1). */
+struct MpspSolution
+{
+    /** Minimized operator completion time C~* of the level. */
+    double cStar = 0;
+
+    /** Fractional optimal allocation n*_m per MetaOp, aligned with
+     *  the level's MetaOp list. */
+    std::vector<double> nStar;
+};
+
+/** Full allocator output for one MetaLevel. */
+struct LevelAllocation
+{
+    /** MetaOps of the level, defining the index space below. */
+    std::vector<MetaOpId> metaOps;
+
+    /** Continuous relaxation optimum (kept for Fig. 11 analysis). */
+    MpspSolution continuous;
+
+    /** Discretized per-MetaOp plans, aligned with metaOps. */
+    std::vector<MetaOpAllocation> plans;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_PLANNER_ALLOCATION_H

@@ -1,0 +1,108 @@
+#include "planner/execution_plan.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace spindle {
+
+std::uint32_t
+Wave::devicesAllocated() const
+{
+    std::uint32_t total = 0;
+    for (const WaveEntry &e : entries)
+        total += e.n;
+    return total;
+}
+
+void
+ExecutionPlan::validate(const MetaGraph &graph) const
+{
+    std::map<MetaOpId, std::int64_t> ops_done;
+
+    for (const Wave &wave : waves) {
+        panicIf(wave.entries.empty(), "validate: empty wave");
+        panicIf(wave.devicesAllocated() > numDevices,
+                strCat("validate: wave ", wave.index, " allocates ",
+                       wave.devicesAllocated(), " > N=", numDevices));
+
+        std::vector<MetaOpId> seen;
+        DeviceSet used;
+        std::map<MetaOpId, std::int64_t> wave_ops;
+        for (const WaveEntry &e : wave.entries) {
+            panicIf(e.numOps <= 0, "validate: empty wave entry");
+            panicIf(e.n == 0, "validate: zero-device entry");
+            panicIf(std::count(seen.begin(), seen.end(), e.metaOp) > 0,
+                    strCat("validate: MetaOp ", e.metaOp,
+                           " appears twice in wave ", wave.index));
+            seen.push_back(e.metaOp);
+
+            const MetaOp &m = graph.metaOp(e.metaOp);
+            if (e.opBegin == 0) {
+                // Eq. 3: every predecessor finished in a strictly
+                // earlier wave (ops_done holds the pre-wave state)
+                // before the first slice of this MetaOp runs.
+                for (MetaOpId p : graph.predecessors(e.metaOp)) {
+                    panicIf(ops_done[p] != graph.metaOp(p).numOps(),
+                            strCat("validate: MetaOp ", e.metaOp,
+                                   " starts before predecessor ", p,
+                                   " finished"));
+                }
+            }
+            panicIf(e.opBegin != ops_done[e.metaOp],
+                    strCat("validate: MetaOp ", e.metaOp,
+                           " slices are not contiguous"));
+            wave_ops[e.metaOp] = e.numOps;
+            panicIf(e.opBegin + e.numOps > m.numOps(),
+                    strCat("validate: MetaOp ", e.metaOp,
+                           " over-executes"));
+
+            if (!e.devices.empty()) {
+                panicIf(e.devices.size() != e.n,
+                        strCat("validate: entry device set size ",
+                               e.devices.size(), " != n=", e.n));
+                panicIf(!isCanonicalDeviceSet(e.devices),
+                        "validate: device set not canonical");
+                panicIf(intersects(used, e.devices),
+                        strCat("validate: overlapping device sets in "
+                               "wave ", wave.index));
+                used = unionOf(used, e.devices);
+            }
+        }
+        for (const auto &[m, ops] : wave_ops)
+            ops_done[m] += ops;
+    }
+
+    for (const MetaOp &m : graph.metaOps()) {
+        panicIf(ops_done[m.id] != m.numOps(),
+                strCat("validate: MetaOp ", m.id, " executed ",
+                       ops_done[m.id], " of ", m.numOps(), " ops"));
+    }
+}
+
+std::string
+ExecutionPlan::str(const MetaGraph &graph) const
+{
+    std::ostringstream os;
+    os << "ExecutionPlan: " << waves.size() << " waves on "
+       << numDevices << " devices, estimated span "
+       << toMs(estimatedSpan) << " ms\n";
+    for (const Wave &w : waves) {
+        os << "  wave " << w.index << " (level " << w.level << ", "
+           << toMs(w.duration) << " ms):\n";
+        for (const WaveEntry &e : w.entries) {
+            os << "    " << graph.metaOp(e.metaOp).name << " ops ["
+               << e.opBegin << ", " << e.opBegin + e.numOps << ") on "
+               << e.n << " devices";
+            if (!e.devices.empty())
+                os << " " << deviceSetStr(e.devices);
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace spindle

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The Spindle execution plan: a sequence of waves (paper §3.4,
+ * Fig. 5b). A wave is the smallest scheduling unit — one concurrent
+ * execution of sliced MetaOps on disjoint, fixed device groups.
+ * Data flows are transmitted only between waves.
+ */
+
+#ifndef SPINDLE_PLANNER_EXECUTION_PLAN_H
+#define SPINDLE_PLANNER_EXECUTION_PLAN_H
+
+#include <string>
+#include <vector>
+
+#include "hardware/device.h"
+#include "planner/allocation.h"
+
+namespace spindle {
+
+/** One sliced MetaOp execution inside a wave. */
+struct WaveEntry
+{
+    MetaOpId metaOp = -1;
+
+    /** Devices allocated (n of the ASL-tuple slice). */
+    std::uint32_t n = 0;
+
+    /** Index of the first member operator executed in this wave. */
+    std::int64_t opBegin = 0;
+
+    /** Number of consecutive member operators executed. */
+    std::int64_t numOps = 0;
+
+    /** Estimated execution time of the slice (curve-based). */
+    double duration = 0;
+
+    /** Concrete devices; filled in by device placement (§3.5). */
+    DeviceSet devices;
+};
+
+/** One wave: concurrent entries on disjoint device groups. */
+struct Wave
+{
+    std::int32_t index = -1;
+
+    /** MetaLevel this wave belongs to. */
+    std::int32_t level = -1;
+
+    /**
+     * Execution stream. Waves of one stream execute strictly in
+     * order; waves of different streams are independent (used by the
+     * task-parallel Spindle-Optimus baseline; Spindle itself emits a
+     * single stream because waves are global barriers).
+     */
+    std::int32_t stream = 0;
+
+    /** Estimated start time within the plan (compute span only). */
+    double start = 0;
+
+    /** Estimated duration = max over entries. */
+    double duration = 0;
+
+    std::vector<WaveEntry> entries;
+
+    /** Total devices allocated across entries. */
+    std::uint32_t devicesAllocated() const;
+};
+
+/**
+ * Full execution plan for one training iteration.
+ */
+struct ExecutionPlan
+{
+    std::vector<Wave> waves;
+    std::uint32_t numDevices = 0;
+
+    /** Estimated compute span (sum of wave durations). */
+    double estimatedSpan = 0;
+
+    /** Sum of per-level continuous optima C~* (Fig. 11 bound). */
+    double theoreticalOptimum = 0;
+
+    /** Per-level allocator output (kept for analysis/tests). */
+    std::vector<LevelAllocation> allocations;
+
+    /**
+     * Check the structural invariants the paper's formulation
+     * demands; panic()s with a description on violation:
+     *  - every wave's entries allocate <= numDevices in total;
+     *  - a MetaOp appears at most once per wave (Eq. 6: intervals
+     *    of the same MetaOp are disjoint);
+     *  - each MetaOp executes exactly L_m operators overall, in
+     *    contiguous slices (Eq. 7);
+     *  - a MetaOp's first slice starts only after every predecessor
+     *    MetaOp has fully executed in earlier waves (Eq. 3);
+     *  - placed entries within a wave occupy disjoint device sets
+     *    of the declared size.
+     */
+    void validate(const MetaGraph &graph) const;
+
+    /** Human-readable wave-by-wave rendering (examples, debugging). */
+    std::string str(const MetaGraph &graph) const;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_PLANNER_EXECUTION_PLAN_H

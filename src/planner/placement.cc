@@ -1,0 +1,318 @@
+#include "planner/placement.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace spindle {
+
+namespace {
+
+/** Dedup key for parameter storage: shared keys map to themselves,
+ *  unshared operators get a unique negative key. */
+std::int64_t
+paramDedupKey(const OperatorDesc &op)
+{
+    if (op.paramKey != kNoParam)
+        return op.paramKey;
+    return -(static_cast<std::int64_t>(op.id) + 2);
+}
+
+} // namespace
+
+/** Mutable state of one placement attempt. */
+struct DevicePlacement::Attempt
+{
+    /** Per-device stored parameter state, deduplicated by key. */
+    std::vector<std::unordered_map<std::int64_t, double>> params;
+
+    /** Per-device accumulated activation bytes. */
+    std::vector<double> activations;
+
+    /** Most recent device set of each MetaOp (last placed slice). */
+    std::map<MetaOpId, DeviceSet> lastSlice;
+
+    double
+    deviceTotal(DeviceId d) const
+    {
+        double total = activations[d];
+        for (const auto &[key, bytes] : params[d])
+            total += bytes;
+        return total;
+    }
+};
+
+DevicePlacement::DevicePlacement(const ClusterTopology &topo,
+                                 const HardwareModel &hw,
+                                 const MemoryModel &mem,
+                                 PlacementOptions options)
+    : topo_(topo), hw_(hw), mem_(mem), options_(options)
+{
+}
+
+PlacementResult
+DevicePlacement::place(const MetaGraph &graph, ExecutionPlan &plan) const
+{
+    PlacementResult result;
+    if (tryPlace(graph, plan, /*memory_first=*/false, result))
+        return result;
+    // Backtracking collapsed into a restart: redo everything with
+    // memory balance as the primary objective (§3.5 "alternative
+    // placements with sub-optimal communication costs").
+    result = {};
+    result.usedMemoryFallback = true;
+    fatalIf(!tryPlace(graph, plan, /*memory_first=*/true, result),
+            "DevicePlacement: workload does not fit device memory even "
+            "with memory-first placement");
+    return result;
+}
+
+bool
+DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
+                          bool memory_first,
+                          PlacementResult &result) const
+{
+    const std::uint32_t num_devices = plan.numDevices;
+    const double capacity =
+        topo_.device().memoryBytes * options_.memorySlack;
+    const CollectiveModel &coll = hw_.collectives();
+
+    Attempt state;
+    state.params.assign(num_devices, {});
+    state.activations.assign(num_devices, 0.0);
+
+    // Per-op parameter share charged to each device of a slice.
+    auto param_share = [&](const OperatorDesc &op, ParallelConfig cfg) {
+        const double shard =
+            op.paramBytes / cfg.tp /
+            (mem_.params().zeroShardParams ? cfg.dp : 1.0);
+        const double opt =
+            op.paramBytes / cfg.tp * mem_.params().optimizerFactor /
+            (mem_.params().zeroShardOptimizer ? cfg.dp : 1.0);
+        return shard + opt;
+    };
+
+    std::uint32_t seq_cursor = 0; // Sequential strategy cursor
+
+    for (Wave &wave : plan.waves) {
+        DeviceSet free = topo_.allDevices();
+        free.resize(std::min<std::size_t>(free.size(), num_devices));
+
+        // Entry placement order: highest communication volume first
+        // (or largest memory first in the fallback pass).
+        std::vector<std::size_t> order(wave.entries.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        auto entry_volume = [&](const WaveEntry &e) {
+            const MetaOp &m = graph.metaOp(e.metaOp);
+            double vol = m.activationBytes; // outflow / chain flow
+            if (e.opBegin == 0) {
+                for (const MetaEdge &edge : graph.edges())
+                    if (edge.dst == e.metaOp)
+                        vol += edge.flowBytes;
+            }
+            return vol;
+        };
+        auto entry_memory = [&](const WaveEntry &e) {
+            const MetaOp &m = graph.metaOp(e.metaOp);
+            ParallelConfig cfg = hw_.bestConfig(memberDesc(m), e.n);
+            return mem_.sliceBytesPerDevice(m, e.numOps, cfg);
+        };
+        if (options_.strategy == PlacementStrategy::Spindle) {
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          double va, vb;
+                          if (memory_first) {
+                              va = entry_memory(wave.entries[a]);
+                              vb = entry_memory(wave.entries[b]);
+                          } else {
+                              va = entry_volume(wave.entries[a]);
+                              vb = entry_volume(wave.entries[b]);
+                          }
+                          if (va != vb)
+                              return va > vb;
+                          return a < b;
+                      });
+        }
+
+        for (std::size_t idx : order) {
+            WaveEntry &e = wave.entries[idx];
+            const MetaOp &m = graph.metaOp(e.metaOp);
+            const ParallelConfig cfg = hw_.bestConfig(memberDesc(m), e.n);
+            const double act_share =
+                mem_.activationBytesPerDevice(m, e.numOps, cfg);
+
+            // Candidate windows: contiguous runs of the free list.
+            panicIf(free.size() < e.n,
+                    "tryPlace: scheduler exceeded wave capacity");
+            std::vector<DeviceSet> windows;
+            if (options_.strategy == PlacementStrategy::Sequential) {
+                // Next consecutive devices, wrapping; no awareness.
+                DeviceSet win;
+                for (std::uint32_t k = 0; k < e.n; ++k)
+                    win.push_back((seq_cursor + k) % num_devices);
+                canonicalize(win);
+                // Wrapping can collapse duplicates only if n >
+                // num_devices, which validate() forbids.
+                seq_cursor = (seq_cursor + e.n) % num_devices;
+                windows.push_back(std::move(win));
+            } else {
+                for (std::size_t s = 0; s + e.n <= free.size(); ++s)
+                    windows.emplace_back(free.begin() + s,
+                                         free.begin() + s + e.n);
+            }
+
+            // Score each window: {primary, secondary} lexicographic.
+            double best_primary = std::numeric_limits<double>::infinity();
+            double best_secondary = best_primary;
+            std::size_t best_w = windows.size();
+            double best_comm = 0;
+            for (std::size_t w = 0; w < windows.size(); ++w) {
+                const DeviceSet &win = windows[w];
+
+                // Memory feasibility and resulting peak fraction.
+                bool feasible = true;
+                double peak_frac = 0;
+                for (DeviceId d : win) {
+                    double add = act_share;
+                    for (std::int64_t i = 0; i < e.numOps; ++i) {
+                        const OperatorDesc &op =
+                            graph.base().op(m.ops[e.opBegin + i]);
+                        const std::int64_t key = paramDedupKey(op);
+                        const double share = param_share(op, cfg);
+                        auto it = state.params[d].find(key);
+                        if (it == state.params[d].end())
+                            add += share;
+                        else if (share > it->second)
+                            add += share - it->second;
+                    }
+                    const double total = state.deviceTotal(d) + add;
+                    if (options_.strategy == PlacementStrategy::Spindle &&
+                        total > capacity) {
+                        feasible = false;
+                        break;
+                    }
+                    peak_frac = std::max(
+                        peak_frac, total / topo_.device().memoryBytes);
+                }
+                if (!feasible)
+                    continue;
+
+                // Inter-wave communication: first slices pull from
+                // predecessor MetaOps, later slices from the own
+                // MetaOp's previous slice.
+                double comm = 0;
+                if (e.opBegin == 0) {
+                    for (const MetaEdge &edge : graph.edges()) {
+                        if (edge.dst != e.metaOp)
+                            continue;
+                        auto it = state.lastSlice.find(edge.src);
+                        if (it != state.lastSlice.end())
+                            comm += coll.flowTime(edge.flowBytes,
+                                                  it->second, win);
+                    }
+                } else {
+                    auto it = state.lastSlice.find(e.metaOp);
+                    if (it != state.lastSlice.end())
+                        comm += coll.flowTime(m.activationBytes,
+                                              it->second, win);
+                }
+
+                // Parameter affinity (§3.5): reward windows whose
+                // devices already store this slice's parameter sets;
+                // placing elsewhere would grow the corresponding
+                // gradient-sync groups by roughly one ring pass of
+                // the non-resident bytes.
+                double non_resident_bytes = 0;
+                for (std::int64_t i = 0; i < e.numOps; ++i) {
+                    const OperatorDesc &op =
+                        graph.base().op(m.ops[e.opBegin + i]);
+                    if (op.paramBytes <= 0)
+                        continue;
+                    const std::int64_t key = paramDedupKey(op);
+                    bool resident = false;
+                    for (DeviceId d : win) {
+                        if (state.params[d].count(key)) {
+                            resident = true;
+                            break;
+                        }
+                    }
+                    if (!resident)
+                        non_resident_bytes += op.paramBytes;
+                }
+                comm += options_.paramAffinityWeight * 2.0 *
+                        non_resident_bytes /
+                        topo_.config().interIslandCollective.bandwidth;
+
+                // Intra-island preference: a TP group spanning
+                // islands pays the real collective slowdown.
+                if (cfg.tp > 1 && !topo_.withinOneIsland(win)) {
+                    const double shard = m.activationBytes / cfg.dp;
+                    const double slow = CollectiveModel::ringAllReduce(
+                        shard, cfg.tp, topo_.config().interIsland);
+                    const double fast = CollectiveModel::ringAllReduce(
+                        shard, cfg.tp, topo_.config().intraIsland);
+                    comm += 2.0 * static_cast<double>(e.numOps) *
+                            (slow - fast);
+                }
+
+                const double mem_score =
+                    options_.memoryWeight * peak_frac;
+                double primary, secondary;
+                if (memory_first) {
+                    primary = peak_frac;
+                    secondary = comm;
+                } else {
+                    primary = comm + mem_score;
+                    secondary = peak_frac;
+                }
+                if (primary < best_primary ||
+                    (primary == best_primary &&
+                     secondary < best_secondary)) {
+                    best_primary = primary;
+                    best_secondary = secondary;
+                    best_w = w;
+                    best_comm = comm;
+                }
+            }
+            if (best_w == windows.size())
+                return false; // nothing fits: trigger fallback
+
+            // Commit the chosen window.
+            const DeviceSet &win = windows[best_w];
+            for (DeviceId d : win) {
+                state.activations[d] += act_share;
+                for (std::int64_t i = 0; i < e.numOps; ++i) {
+                    const OperatorDesc &op =
+                        graph.base().op(m.ops[e.opBegin + i]);
+                    const std::int64_t key = paramDedupKey(op);
+                    const double share = param_share(op, cfg);
+                    auto [it, inserted] =
+                        state.params[d].emplace(key, share);
+                    if (!inserted && share > it->second)
+                        it->second = share;
+                }
+            }
+            e.devices = win;
+            state.lastSlice[e.metaOp] = win;
+            result.estimatedCommSeconds += best_comm;
+            if (options_.strategy != PlacementStrategy::Sequential) {
+                DeviceSet remaining;
+                std::set_difference(free.begin(), free.end(),
+                                    win.begin(), win.end(),
+                                    std::back_inserter(remaining));
+                free = std::move(remaining);
+            }
+        }
+    }
+
+    result.peakBytes.assign(num_devices, 0.0);
+    for (std::uint32_t d = 0; d < num_devices; ++d)
+        result.peakBytes[d] = state.deviceTotal(d);
+    return true;
+}
+
+} // namespace spindle

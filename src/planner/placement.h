@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Device placement (paper §3.5): map every wave entry onto concrete
+ * devices, trading inter-wave communication against per-device
+ * memory balance.
+ *
+ * Guidelines implemented, as in the paper:
+ *  - intra-device-island placement is preferred for each entry and
+ *    for the data flows between entries across waves;
+ *  - when islands cannot hold everything, entries with higher
+ *    communication volume get the better (intra-island) placement
+ *    first;
+ *  - per-device memory is tracked (parameters deduplicated by
+ *    ParamKey, so parameter-sharing MetaOps landing on the same
+ *    device store them once) and balanced; an entry that would
+ *    exceed capacity triggers a restart of the whole placement with
+ *    memory-first scoring — the constrained-depth backtracking of
+ *    the paper collapsed into a two-phase search.
+ *
+ * A Sequential strategy (each entry takes the next consecutive
+ * devices, no awareness) is provided for the Fig. 10 ablation.
+ */
+
+#ifndef SPINDLE_PLANNER_PLACEMENT_H
+#define SPINDLE_PLANNER_PLACEMENT_H
+
+#include <vector>
+
+#include "planner/execution_plan.h"
+#include "runtime/memory_model.h"
+
+namespace spindle {
+
+/** Placement strategy selector. */
+enum class PlacementStrategy : std::uint8_t
+{
+    Spindle,    ///< locality- and memory-aware greedy (§3.5)
+    Sequential, ///< consecutive-devices baseline (Fig. 10 ablation)
+};
+
+/** Placement tunables. */
+struct PlacementOptions
+{
+    PlacementStrategy strategy = PlacementStrategy::Spindle;
+
+    /** Usable fraction of device HBM before an entry is rejected. */
+    double memorySlack = 0.92;
+
+    /** Weight converting relative memory imbalance into seconds in
+     *  the placement score (heuristic trade-off knob). */
+    double memoryWeight = 1e-3;
+
+    /**
+     * Weight of the parameter-affinity bonus (§3.5: MetaOps sharing
+     * parameters are preferentially co-located, shrinking redundant
+     * storage and gradient-sync device groups). The bonus is the
+     * estimated all-reduce seconds saved by not growing the groups
+     * of parameters already resident on the candidate devices.
+     */
+    double paramAffinityWeight = 1.0;
+};
+
+/** Result of placing a plan. */
+struct PlacementResult
+{
+    /** Peak bytes per device (params + optimizer + activations). */
+    std::vector<double> peakBytes;
+
+    /** Estimated total inter-wave transmission seconds. */
+    double estimatedCommSeconds = 0;
+
+    /** True when the memory-first fallback pass was needed. */
+    bool usedMemoryFallback = false;
+};
+
+/**
+ * Greedy wave-by-wave placer.
+ */
+class DevicePlacement
+{
+  public:
+    DevicePlacement(const ClusterTopology &topo, const HardwareModel &hw,
+                    const MemoryModel &mem, PlacementOptions options = {});
+
+    /**
+     * Fill WaveEntry::devices for every wave of @p plan.
+     * fatal()s when even memory-first placement cannot fit.
+     */
+    PlacementResult place(const MetaGraph &graph,
+                          ExecutionPlan &plan) const;
+
+  private:
+    struct Attempt;
+
+    bool tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
+                  bool memory_first, PlacementResult &result) const;
+
+    const ClusterTopology &topo_;
+    const HardwareModel &hw_;
+    const MemoryModel &mem_;
+    PlacementOptions options_;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_PLANNER_PLACEMENT_H

@@ -1,0 +1,59 @@
+#include "planner/planner.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "runtime/memory_model.h"
+
+namespace spindle {
+
+ExecutionPlanner::ExecutionPlanner(const HardwareModel &hw,
+                                   PlannerOptions options)
+    : hw_(hw), options_(options)
+{
+}
+
+PlannerOutput
+ExecutionPlanner::plan(const MetaGraph &graph) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint32_t n = hw_.topology().numDevices();
+
+    PlannerOutput out;
+
+    // §3.2: profile the oracle and fit per-MetaOp scaling curves.
+    ScalabilityEstimator estimator(hw_, options_.estimator);
+    out.curves = estimator.estimateAll(graph, n);
+
+    // §3.3: per-MetaLevel MPSP allocation + bi-point discretization.
+    ResourceAllocator allocator(graph, out.curves, n, options_.allocator);
+    std::vector<LevelAllocation> allocations = allocator.allocateAll();
+
+    // §3.4: craft waves level by level, then merge.
+    WavefrontScheduler scheduler(graph, out.curves, n,
+                                 options_.scheduler);
+    out.plan.waves = scheduler.scheduleAll(allocations);
+    out.plan.numDevices = n;
+    out.plan.allocations = std::move(allocations);
+    out.plan.theoreticalOptimum = 0;
+    for (const LevelAllocation &a : out.plan.allocations)
+        out.plan.theoreticalOptimum += a.continuous.cStar;
+    out.plan.estimatedSpan = out.plan.waves.empty()
+        ? 0.0
+        : out.plan.waves.back().start + out.plan.waves.back().duration;
+
+    // §3.5: map wave entries onto devices.
+    MemoryModel mem(options_.memory);
+    DevicePlacement placement(hw_.topology(), hw_, mem,
+                              options_.placement);
+    out.placement = placement.place(graph, out.plan);
+
+    out.plan.validate(graph);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    out.planningSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return out;
+}
+
+} // namespace spindle

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The Spindle execution planner (paper Fig. 2, left half): graph
+ * contraction feeds the scalability estimator (§3.2), the resource
+ * allocator (§3.3), the wavefront scheduler (§3.4) and device
+ * placement (§3.5), producing the execution plan the runtime engine
+ * consumes.
+ */
+
+#ifndef SPINDLE_PLANNER_PLANNER_H
+#define SPINDLE_PLANNER_PLANNER_H
+
+#include "cost/estimator.h"
+#include "planner/placement.h"
+#include "planner/resource_allocator.h"
+#include "planner/wavefront_scheduler.h"
+
+namespace spindle {
+
+/** Aggregated options of every planning stage. */
+struct PlannerOptions
+{
+    EstimatorOptions estimator;
+    AllocatorOptions allocator;
+    SchedulerOptions scheduler;
+    PlacementOptions placement;
+
+    /** Memory accounting regime used by placement (ZeRO flags). */
+    MemoryParams memory;
+};
+
+/** Everything the planner produces for one workload. */
+struct PlannerOutput
+{
+    ExecutionPlan plan;
+
+    /** Scaling curves per MetaOp (kept for analysis and Fig. 4). */
+    std::vector<ScalingCurve> curves;
+
+    PlacementResult placement;
+
+    /** Wall-clock spent planning, seconds (Fig. 12). */
+    double planningSeconds = 0;
+};
+
+/**
+ * End-to-end planner facade over a hardware oracle.
+ */
+class ExecutionPlanner
+{
+  public:
+    explicit ExecutionPlanner(const HardwareModel &hw,
+                              PlannerOptions options = {});
+
+    /**
+     * Plan one training iteration of the workload in @p graph on
+     * the full cluster. The returned plan is validated against the
+     * paper's structural invariants before being handed out.
+     */
+    PlannerOutput plan(const MetaGraph &graph) const;
+
+    const PlannerOptions &options() const { return options_; }
+    const HardwareModel &hardware() const { return hw_; }
+
+  private:
+    const HardwareModel &hw_;
+    PlannerOptions options_;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_PLANNER_PLANNER_H

@@ -1,0 +1,198 @@
+#include "planner/wavefront_scheduler.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace spindle {
+
+namespace {
+
+/** Mutable scheduling state of one MetaOp within a level. */
+struct MetaOpState
+{
+    MetaOpId metaOp = -1;
+    std::deque<AslTuple> tuples; ///< remaining, largest n first
+    std::int64_t op_cursor = 0;  ///< member ops already scheduled
+
+    bool done() const { return tuples.empty(); }
+};
+
+/** Remaining estimated execution time across all tuples. */
+double
+remainingTime(const MetaOpState &st, const ScalingCurve &curve)
+{
+    double total = 0;
+    for (const AslTuple &t : st.tuples)
+        total += curve.timeAt(t.n) * static_cast<double>(t.l);
+    return total;
+}
+
+} // namespace
+
+WavefrontScheduler::WavefrontScheduler(const MetaGraph &graph,
+                                       const std::vector<ScalingCurve> &curves,
+                                       std::uint32_t num_devices,
+                                       SchedulerOptions options)
+    : graph_(graph), curves_(curves), num_devices_(num_devices),
+      options_(options)
+{
+    fatalIf(num_devices_ == 0, "WavefrontScheduler: empty cluster");
+    fatalIf(curves_.size() != graph_.numMetaOps(),
+            "WavefrontScheduler: one curve per MetaOp required");
+}
+
+double
+WavefrontScheduler::scheduleLevel(const LevelAllocation &alloc,
+                                  double t_start,
+                                  std::vector<Wave> &waves) const
+{
+    // Initialize per-MetaOp state, tuples largest-n first so early
+    // waves occupy as many devices as possible.
+    std::vector<MetaOpState> states;
+    states.reserve(alloc.metaOps.size());
+    for (std::size_t i = 0; i < alloc.metaOps.size(); ++i) {
+        MetaOpState st;
+        st.metaOp = alloc.metaOps[i];
+        std::vector<AslTuple> tuples = alloc.plans[i].tuples;
+        std::sort(tuples.begin(), tuples.end(),
+                  [](const AslTuple &a, const AslTuple &b) {
+                      return a.n > b.n;
+                  });
+        for (const AslTuple &t : tuples) {
+            panicIf(t.n == 0 || t.n > num_devices_,
+                    "scheduleLevel: tuple allocation out of range");
+            st.tuples.push_back(t);
+        }
+        states.push_back(std::move(st));
+    }
+
+    double t_current = t_start;
+    std::int32_t level = graph_.metaOp(alloc.metaOps.front()).level;
+
+    auto any_remaining = [&] {
+        return std::any_of(states.begin(), states.end(),
+                           [](const MetaOpState &s) { return !s.done(); });
+    };
+
+    while (any_remaining()) {
+        // -- Step 1: propose the candidate set. Consider the front
+        // tuple of every unfinished MetaOp (same-MetaOp tuples may
+        // not run concurrently, Eq. 6) and greedily pack the largest
+        // allocations first.
+        std::vector<std::size_t> order;
+        for (std::size_t i = 0; i < states.size(); ++i)
+            if (!states[i].done())
+                order.push_back(i);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      if (states[a].tuples.front().n !=
+                          states[b].tuples.front().n)
+                          return states[a].tuples.front().n >
+                                 states[b].tuples.front().n;
+                      return states[a].metaOp < states[b].metaOp;
+                  });
+        std::vector<std::size_t> selected;
+        std::uint32_t used = 0;
+        for (std::size_t idx : order) {
+            std::uint32_t n = states[idx].tuples.front().n;
+            if (used + n <= num_devices_) {
+                selected.push_back(idx);
+                used += n;
+            }
+        }
+        panicIf(selected.empty(), "scheduleLevel: nothing schedulable");
+
+        // -- Step 2: extend allocated resources if devices idle,
+        // prioritizing MetaOps with the largest remaining work.
+        if (options_.extendResources) {
+            while (used < num_devices_) {
+                std::size_t best = states.size();
+                double best_remaining = -1;
+                std::uint32_t best_next = 0;
+                for (std::size_t idx : selected) {
+                    const MetaOpState &st = states[idx];
+                    const ScalingCurve &curve = curves_[st.metaOp];
+                    std::uint32_t n = st.tuples.front().n;
+                    // Next valid allocation within the idle budget.
+                    std::uint32_t next = 0;
+                    for (std::uint32_t cand : curve.validNs()) {
+                        if (cand > n && cand - n <= num_devices_ - used) {
+                            next = cand;
+                            break;
+                        }
+                    }
+                    if (next == 0)
+                        continue;
+                    double rem = remainingTime(st, curve);
+                    if (rem > best_remaining) {
+                        best_remaining = rem;
+                        best = idx;
+                        best_next = next;
+                    }
+                }
+                if (best == states.size())
+                    break; // no extensible tuple
+                used += best_next - states[best].tuples.front().n;
+                states[best].tuples.front().n = best_next;
+            }
+        }
+
+        // -- Step 3: align time spans w.r.t. the tuple with the
+        // shortest full execution time; slice the others.
+        double t_wave = std::numeric_limits<double>::infinity();
+        for (std::size_t idx : selected) {
+            const AslTuple &t = states[idx].tuples.front();
+            double full = curves_[states[idx].metaOp].timeAt(t.n) *
+                          static_cast<double>(t.l);
+            t_wave = std::min(t_wave, full);
+        }
+
+        // -- Step 4: conclude the wave.
+        Wave wave;
+        wave.index = static_cast<std::int32_t>(waves.size());
+        wave.level = level;
+        wave.start = t_current;
+        for (std::size_t idx : selected) {
+            MetaOpState &st = states[idx];
+            AslTuple &front = st.tuples.front();
+            const double per_op = curves_[st.metaOp].timeAt(front.n);
+            std::int64_t ops = std::clamp<std::int64_t>(
+                roundNearest(t_wave / per_op), 1, front.l);
+
+            WaveEntry entry;
+            entry.metaOp = st.metaOp;
+            entry.n = front.n;
+            entry.opBegin = st.op_cursor;
+            entry.numOps = ops;
+            entry.duration = per_op * static_cast<double>(ops);
+            wave.entries.push_back(std::move(entry));
+
+            st.op_cursor += ops;
+            front.l -= ops;
+            if (front.l == 0)
+                st.tuples.pop_front();
+            wave.duration = std::max(wave.duration,
+                                     wave.entries.back().duration);
+        }
+        t_current += wave.duration;
+        waves.push_back(std::move(wave));
+    }
+    return t_current;
+}
+
+std::vector<Wave>
+WavefrontScheduler::scheduleAll(
+    const std::vector<LevelAllocation> &allocs) const
+{
+    std::vector<Wave> waves;
+    double t = 0;
+    for (const LevelAllocation &alloc : allocs)
+        t = scheduleLevel(alloc, t, waves);
+    return waves;
+}
+
+} // namespace spindle

@@ -1,0 +1,235 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace spindle {
+
+Engine::Engine(const HardwareModel &hw, MemoryParams mem_params,
+               EngineOptions options)
+    : hw_(hw), mem_(mem_params), options_(options)
+{
+}
+
+IterationResult
+Engine::run(const MetaGraph &graph, const ExecutionPlan &plan) const
+{
+    IterationResult result;
+    if (plan.waves.empty())
+        return result;
+
+    // §3.6 step 2: insert transmission operators.
+    const CollectiveModel &coll = hw_.collectives();
+    std::vector<TransmissionOp> trans =
+        buildTransmissions(graph, plan, coll);
+    result.transmissionBytes = totalTransmissionBytes(trans);
+    std::map<std::int32_t, std::vector<const TransmissionOp *>> by_dst;
+    std::map<std::int32_t, std::vector<const TransmissionOp *>> by_src;
+    for (const TransmissionOp &t : trans) {
+        by_dst[t.dstWave].push_back(&t);
+        by_src[t.srcWave].push_back(&t);
+    }
+
+    // §3.6 step 3: parameter device-group pool.
+    ParameterGroupPool pool = ParameterGroupPool::build(graph, plan);
+    result.syncBytes = pool.totalSyncBytes();
+
+    // Group waves per execution stream (order preserved).
+    std::map<std::int32_t, std::vector<const Wave *>> streams;
+    for (const Wave &w : plan.waves)
+        streams[w.stream].push_back(&w);
+
+    Simulator sim(plan.numDevices);
+    std::map<std::int32_t, double> send_acc; // per-stream boundary time
+
+    // One phase = forward (waves in order) or backward (reverse,
+    // with gradient flows mirroring the forward transmissions).
+    auto run_phase = [&](bool forward) {
+        for (auto &[stream_id, waves] : streams) {
+            // The stream resumes where its devices became free.
+            double clock = 0;
+            for (const Wave *w : waves)
+                for (const WaveEntry &e : w->entries)
+                    clock = std::max(clock, sim.groupFree(e.devices));
+
+            auto process = [&](const Wave &w) {
+                // Boundary transmissions feeding this wave's phase.
+                double t_start = clock;
+                const auto &flows =
+                    forward ? by_dst[w.index] : by_src[w.index];
+                for (const TransmissionOp *t : flows) {
+                    DeviceSet devs =
+                        unionOf(t->srcDevices, t->dstDevices);
+                    double end = sim.occupy(devs, clock, t->seconds,
+                                            ExecKind::Transmission, 0,
+                                            t->dstMeta, "send_recv");
+                    t_start = std::max(t_start, end);
+                }
+                send_acc[stream_id] += t_start - clock;
+
+                double wave_end = t_start;
+                for (const WaveEntry &e : w.entries) {
+                    const MetaOp &m = graph.metaOp(e.metaOp);
+                    const OperatorDesc desc = memberDesc(m);
+                    const ParallelConfig cfg = hw_.bestConfig(desc, e.n);
+                    const double per_op = forward
+                        ? hw_.opTimeFwd(desc, cfg)
+                        : hw_.opTimeBwd(desc, cfg);
+                    const double dur =
+                        per_op * static_cast<double>(e.numOps);
+                    const double flops =
+                        m.flopsFwdPerOp *
+                        (forward ? 1.0 : hw_.params().bwdFlopsFactor) *
+                        static_cast<double>(e.numOps);
+                    double end = sim.occupy(e.devices, t_start, dur,
+                                            ExecKind::Compute, flops,
+                                            e.metaOp,
+                                            forward ? "fwd" : "bwd");
+                    wave_end = std::max(wave_end, end);
+                }
+                clock = wave_end + options_.waveBarrier;
+            };
+
+            // Dispatch through the event queue: each wave event
+            // schedules its successor at the wave's completion.
+            // Semantic times come from the per-stream clock and the
+            // device availability inside occupy(); the queue's own
+            // clock is monotone across streams, so dispatch times
+            // are clamped to it.
+            std::size_t next = 0;
+            std::function<void()> dispatch = [&]() {
+                if (next >= waves.size())
+                    return;
+                const Wave &w = forward
+                    ? *waves[next]
+                    : *waves[waves.size() - 1 - next];
+                ++next;
+                process(w);
+                sim.queue().schedule(
+                    std::max(clock, sim.queue().now()), dispatch);
+            };
+            sim.queue().schedule(std::max(clock, sim.queue().now()),
+                                 dispatch);
+            sim.queue().run();
+        }
+    };
+
+    run_phase(/*forward=*/true);
+    const double t_bwd = sim.timeline().makespan();
+    run_phase(/*forward=*/false);
+
+    // §3.6 step 4 tail: group-wise parameter synchronization after
+    // the backward phase; groups on disjoint devices overlap with
+    // each other, and bucketed all-reduce hides part of the cost
+    // under the backward compute (syncOverlapFraction).
+    const double t_sync = sim.timeline().makespan();
+    const double bwd_span = t_sync - t_bwd;
+    double sync_end = t_sync;
+    for (const ParamGroup &g : pool.groups()) {
+        if (g.devices.size() < 2)
+            continue;
+        const double dur = coll.allReduceTime(g.bytes, g.devices);
+        double end = sim.occupy(g.devices, t_sync, dur, ExecKind::Sync,
+                                0, -1, "param_sync");
+        sync_end = std::max(sync_end, end);
+    }
+    const double sync_raw = sync_end - t_sync;
+    const double sync_eff = std::clamp(
+        sync_raw - options_.syncOverlapFraction * bwd_span,
+        options_.minSyncFraction * sync_raw, sync_raw);
+
+    result.iterationSeconds = t_sync + sync_eff;
+    result.breakdown.sync = sync_eff;
+    double send = 0;
+    for (const auto &[stream_id, acc] : send_acc)
+        send = std::max(send, acc);
+    result.breakdown.sendRecv = send;
+    result.breakdown.fwdBwd = result.iterationSeconds -
+                              result.breakdown.sync -
+                              result.breakdown.sendRecv;
+    result.peakMemoryBytes = peakMemoryPerDevice(graph, plan, hw_, mem_);
+    result.timeline = sim.timeline();
+    return result;
+}
+
+std::vector<double>
+peakMemoryPerDevice(const MetaGraph &graph, const ExecutionPlan &plan,
+                    const HardwareModel &hw, const MemoryModel &mem)
+{
+    // Pass 1: the parameter device group of every key (the union of
+    // devices hosting it, §3.6 step 3) — ZeRO shards optimizer state
+    // across the *group*, not just one entry's DP width.
+    std::map<std::int64_t, DeviceSet> group_of;
+    for (const Wave &w : plan.waves) {
+        for (const WaveEntry &e : w.entries) {
+            panicIf(e.devices.empty(),
+                    "peakMemoryPerDevice: plan is not placed");
+            const MetaOp &m = graph.metaOp(e.metaOp);
+            for (std::int64_t i = 0; i < e.numOps; ++i) {
+                const OperatorDesc &op =
+                    graph.base().op(m.ops[e.opBegin + i]);
+                if (op.paramBytes <= 0)
+                    continue;
+                const std::int64_t key =
+                    op.paramKey != kNoParam
+                        ? static_cast<std::int64_t>(op.paramKey)
+                        : -(static_cast<std::int64_t>(op.id) + 2);
+                group_of[key] = unionOf(group_of[key], e.devices);
+            }
+        }
+    }
+
+    // Pass 2: per device, parameter state deduplicated by key plus
+    // all activations stashed until the backward pass.
+    std::vector<std::unordered_map<std::int64_t, double>> params(
+        plan.numDevices);
+    std::vector<double> act(plan.numDevices, 0.0);
+    for (const Wave &w : plan.waves) {
+        for (const WaveEntry &e : w.entries) {
+            const MetaOp &m = graph.metaOp(e.metaOp);
+            const ParallelConfig cfg = hw.bestConfig(memberDesc(m), e.n);
+            const double act_share =
+                mem.activationBytesPerDevice(m, e.numOps, cfg);
+            for (DeviceId d : e.devices) {
+                act[d] += act_share;
+                for (std::int64_t i = 0; i < e.numOps; ++i) {
+                    const OperatorDesc &op =
+                        graph.base().op(m.ops[e.opBegin + i]);
+                    if (op.paramBytes <= 0)
+                        continue;
+                    const std::int64_t key =
+                        op.paramKey != kNoParam
+                            ? static_cast<std::int64_t>(op.paramKey)
+                            : -(static_cast<std::int64_t>(op.id) + 2);
+                    const double group_size =
+                        static_cast<double>(group_of[key].size());
+                    const double shard =
+                        op.paramBytes / cfg.tp /
+                        (mem.params().zeroShardParams ? cfg.dp : 1.0);
+                    const double share =
+                        shard + op.paramBytes *
+                                    mem.params().optimizerFactor /
+                                    (mem.params().zeroShardOptimizer
+                                         ? group_size
+                                         : cfg.tp);
+                    auto [it, inserted] = params[d].emplace(key, share);
+                    if (!inserted && share > it->second)
+                        it->second = share;
+                }
+            }
+        }
+    }
+
+    std::vector<double> peak(plan.numDevices, 0.0);
+    for (std::uint32_t d = 0; d < plan.numDevices; ++d) {
+        peak[d] = act[d];
+        for (const auto &[key, bytes] : params[d])
+            peak[d] += bytes;
+    }
+    return peak;
+}
+
+} // namespace spindle

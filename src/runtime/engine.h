@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Spindle runtime engine (paper §3.6).
+ *
+ * Executes a placed plan on the cluster simulator, one training
+ * iteration at a time: wave-by-wave forward, wave-by-wave backward
+ * in reverse, transmission operators at wave boundaries, and
+ * group-wise parameter synchronization after the backward phase.
+ * Wave dispatch is driven through the discrete-event queue; every
+ * busy interval lands in the timeline, from which iteration time,
+ * the Fig. 10 breakdown, and all utilization figures derive.
+ */
+
+#ifndef SPINDLE_RUNTIME_ENGINE_H
+#define SPINDLE_RUNTIME_ENGINE_H
+
+#include "hardware/hardware_model.h"
+#include "planner/execution_plan.h"
+#include "runtime/memory_model.h"
+#include "runtime/param_groups.h"
+#include "runtime/transmission.h"
+#include "sim/simulator.h"
+
+namespace spindle {
+
+/** Iteration-time decomposition (Fig. 10). */
+struct TimeBreakdown
+{
+    double fwdBwd = 0;   ///< forward + backward propagation
+    double sync = 0;     ///< group-wise parameter synchronization
+    double sendRecv = 0; ///< inter-wave transmissions
+
+    double total() const { return fwdBwd + sync + sendRecv; }
+};
+
+/** Everything one simulated training iteration yields. */
+struct IterationResult
+{
+    double iterationSeconds = 0;
+    TimeBreakdown breakdown;
+
+    /** Peak memory per device (params + optimizer + activations). */
+    std::vector<double> peakMemoryBytes;
+
+    /** Full execution trace for utilization analysis. */
+    Timeline timeline;
+
+    /** Parameter bytes synchronized across devices. */
+    double syncBytes = 0;
+
+    /** Bytes moved by inter-wave transmissions. */
+    double transmissionBytes = 0;
+};
+
+/** Engine tunables. */
+struct EngineOptions
+{
+    /** Fixed overhead charged at each wave boundary (host-side
+     *  dispatch of the next wave's kernels). */
+    double waveBarrier = 5 * kMicro;
+
+    /**
+     * Fraction of the backward span that can hide gradient
+     * synchronization (bucketed all-reduce overlapped with backward
+     * compute, as PyTorch DDP / Megatron do). The residual sync
+     * cost is what the iteration pays after the backward finishes.
+     */
+    double syncOverlapFraction = 0.5;
+
+    /** Floor on the exposed sync cost as a fraction of the raw
+     *  collective time (the unoverlappable tail). */
+    double minSyncFraction = 0.25;
+};
+
+/**
+ * The runtime engine: localizes a plan (implicitly, via the placed
+ * device sets), inserts transmissions, builds the parameter
+ * device-group pool, and runs the iteration on the simulator.
+ */
+class Engine
+{
+  public:
+    explicit Engine(const HardwareModel &hw, MemoryParams mem_params = {},
+                    EngineOptions options = {});
+
+    /** Simulate one training iteration of a placed plan. */
+    IterationResult run(const MetaGraph &graph,
+                        const ExecutionPlan &plan) const;
+
+    const HardwareModel &hardware() const { return hw_; }
+    const MemoryModel &memory() const { return mem_; }
+
+  private:
+    const HardwareModel &hw_;
+    MemoryModel mem_;
+    EngineOptions options_;
+};
+
+/**
+ * Peak memory per device of a placed plan: parameters deduplicated
+ * by ParamKey per device, plus optimizer state and stashed
+ * activations (Appendix G accounting).
+ */
+std::vector<double> peakMemoryPerDevice(const MetaGraph &graph,
+                                        const ExecutionPlan &plan,
+                                        const HardwareModel &hw,
+                                        const MemoryModel &mem);
+
+} // namespace spindle
+
+#endif // SPINDLE_RUNTIME_ENGINE_H

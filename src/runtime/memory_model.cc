@@ -1,0 +1,47 @@
+#include "runtime/memory_model.h"
+
+#include "common/logging.h"
+
+namespace spindle {
+
+MemoryModel::MemoryModel(MemoryParams params)
+    : params_(params)
+{
+    fatalIf(params_.optimizerFactor < 0 || params_.activationFactor < 0,
+            "MemoryModel: negative factors");
+}
+
+double
+MemoryModel::paramStateBytesPerDevice(const MetaOp &m, std::int64_t l,
+                                      ParallelConfig cfg) const
+{
+    panicIf(l < 0, "paramStateBytesPerDevice: negative slice");
+    const double tp = cfg.tp;
+    const double dp = cfg.dp;
+    const double param_shard = m.paramBytesPerOp / tp /
+                               (params_.zeroShardParams ? dp : 1.0);
+    const double opt_shard = m.paramBytesPerOp / tp *
+                             params_.optimizerFactor /
+                             (params_.zeroShardOptimizer ? dp : 1.0);
+    return static_cast<double>(l) * (param_shard + opt_shard);
+}
+
+double
+MemoryModel::activationBytesPerDevice(const MetaOp &m, std::int64_t l,
+                                      ParallelConfig cfg) const
+{
+    panicIf(l < 0, "activationBytesPerDevice: negative slice");
+    const double n = cfg.devices();
+    return static_cast<double>(l) * m.activationBytes *
+           params_.activationFactor / n;
+}
+
+double
+MemoryModel::sliceBytesPerDevice(const MetaOp &m, std::int64_t l,
+                                 ParallelConfig cfg) const
+{
+    return paramStateBytesPerDevice(m, l, cfg) +
+           activationBytesPerDevice(m, l, cfg);
+}
+
+} // namespace spindle

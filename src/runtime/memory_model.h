@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-device memory accounting (paper §3.5 "Device Memory Balance",
+ * Appendix G).
+ *
+ * A device hosting a MetaOp slice holds, for each member operator:
+ * its parameter shard (divided by the TP degree), the attached
+ * gradient/optimizer state, and the activations stashed for the
+ * backward pass (divided across all devices of the slice). Optimizer
+ * state may be sharded across DP ranks (ZeRO-1 style), which is how
+ * the decoupled baselines survive whole-cluster replication.
+ */
+
+#ifndef SPINDLE_RUNTIME_MEMORY_MODEL_H
+#define SPINDLE_RUNTIME_MEMORY_MODEL_H
+
+#include "graph/meta_graph.h"
+#include "hardware/hardware_model.h"
+
+namespace spindle {
+
+/** Memory model tunables. */
+struct MemoryParams
+{
+    /**
+     * Gradient + optimizer + master-weight bytes per parameter
+     * byte (fp16 params with Adam: 2B grad + 4B master + 8B moments
+     * over a 2B parameter = 7x).
+     */
+    double optimizerFactor = 7.0;
+
+    /** Shard optimizer state across DP ranks (ZeRO-1). */
+    bool zeroShardOptimizer = true;
+
+    /**
+     * Also shard parameters (and gradients) across DP ranks
+     * (ZeRO-3 / FSDP). Off by default; required for >= 30B models
+     * whose layers would otherwise replicate per DP rank.
+     */
+    bool zeroShardParams = false;
+
+    /** Fraction of activations stashed for backward (activation
+     *  checkpointing would lower this below 1). */
+    double activationFactor = 1.0;
+};
+
+/** Memory cost oracle for MetaOp slices. */
+class MemoryModel
+{
+  public:
+    explicit MemoryModel(MemoryParams params = {});
+
+    /**
+     * Parameter + optimizer bytes per device for hosting @p l member
+     * operators of @p m under @p cfg. Persistent for the iteration.
+     */
+    double paramStateBytesPerDevice(const MetaOp &m, std::int64_t l,
+                                    ParallelConfig cfg) const;
+
+    /**
+     * Activation bytes per device stashed by executing @p l member
+     * operators of @p m on cfg.devices() devices (freed after the
+     * backward pass, so they accumulate until then).
+     */
+    double activationBytesPerDevice(const MetaOp &m, std::int64_t l,
+                                    ParallelConfig cfg) const;
+
+    /** Sum of the two components above. */
+    double sliceBytesPerDevice(const MetaOp &m, std::int64_t l,
+                               ParallelConfig cfg) const;
+
+    const MemoryParams &params() const { return params_; }
+
+  private:
+    MemoryParams params_;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_RUNTIME_MEMORY_MODEL_H

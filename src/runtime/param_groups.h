@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Parameter device-group pool (paper §3.6 step 3).
+ *
+ * Every parameter set W_j is activated by one or more wave entries,
+ * possibly from different tasks (sub-model sharing). Before training,
+ * Spindle scans the plan to determine the device group D_i on which
+ * each W_j must be gradient-synchronized, then manages parameters
+ * with identical groups collectively: the pool maps each distinct
+ * device group to the total parameter bytes synchronized within it.
+ */
+
+#ifndef SPINDLE_RUNTIME_PARAM_GROUPS_H
+#define SPINDLE_RUNTIME_PARAM_GROUPS_H
+
+#include <map>
+#include <vector>
+
+#include "planner/execution_plan.h"
+
+namespace spindle {
+
+/** One device group and the parameter bytes it synchronizes. */
+struct ParamGroup
+{
+    DeviceSet devices;
+    double bytes = 0;
+
+    /** Number of distinct parameter sets managed by this group. */
+    std::uint32_t numParams = 0;
+};
+
+/**
+ * The global parameter device-group pool {D_i -> {W_j}}.
+ */
+class ParameterGroupPool
+{
+  public:
+    /**
+     * Scan a placed plan: for every parameter set (shared ParamKey
+     * or per-operator private parameters), the group is the union of
+     * the devices of every wave entry hosting it.
+     */
+    static ParameterGroupPool build(const MetaGraph &graph,
+                                    const ExecutionPlan &plan);
+
+    const std::vector<ParamGroup> &groups() const { return groups_; }
+
+    /** Bytes needing cross-device sync (groups of size > 1). */
+    double totalSyncBytes() const;
+
+  private:
+    std::vector<ParamGroup> groups_;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_RUNTIME_PARAM_GROUPS_H

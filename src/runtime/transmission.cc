@@ -1,0 +1,82 @@
+#include "runtime/transmission.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace spindle {
+
+std::vector<TransmissionOp>
+buildTransmissions(const MetaGraph &graph, const ExecutionPlan &plan,
+                   const CollectiveModel &coll)
+{
+    // Locate, for each (MetaOp, ops-completed) prefix, the wave and
+    // devices that produced it.
+    struct Producer
+    {
+        std::int32_t wave;
+        const DeviceSet *devices;
+    };
+    std::map<std::pair<MetaOpId, std::int64_t>, Producer> producer;
+    for (const Wave &w : plan.waves) {
+        for (const WaveEntry &e : w.entries) {
+            panicIf(e.devices.empty(),
+                    "buildTransmissions: plan is not placed");
+            producer[{e.metaOp, e.opBegin + e.numOps}] =
+                Producer{w.index, &e.devices};
+        }
+    }
+
+    std::vector<TransmissionOp> out;
+    auto emit = [&](const Producer &src, const Wave &dst_wave,
+                    const WaveEntry &dst, double bytes) {
+        if (*src.devices == dst.devices)
+            return; // resident: no transmission operator needed
+        TransmissionOp t;
+        t.srcWave = src.wave;
+        t.dstWave = dst_wave.index;
+        t.dstMeta = dst.metaOp;
+        t.bytes = bytes;
+        t.srcDevices = *src.devices;
+        t.dstDevices = dst.devices;
+        t.seconds = coll.flowTime(bytes, t.srcDevices, t.dstDevices);
+        out.push_back(std::move(t));
+    };
+
+    for (const Wave &w : plan.waves) {
+        for (const WaveEntry &e : w.entries) {
+            const MetaOp &m = graph.metaOp(e.metaOp);
+            if (e.opBegin == 0) {
+                // First slice: pull each predecessor's final output.
+                for (const MetaEdge &edge : graph.edges()) {
+                    if (edge.dst != e.metaOp)
+                        continue;
+                    auto it = producer.find(
+                        {edge.src, graph.metaOp(edge.src).numOps()});
+                    panicIf(it == producer.end(),
+                            "buildTransmissions: predecessor output "
+                            "missing (invalid plan)");
+                    emit(it->second, w, e, edge.flowBytes);
+                }
+            } else {
+                // Later slice: pull the previous slice's output.
+                auto it = producer.find({e.metaOp, e.opBegin});
+                panicIf(it == producer.end(),
+                        "buildTransmissions: missing previous slice");
+                emit(it->second, w, e, m.activationBytes);
+            }
+        }
+    }
+    return out;
+}
+
+double
+totalTransmissionBytes(const std::vector<TransmissionOp> &ops)
+{
+    double total = 0;
+    for (const TransmissionOp &t : ops)
+        total += t.bytes;
+    return total;
+}
+
+} // namespace spindle

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Inter-wave transmission operators (paper §3.6 step 2).
+ *
+ * The runtime inserts transmissions to carry data flows across wave
+ * boundaries: a MetaOp's first slice consumes the outputs of its
+ * predecessor MetaOps' final slices, and every later slice consumes
+ * the output of the same MetaOp's previous slice. Depending on the
+ * device sets involved this is an on-device copy, an intra-island
+ * NVLink transfer, or an inter-island P2P transfer; the collective
+ * model prices each case.
+ */
+
+#ifndef SPINDLE_RUNTIME_TRANSMISSION_H
+#define SPINDLE_RUNTIME_TRANSMISSION_H
+
+#include <vector>
+
+#include "hardware/collective.h"
+#include "planner/execution_plan.h"
+
+namespace spindle {
+
+/** One inter-wave data movement. */
+struct TransmissionOp
+{
+    /** Producing / consuming wave indices (src < dst in fwd order). */
+    std::int32_t srcWave = -1;
+    std::int32_t dstWave = -1;
+
+    /** MetaOp whose input this transmission feeds. */
+    MetaOpId dstMeta = -1;
+
+    double bytes = 0;
+    DeviceSet srcDevices;
+    DeviceSet dstDevices;
+
+    /** Transfer time, seconds (0 when resident). */
+    double seconds = 0;
+};
+
+/**
+ * Derive every transmission a plan requires. Entries must be placed
+ * (devices filled in). Transmissions whose source and destination
+ * device sets coincide cost nothing and are omitted.
+ */
+std::vector<TransmissionOp>
+buildTransmissions(const MetaGraph &graph, const ExecutionPlan &plan,
+                   const CollectiveModel &coll);
+
+/** Total bytes moved (ablation metric for Fig. 10). */
+double totalTransmissionBytes(const std::vector<TransmissionOp> &ops);
+
+} // namespace spindle
+
+#endif // SPINDLE_RUNTIME_TRANSMISSION_H

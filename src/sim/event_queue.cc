@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace spindle {
+
+void
+EventQueue::schedule(SimTime when, Action action)
+{
+    panicIf(when < now_, "EventQueue: scheduling into the past");
+    panicIf(!action, "EventQueue: null action");
+    heap_.push({when, next_seq_++, std::move(action)});
+}
+
+void
+EventQueue::scheduleAfter(SimTime delay, Action action)
+{
+    panicIf(delay < 0, "EventQueue: negative delay");
+    schedule(now_ + delay, std::move(action));
+}
+
+void
+EventQueue::step()
+{
+    panicIf(heap_.empty(), "EventQueue: step on empty queue");
+    // priority_queue::top() is const; move out via const_cast-free
+    // copy of the handle then pop.
+    Item item = heap_.top();
+    heap_.pop();
+    now_ = item.time;
+    item.action();
+}
+
+void
+EventQueue::run()
+{
+    while (!heap_.empty())
+        step();
+}
+
+void
+EventQueue::reset()
+{
+    while (!heap_.empty())
+        heap_.pop();
+    now_ = 0;
+    next_seq_ = 0;
+}
+
+} // namespace spindle

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic discrete-event queue — the kernel of the cluster
+ * simulator that stands in for the paper's physical testbed.
+ *
+ * Events at equal timestamps run in scheduling order (a monotone
+ * sequence number breaks ties), so simulations are bit-reproducible.
+ */
+
+#ifndef SPINDLE_SIM_EVENT_QUEUE_H
+#define SPINDLE_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace spindle {
+
+/** Simulated time in seconds. */
+using SimTime = double;
+
+/**
+ * Time-ordered event queue with deterministic tie-breaking.
+ */
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Current simulated time (time of the last dispatched event). */
+    SimTime now() const { return now_; }
+
+    /** Schedule @p action at absolute time @p when (>= now). */
+    void schedule(SimTime when, Action action);
+
+    /** Schedule @p action @p delay seconds from now (delay >= 0). */
+    void scheduleAfter(SimTime delay, Action action);
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t numPending() const { return heap_.size(); }
+
+    /** Advance to the earliest event and dispatch it. */
+    void step();
+
+    /** Dispatch events until the queue drains. */
+    void run();
+
+    /** Drop all pending events and rewind the clock to zero. */
+    void reset();
+
+  private:
+    struct Item
+    {
+        SimTime time;
+        std::uint64_t seq;
+        Action action;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    SimTime now_ = 0;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_SIM_EVENT_QUEUE_H

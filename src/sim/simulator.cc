@@ -1,0 +1,58 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spindle {
+
+Simulator::Simulator(std::uint32_t num_devices)
+    : num_devices_(num_devices), free_at_(num_devices, 0.0)
+{
+    fatalIf(num_devices == 0, "Simulator: empty cluster");
+}
+
+double
+Simulator::deviceFree(DeviceId dev) const
+{
+    panicIf(dev >= num_devices_, strCat("deviceFree: bad device ", dev));
+    return free_at_[dev];
+}
+
+double
+Simulator::groupFree(const DeviceSet &group) const
+{
+    panicIf(group.empty(), "groupFree: empty group");
+    double t = 0;
+    for (DeviceId d : group)
+        t = std::max(t, deviceFree(d));
+    return t;
+}
+
+double
+Simulator::occupy(const DeviceSet &group, double earliest,
+                  double duration, ExecKind kind, double flops,
+                  std::int32_t meta_op, const std::string &label)
+{
+    panicIf(group.empty(), "occupy: empty group");
+    panicIf(duration < 0, "occupy: negative duration");
+    const double start = std::max(earliest, groupFree(group));
+    const double end = start + duration;
+    const double flops_each = flops / static_cast<double>(group.size());
+    for (DeviceId d : group) {
+        panicIf(d >= num_devices_, strCat("occupy: bad device ", d));
+        timeline_.record({d, start, end, kind, flops_each, meta_op, label});
+        free_at_[d] = end;
+    }
+    return end;
+}
+
+void
+Simulator::reset()
+{
+    queue_.reset();
+    timeline_ = Timeline();
+    std::fill(free_at_.begin(), free_at_.end(), 0.0);
+}
+
+} // namespace spindle

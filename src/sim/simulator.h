@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cluster simulator: couples the event queue, the execution
+ * timeline, and per-device availability. The runtime engine and all
+ * baseline systems execute their schedules through this facade, so
+ * every system is measured on an identical substrate.
+ */
+
+#ifndef SPINDLE_SIM_SIMULATOR_H
+#define SPINDLE_SIM_SIMULATOR_H
+
+#include "hardware/device.h"
+#include "sim/event_queue.h"
+#include "sim/trace.h"
+
+namespace spindle {
+
+/**
+ * Per-device occupancy simulator.
+ *
+ * occupy() is the single primitive: it reserves a device group for a
+ * duration no earlier than a requested start, records the interval
+ * in the timeline, and returns the completion time. Wave barriers,
+ * sequential task execution, and parameter sync all reduce to
+ * sequences of occupy() calls.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(std::uint32_t num_devices);
+
+    std::uint32_t numDevices() const { return num_devices_; }
+    EventQueue &queue() { return queue_; }
+    Timeline &timeline() { return timeline_; }
+    const Timeline &timeline() const { return timeline_; }
+
+    /** Earliest time device @p dev is free. */
+    double deviceFree(DeviceId dev) const;
+
+    /** Earliest time every device of @p group is free. */
+    double groupFree(const DeviceSet &group) const;
+
+    /**
+     * Reserve @p group for @p duration seconds, starting at the
+     * later of @p earliest and the group's free time. Total
+     * @p flops are split evenly across the group for the trace.
+     *
+     * @return the completion time of the interval
+     */
+    double occupy(const DeviceSet &group, double earliest,
+                  double duration, ExecKind kind, double flops,
+                  std::int32_t meta_op, const std::string &label);
+
+    /** Reset clock, queue, timeline and availability to zero. */
+    void reset();
+
+  private:
+    std::uint32_t num_devices_;
+    EventQueue queue_;
+    Timeline timeline_;
+    std::vector<double> free_at_;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_SIM_SIMULATOR_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Umbrella header: the full public API of the Spindle library.
+ *
+ * Typical usage (see examples/quickstart.cc):
+ * @code
+ *   using namespace spindle;
+ *   ComputationGraph graph = buildMultitaskClip({.numTasks = 4});
+ *   MetaGraph meta = contractGraph(graph);
+ *   ClusterTopology topo({.numNodes = 2, .gpusPerNode = 8});
+ *   HardwareModel hw(topo);
+ *   SpindleSystem spindle_sys(hw);
+ *   SystemResult r = spindle_sys.runIteration(meta);
+ * @endcode
+ */
+
+#ifndef SPINDLE_SPINDLE_H
+#define SPINDLE_SPINDLE_H
+
+#include "baselines/distmm_mt.h"
+#include "baselines/optimus.h"
+#include "baselines/sequential.h"
+#include "baselines/spindle_system.h"
+#include "baselines/system.h"
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/units.h"
+#include "cost/estimator.h"
+#include "graph/contraction.h"
+#include "hardware/hardware_model.h"
+#include "models/multitask_clip.h"
+#include "models/ofasys.h"
+#include "models/qwen_val.h"
+#include "models/task.h"
+#include "planner/planner.h"
+#include "runtime/engine.h"
+
+#endif // SPINDLE_SPINDLE_H

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the resource allocator (§3.3): the MPSP bisection
+ * of Appendix B / Theorem 1 and the bi-point discretization of
+ * Conds. (10a)/(10b).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cost/estimator.h"
+#include "planner/resource_allocator.h"
+#include "test_util.h"
+
+namespace spindle {
+namespace {
+
+using testutil::fig3Workload;
+using testutil::smallCluster;
+
+struct AllocatorFixture : public ::testing::Test
+{
+    AllocatorFixture()
+        : graph(fig3Workload()), meta(contractGraph(graph)),
+          topo(smallCluster(2)), hw(topo), estimator(hw),
+          curves(estimator.estimateAll(meta, topo.numDevices())),
+          alloc(meta, curves, topo.numDevices())
+    {
+    }
+
+    ComputationGraph graph;
+    MetaGraph meta;
+    ClusterTopology topo;
+    HardwareModel hw;
+    ScalabilityEstimator estimator;
+    std::vector<ScalingCurve> curves;
+    ResourceAllocator alloc;
+};
+
+TEST_F(AllocatorFixture, Theorem1AllocationsSumToN)
+{
+    MpspSolution sol = alloc.solveContinuous(meta.level(0));
+    double sum = 0;
+    for (double n : sol.nStar)
+        sum += n;
+    EXPECT_NEAR(sum, topo.numDevices(), 1e-3);
+}
+
+TEST_F(AllocatorFixture, Theorem1AllMetaOpsFinishAtCStar)
+{
+    // T_m(n*_m) * L_m == C~* for every MetaOp of the level.
+    const auto &level = meta.level(0);
+    MpspSolution sol = alloc.solveContinuous(level);
+    for (std::size_t i = 0; i < level.size(); ++i) {
+        const double l = static_cast<double>(
+            meta.metaOp(level[i]).numOps());
+        const double t = curves[level[i]].eval(sol.nStar[i]) * l;
+        EXPECT_NEAR(t / sol.cStar, 1.0, 1e-3);
+    }
+}
+
+TEST_F(AllocatorFixture, CStarBoundedByExtremes)
+{
+    const auto &level = meta.level(0);
+    MpspSolution sol = alloc.solveContinuous(level);
+    double serial = 0, max_parallel = 0;
+    for (MetaOpId m : level) {
+        const double l = static_cast<double>(meta.metaOp(m).numOps());
+        serial += curves[m].timeAt(curves[m].minValid()) * l;
+        max_parallel = std::max(
+            max_parallel, curves[m].timeAt(curves[m].maxValid()) * l);
+    }
+    EXPECT_LE(sol.cStar, serial);
+    EXPECT_GE(sol.cStar, max_parallel * (1 - 1e-9));
+}
+
+TEST_F(AllocatorFixture, DiscretizationPreservesOpCounts)
+{
+    // Cond. (10a): the tuples of each MetaOp cover exactly L_m ops.
+    LevelAllocation level = alloc.allocateLevel(meta.level(0));
+    for (std::size_t i = 0; i < level.metaOps.size(); ++i) {
+        EXPECT_EQ(level.plans[i].totalOps(),
+                  meta.metaOp(level.metaOps[i]).numOps());
+    }
+}
+
+TEST_F(AllocatorFixture, DiscretizationAtMostTwoTuples)
+{
+    LevelAllocation level = alloc.allocateLevel(meta.level(0));
+    for (const MetaOpAllocation &p : level.plans) {
+        EXPECT_GE(p.tuples.size(), 1u);
+        EXPECT_LE(p.tuples.size(), 2u);
+        for (const AslTuple &t : p.tuples) {
+            EXPECT_GE(t.n, 1u);
+            EXPECT_GT(t.l, 0);
+            EXPECT_TRUE(curves[p.metaOp].isValid(t.n))
+                << "allocation must be on the valid grid";
+        }
+    }
+}
+
+TEST_F(AllocatorFixture, Condition10bApproximatelyHolds)
+{
+    // Serial execution of each MetaOp's tuples lasts ~C~* (up to
+    // the integer rounding of l, which is one operator's bias), or
+    // strictly less for dummy-bracketed MetaOps.
+    LevelAllocation level = alloc.allocateLevel(meta.level(0));
+    for (std::size_t i = 0; i < level.metaOps.size(); ++i) {
+        const ScalingCurve &curve = curves[level.metaOps[i]];
+        double total = 0, max_per_op = 0;
+        for (const AslTuple &t : level.plans[i].tuples) {
+            total += curve.timeAt(t.n) * static_cast<double>(t.l);
+            max_per_op = std::max(max_per_op, curve.timeAt(t.n));
+        }
+        EXPECT_LE(total,
+                  level.continuous.cStar + max_per_op + 1e-9);
+    }
+}
+
+TEST_F(AllocatorFixture, AllocateAllCoversEveryLevel)
+{
+    auto levels = alloc.allocateAll();
+    ASSERT_EQ(levels.size(), meta.numLevels());
+    double sum = 0;
+    for (const auto &l : levels)
+        sum += l.continuous.cStar;
+    EXPECT_NEAR(alloc.theoreticalOptimum(), sum, 1e-12);
+}
+
+TEST(Allocator, DummyAllocationForTinyMetaOp)
+{
+    // A MetaOp whose fractional share is below one device gets all
+    // ops on its smallest valid allocation and no zero tuples.
+    ComputationGraph g;
+    auto add_chain = [&](OpType type, double flops, int n_ops) {
+        OpId prev = -1;
+        for (int i = 0; i < n_ops; ++i) {
+            OperatorDesc op;
+            op.type = type;
+            op.input = {32, 64, 256};
+            op.flopsFwd = flops;
+            op.paramBytes = 1e6;
+            op.activationBytes = 1e6;
+            OpId id = g.addOperator(std::move(op));
+            if (prev >= 0)
+                g.addEdge(prev, id);
+            prev = id;
+        }
+    };
+    add_chain(OpType::LM, 5e12, 8);     // heavy: wants ~all devices
+    add_chain(OpType::Motion, 1e8, 4);  // tiny: n* << 1
+    g.finalize();
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = testutil::smallCluster(2);
+    HardwareModel hw(topo);
+    ScalabilityEstimator est(hw);
+    auto curves = est.estimateAll(meta, 16);
+    ResourceAllocator alloc(meta, curves, 16);
+    LevelAllocation level = alloc.allocateLevel(meta.level(0));
+
+    // Identify the tiny MetaOp and check the dummy-bracket path.
+    for (std::size_t i = 0; i < level.metaOps.size(); ++i) {
+        const MetaOp &m = meta.metaOp(level.metaOps[i]);
+        if (m.type != OpType::Motion)
+            continue;
+        EXPECT_LT(level.continuous.nStar[i], 1.0);
+        ASSERT_EQ(level.plans[i].tuples.size(), 1u);
+        EXPECT_EQ(level.plans[i].tuples[0].n,
+                  curves[level.metaOps[i]].minValid());
+        EXPECT_EQ(level.plans[i].tuples[0].l, m.numOps());
+    }
+}
+
+TEST(Allocator, SingleMetaOpLevelSaturates)
+{
+    // One MetaOp alone on the cluster takes its max useful
+    // allocation; C~* equals its own best time.
+    ComputationGraph g;
+    OpId prev = -1;
+    for (int i = 0; i < 6; ++i) {
+        OperatorDesc op;
+        op.type = OpType::LM;
+        op.input = {32, 128, 1024};
+        op.flopsFwd = 1e11;
+        op.paramBytes = 1e6;
+        op.activationBytes = 1e6;
+        OpId id = g.addOperator(std::move(op));
+        if (prev >= 0)
+            g.addEdge(prev, id);
+        prev = id;
+    }
+    g.finalize();
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = testutil::smallCluster(1);
+    HardwareModel hw(topo);
+    ScalabilityEstimator est(hw);
+    auto curves = est.estimateAll(meta, 8);
+    ResourceAllocator alloc(meta, curves, 8);
+    MpspSolution sol = alloc.solveContinuous({0});
+    EXPECT_NEAR(sol.nStar[0], 8.0, 1e-6);
+    EXPECT_NEAR(sol.cStar, curves[0].timeAt(8) * 6, 1e-6);
+}
+
+TEST(Allocator, BisectionConvergesOnWideLevels)
+{
+    // Ten MetaOps of mixed weight on 8 devices: the bisection must
+    // still satisfy the Theorem 1 conditions.
+    ComputationGraph g;
+    for (int c = 0; c < 10; ++c) {
+        OpId prev = -1;
+        for (int i = 0; i < 3 + c; ++i) {
+            OperatorDesc op;
+            op.type = static_cast<OpType>(c % 7);
+            op.input = {16, 64 + c, 256};
+            op.flopsFwd = 1e9 * (c + 1);
+            op.paramBytes = 1e6;
+            op.activationBytes = 1e6;
+            OpId id = g.addOperator(std::move(op));
+            if (prev >= 0)
+                g.addEdge(prev, id);
+            prev = id;
+        }
+    }
+    g.finalize();
+    MetaGraph meta = contractGraph(g);
+    ASSERT_EQ(meta.numLevels(), 1u);
+    ClusterTopology topo = testutil::smallCluster(1);
+    HardwareModel hw(topo);
+    ScalabilityEstimator est(hw);
+    auto curves = est.estimateAll(meta, 8);
+    ResourceAllocator alloc(meta, curves, 8);
+    MpspSolution sol = alloc.solveContinuous(meta.level(0));
+    double sum = 0;
+    for (double n : sol.nStar) {
+        EXPECT_GT(n, 0);
+        sum += n;
+    }
+    EXPECT_LE(sum, 8.0 + 1e-6);
+}
+
+} // namespace
+} // namespace spindle

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for common/: logging helpers, math utilities, units and
+ * the result-table builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/units.h"
+
+namespace spindle {
+namespace {
+
+TEST(StrCat, ConcatenatesMixedTypes)
+{
+    EXPECT_EQ(strCat("a", 1, "-", 2.5), "a1-2.5");
+    EXPECT_EQ(strCat(), "");
+}
+
+TEST(Logging, FatalExitsWithCode1)
+{
+    EXPECT_EXIT(fatal("boom"), ::testing::ExitedWithCode(1), "boom");
+}
+
+TEST(Logging, FatalIfOnlyFiresWhenTrue)
+{
+    fatalIf(false, "must not fire");
+    EXPECT_EXIT(fatalIf(true, "fires"), ::testing::ExitedWithCode(1),
+                "fires");
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant"), "invariant");
+}
+
+TEST(NearlyEqual, AbsoluteAndRelative)
+{
+    EXPECT_TRUE(nearlyEqual(1.0, 1.0));
+    EXPECT_TRUE(nearlyEqual(1.0, 1.0 + 1e-13));
+    EXPECT_TRUE(nearlyEqual(1e12, 1e12 * (1 + 1e-10)));
+    EXPECT_FALSE(nearlyEqual(1.0, 1.001));
+    EXPECT_TRUE(nearlyEqual(0.0, 0.0));
+}
+
+TEST(LinearFit, RecoversExactLine)
+{
+    auto [a, b] = linearFit({1, 2, 3, 4}, {3, 5, 7, 9});
+    EXPECT_NEAR(a, 1.0, 1e-9);
+    EXPECT_NEAR(b, 2.0, 1e-9);
+}
+
+TEST(LinearFit, FlatWhenAbscissaeIdentical)
+{
+    auto [a, b] = linearFit({2, 2, 2}, {1, 2, 3});
+    EXPECT_NEAR(a, 2.0, 1e-9);
+    EXPECT_NEAR(b, 0.0, 1e-9);
+}
+
+TEST(LinearFit, LeastSquaresOnNoisyData)
+{
+    // y = 1 + 2x with symmetric +-0.1 noise keeps the fit centered.
+    auto [a, b] = linearFit({1, 2, 3, 4}, {3.1, 4.9, 7.1, 8.9});
+    EXPECT_NEAR(b, 2.0, 0.05);
+    EXPECT_NEAR(a, 1.0, 0.15);
+}
+
+TEST(PowerOfTwo, Predicates)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(6));
+}
+
+TEST(PowerOfTwo, FloorAndCeil)
+{
+    EXPECT_EQ(floorPowerOfTwo(1), 1u);
+    EXPECT_EQ(floorPowerOfTwo(9), 8u);
+    EXPECT_EQ(floorPowerOfTwo(64), 64u);
+    EXPECT_EQ(ceilPowerOfTwo(9), 16u);
+    EXPECT_EQ(ceilPowerOfTwo(64), 64u);
+}
+
+TEST(RoundNearest, HalfAwayFromZero)
+{
+    EXPECT_EQ(roundNearest(1.4), 1);
+    EXPECT_EQ(roundNearest(1.5), 2);
+    EXPECT_EQ(roundNearest(2.5), 3);
+    EXPECT_EQ(roundNearest(0.0), 0);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(toMs(0.5), 500.0);
+    EXPECT_DOUBLE_EQ(toTflops(312e12), 312.0);
+    EXPECT_DOUBLE_EQ(GiB, 1024.0 * 1024.0 * 1024.0);
+}
+
+TEST(Table, AlignedAndCsvOutput)
+{
+    Table t({"sys", "ms"});
+    t.addRow({"Spindle", "12.5"});
+    t.addRow({"DeepSpeed", "20.0"});
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.numCols(), 2u);
+
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_EQ(csv.str(), "sys,ms\nSpindle,12.5\nDeepSpeed,20.0\n");
+
+    std::ostringstream aligned;
+    t.printAligned(aligned);
+    EXPECT_NE(aligned.str().find("Spindle"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    Table t({"a", "b"});
+    EXPECT_EXIT(t.addRow({"only-one"}), ::testing::ExitedWithCode(1),
+                "row width");
+}
+
+TEST(Table, FmtPrecision)
+{
+    EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace spindle

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for graph/: DAG construction, topological ordering,
+ * graph contraction (§3.1 criteria) and MetaLevel assignment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/contraction.h"
+#include "test_util.h"
+
+namespace spindle {
+namespace {
+
+using testutil::fig3Workload;
+
+OperatorDesc
+opOf(OpType type, TensorShape shape, double flops = 1e9)
+{
+    OperatorDesc op;
+    op.type = type;
+    op.input = shape;
+    op.flopsFwd = flops;
+    op.paramBytes = 1e6;
+    op.activationBytes = 1e6;
+    return op;
+}
+
+TEST(ComputationGraph, AssignsDenseIds)
+{
+    ComputationGraph g;
+    EXPECT_EQ(g.addOperator(opOf(OpType::Text, {1, 2, 3})), 0);
+    EXPECT_EQ(g.addOperator(opOf(OpType::Text, {1, 2, 3})), 1);
+    EXPECT_EQ(g.numOps(), 2u);
+}
+
+TEST(ComputationGraph, TopoOrderRespectsEdges)
+{
+    ComputationGraph g;
+    OpId a = g.addOperator(opOf(OpType::Text, {1, 2, 3}));
+    OpId b = g.addOperator(opOf(OpType::Text, {1, 2, 3}));
+    OpId c = g.addOperator(opOf(OpType::Text, {1, 2, 3}));
+    g.addEdge(a, c);
+    g.addEdge(b, c);
+    g.finalize();
+
+    const auto &topo = g.topoOrder();
+    ASSERT_EQ(topo.size(), 3u);
+    auto pos = [&](OpId id) {
+        return std::find(topo.begin(), topo.end(), id) - topo.begin();
+    };
+    EXPECT_LT(pos(a), pos(c));
+    EXPECT_LT(pos(b), pos(c));
+}
+
+TEST(ComputationGraph, DetectsCycle)
+{
+    ComputationGraph g;
+    OpId a = g.addOperator(opOf(OpType::Text, {1, 2, 3}));
+    OpId b = g.addOperator(opOf(OpType::Text, {1, 2, 3}));
+    g.addEdge(a, b);
+    g.addEdge(b, a);
+    EXPECT_EXIT(g.finalize(), ::testing::ExitedWithCode(1), "cycle");
+}
+
+TEST(ComputationGraph, RejectsSelfLoop)
+{
+    ComputationGraph g;
+    OpId a = g.addOperator(opOf(OpType::Text, {1, 2, 3}));
+    EXPECT_EXIT(g.addEdge(a, a), ::testing::ExitedWithCode(1),
+                "self-loop");
+}
+
+TEST(ComputationGraph, DegreesMatchEdges)
+{
+    ComputationGraph g = fig3Workload();
+    std::size_t in_total = 0, out_total = 0;
+    for (const auto &op : g.ops()) {
+        in_total += g.inDegree(op.id);
+        out_total += g.outDegree(op.id);
+    }
+    EXPECT_EQ(in_total, g.numEdges());
+    EXPECT_EQ(out_total, g.numEdges());
+}
+
+TEST(ComputationGraph, UniqueParamBytesCountsSharedOnce)
+{
+    ComputationGraph g = fig3Workload();
+    double raw = 0;
+    for (const auto &op : g.ops())
+        raw += op.paramBytes;
+    // The shared text encoder and LM appear in both tasks, so the
+    // deduplicated total must be strictly smaller than the raw sum.
+    EXPECT_LT(g.totalUniqueParamBytes(), raw);
+    EXPECT_GT(g.totalUniqueParamBytes(), 0);
+}
+
+TEST(Contraction, FusesUniformChain)
+{
+    ComputationGraph g;
+    OpId prev = g.addOperator(opOf(OpType::Text, {4, 8, 16}));
+    for (int i = 0; i < 5; ++i) {
+        OpId next = g.addOperator(opOf(OpType::Text, {4, 8, 16}));
+        g.addEdge(prev, next);
+        prev = next;
+    }
+    g.finalize();
+    MetaGraph meta = contractGraph(g);
+    ASSERT_EQ(meta.numMetaOps(), 1u);
+    EXPECT_EQ(meta.metaOp(0).numOps(), 6);
+    EXPECT_EQ(meta.numLevels(), 1u);
+}
+
+TEST(Contraction, TypeChangeBreaksChain)
+{
+    ComputationGraph g;
+    OpId a = g.addOperator(opOf(OpType::Text, {4, 8, 16}));
+    OpId b = g.addOperator(opOf(OpType::Vision, {4, 8, 16}));
+    g.addEdge(a, b);
+    g.finalize();
+    MetaGraph meta = contractGraph(g);
+    EXPECT_EQ(meta.numMetaOps(), 2u);
+}
+
+TEST(Contraction, ShapeChangeBreaksChain)
+{
+    ComputationGraph g;
+    OpId a = g.addOperator(opOf(OpType::Text, {4, 8, 16}));
+    OpId b = g.addOperator(opOf(OpType::Text, {4, 8, 32}));
+    g.addEdge(a, b);
+    g.finalize();
+    MetaGraph meta = contractGraph(g);
+    EXPECT_EQ(meta.numMetaOps(), 2u);
+}
+
+TEST(Contraction, BranchBreaksChain)
+{
+    // a -> b, a -> c: out-degree(a) == 2, so nothing merges with a.
+    ComputationGraph g;
+    OpId a = g.addOperator(opOf(OpType::Text, {4, 8, 16}));
+    OpId b = g.addOperator(opOf(OpType::Text, {4, 8, 16}));
+    OpId c = g.addOperator(opOf(OpType::Text, {4, 8, 16}));
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.finalize();
+    MetaGraph meta = contractGraph(g);
+    EXPECT_EQ(meta.numMetaOps(), 3u);
+}
+
+TEST(Contraction, JoinBreaksChain)
+{
+    // a -> c, b -> c: in-degree(c) == 2 blocks merging into c.
+    ComputationGraph g;
+    OpId a = g.addOperator(opOf(OpType::Text, {4, 8, 16}));
+    OpId b = g.addOperator(opOf(OpType::Text, {4, 8, 16}));
+    OpId c = g.addOperator(opOf(OpType::Text, {4, 8, 16}));
+    g.addEdge(a, c);
+    g.addEdge(b, c);
+    g.finalize();
+    MetaGraph meta = contractGraph(g);
+    EXPECT_EQ(meta.numMetaOps(), 3u);
+}
+
+TEST(Contraction, CoversEveryOperatorExactlyOnce)
+{
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    std::set<OpId> seen;
+    for (const MetaOp &m : meta.metaOps())
+        for (OpId op : m.ops)
+            EXPECT_TRUE(seen.insert(op).second) << "op in two MetaOps";
+    EXPECT_EQ(seen.size(), g.numOps());
+}
+
+TEST(Contraction, MetaOfIsConsistent)
+{
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    for (const MetaOp &m : meta.metaOps())
+        for (OpId op : m.ops)
+            EXPECT_EQ(meta.metaOf(op), m.id);
+}
+
+TEST(Contraction, Fig3WorkloadShape)
+{
+    // 2 tasks x (encoder + text + LM) = 6 MetaOps in 2 levels:
+    // encoders at level 0, LMs at level 1.
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    EXPECT_EQ(meta.numMetaOps(), 6u);
+    ASSERT_EQ(meta.numLevels(), 2u);
+    EXPECT_EQ(meta.level(0).size(), 4u);
+    EXPECT_EQ(meta.level(1).size(), 2u);
+    for (MetaOpId id : meta.level(1))
+        EXPECT_EQ(meta.metaOp(id).type, OpType::LM);
+}
+
+TEST(MetaLevels, NoIntraLevelDependencies)
+{
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    for (const MetaEdge &e : meta.edges())
+        EXPECT_LT(meta.metaOp(e.src).level, meta.metaOp(e.dst).level);
+}
+
+TEST(MetaEdges, AggregateParallelFlows)
+{
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    for (const MetaEdge &e : meta.edges())
+        EXPECT_GT(e.flowBytes, 0);
+}
+
+TEST(MemberDesc, MirrorsMetaOpWorkload)
+{
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    const MetaOp &m = meta.metaOp(0);
+    OperatorDesc d = memberDesc(m);
+    EXPECT_EQ(d.type, m.type);
+    EXPECT_EQ(d.input, m.input);
+    EXPECT_DOUBLE_EQ(d.flopsFwd, m.flopsFwdPerOp);
+    EXPECT_DOUBLE_EQ(d.activationBytes, m.activationBytes);
+}
+
+TEST(OpTypeName, AllNamesDistinct)
+{
+    std::set<std::string> names;
+    for (OpType t : {OpType::Text, OpType::Vision, OpType::Audio,
+                     OpType::Depth, OpType::Thermal, OpType::Motion,
+                     OpType::Box, OpType::LM, OpType::Adaptor,
+                     OpType::Contrastive, OpType::Custom})
+        EXPECT_TRUE(names.insert(opTypeName(t)).second);
+}
+
+TEST(TensorShape, NumelAndString)
+{
+    TensorShape s{8, 229, 768};
+    EXPECT_EQ(s.numel(), 8 * 229 * 768);
+    EXPECT_EQ(s.str(), "[8, 229, 768]");
+}
+
+} // namespace
+} // namespace spindle

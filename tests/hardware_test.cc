@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Unit tests for hardware/: device-set utilities, island topology,
+ * collective cost model, and the ground-truth operator oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "test_util.h"
+
+namespace spindle {
+namespace {
+
+using testutil::plainOp;
+using testutil::smallCluster;
+
+TEST(DeviceSet, CanonicalizationAndPredicates)
+{
+    DeviceSet s{3, 1, 2, 2};
+    EXPECT_FALSE(isCanonicalDeviceSet(s));
+    canonicalize(s);
+    EXPECT_EQ(s, (DeviceSet{1, 2, 3}));
+    EXPECT_TRUE(isCanonicalDeviceSet(s));
+    EXPECT_EQ(deviceSetStr(s), "{1,2,3}");
+}
+
+TEST(DeviceSet, IntersectsAndUnion)
+{
+    DeviceSet a{0, 2, 4}, b{1, 3, 5}, c{4, 5};
+    EXPECT_FALSE(intersects(a, b));
+    EXPECT_TRUE(intersects(a, c));
+    EXPECT_EQ(unionOf(a, c), (DeviceSet{0, 2, 4, 5}));
+}
+
+TEST(Topology, IslandStructure)
+{
+    ClusterTopology topo = smallCluster(2);
+    EXPECT_EQ(topo.numDevices(), 16u);
+    EXPECT_EQ(topo.numIslands(), 2u);
+    EXPECT_EQ(topo.islandOf(0), 0u);
+    EXPECT_EQ(topo.islandOf(7), 0u);
+    EXPECT_EQ(topo.islandOf(8), 1u);
+    EXPECT_TRUE(topo.sameIsland(0, 7));
+    EXPECT_FALSE(topo.sameIsland(7, 8));
+    EXPECT_EQ(topo.islandDevices(1),
+              (DeviceSet{8, 9, 10, 11, 12, 13, 14, 15}));
+    EXPECT_EQ(topo.allDevices().size(), 16u);
+}
+
+TEST(Topology, WithinOneIsland)
+{
+    ClusterTopology topo = smallCluster(2);
+    EXPECT_TRUE(topo.withinOneIsland({0, 3, 7}));
+    EXPECT_FALSE(topo.withinOneIsland({7, 8}));
+}
+
+TEST(Topology, LinkClasses)
+{
+    ClusterTopology topo = smallCluster(2);
+    // On-device copy is the fastest, NVLink next, P2P IB slowest.
+    EXPECT_GT(topo.linkBetween(3, 3).bandwidth,
+              topo.linkBetween(3, 4).bandwidth);
+    EXPECT_GT(topo.linkBetween(3, 4).bandwidth,
+              topo.linkBetween(3, 12).bandwidth);
+    // Cross-island collectives ride the rail-aggregated class.
+    EXPECT_GT(topo.groupLink({0, 8}).bandwidth,
+              topo.linkBetween(0, 8).bandwidth);
+}
+
+TEST(Collective, RingAllReduceFormula)
+{
+    LinkParams link{100.0, 0.0}; // 100 B/s, no latency
+    // 2 * (g-1)/g * bytes / bw with g=4, bytes=400: 2*3/4*4 = 6 s.
+    EXPECT_NEAR(CollectiveModel::ringAllReduce(400, 4, link), 6.0, 1e-9);
+    EXPECT_DOUBLE_EQ(CollectiveModel::ringAllReduce(400, 1, link), 0.0);
+}
+
+TEST(Collective, RingAllGatherFormula)
+{
+    LinkParams link{100.0, 0.0};
+    EXPECT_NEAR(CollectiveModel::ringAllGather(400, 4, link), 3.0, 1e-9);
+}
+
+TEST(Collective, LatencyTermScalesWithGroup)
+{
+    LinkParams link{1e12, 1e-6};
+    double t4 = CollectiveModel::ringAllReduce(1, 4, link);
+    double t8 = CollectiveModel::ringAllReduce(1, 8, link);
+    EXPECT_GT(t8, t4);
+}
+
+TEST(Collective, FlowTimeResidentIsFree)
+{
+    ClusterTopology topo = smallCluster(2);
+    CollectiveModel coll(topo);
+    EXPECT_DOUBLE_EQ(coll.flowTime(1e9, {0, 1}, {0, 1}), 0.0);
+}
+
+TEST(Collective, FlowTimePrefersBestPairAndShards)
+{
+    ClusterTopology topo = smallCluster(2);
+    CollectiveModel coll(topo);
+    // Overlapping sets copy on-device; disjoint intra-island sets
+    // ride NVLink; cross-island rides single-rail IB.
+    double copy = coll.flowTime(1e9, {0, 1}, {1, 2});
+    double nvlink = coll.flowTime(1e9, {0, 1}, {2, 3});
+    double ib = coll.flowTime(1e9, {0, 1}, {8, 9});
+    EXPECT_LT(copy, nvlink);
+    EXPECT_LT(nvlink, ib);
+    // More parallel streams move the same bytes faster.
+    EXPECT_LT(coll.flowTime(1e9, {0, 1, 2, 3}, {8, 9, 10, 11}),
+              coll.flowTime(1e9, {0}, {8}));
+}
+
+TEST(HardwareModel, EfficiencySaturatesAndPenalizesSmallKernels)
+{
+    ClusterTopology topo = smallCluster(1);
+    HardwareModel hw(topo);
+    const HardwareParams &p = hw.params();
+    EXPECT_GT(hw.efficiency(100 * p.halfEffFlops), 0.9);
+    EXPECT_NEAR(hw.efficiency(p.halfEffFlops), 0.5, 1e-9);
+    // Crossing a kernel-regime boundary applies a discrete penalty.
+    double above = hw.efficiency(p.smallKernelFlops * 1.001);
+    double below = hw.efficiency(p.smallKernelFlops * 0.999);
+    EXPECT_LT(below, above * 0.85);
+    EXPECT_GE(hw.efficiency(1.0), p.minEfficiency);
+}
+
+TEST(HardwareModel, EfficiencyMonotoneWithinRegimes)
+{
+    ClusterTopology topo = smallCluster(1);
+    HardwareModel hw(topo);
+    double prev = 0;
+    for (double w = 2e9; w < 1e12; w *= 2) {
+        double eff = hw.efficiency(w);
+        EXPECT_GE(eff, prev);
+        prev = eff;
+    }
+}
+
+TEST(HardwareModel, ConfigsRespectBatchDivisibility)
+{
+    ClusterTopology topo = smallCluster(2);
+    HardwareModel hw(topo);
+    OperatorDesc op = plainOp(/*batch=*/6);
+    for (std::uint32_t n = 1; n <= 16; ++n) {
+        for (const ParallelConfig &cfg : hw.configsFor(op, n)) {
+            EXPECT_EQ(cfg.devices(), n);
+            EXPECT_EQ(6 % cfg.dp, 0u) << "dp must divide batch";
+            EXPECT_TRUE(isPowerOfTwo(cfg.tp));
+        }
+    }
+}
+
+TEST(HardwareModel, ValidAllocationsMatchPaperExample)
+{
+    // §3.3: with TP degree 2 available and batch 6, n = 5, 7 are
+    // invalid (5 and 7 neither divide the batch nor compose).
+    ClusterTopology topo = smallCluster(2);
+    HardwareModel hw(topo);
+    OperatorDesc op = plainOp(/*batch=*/6);
+    auto valid = hw.validAllocations(op, 16);
+    EXPECT_TRUE(std::count(valid.begin(), valid.end(), 6));
+    EXPECT_FALSE(std::count(valid.begin(), valid.end(), 5));
+    EXPECT_FALSE(std::count(valid.begin(), valid.end(), 7));
+    EXPECT_TRUE(hw.isValidAllocation(op, 1));
+}
+
+TEST(HardwareModel, TpCapBoundsConfigs)
+{
+    ClusterTopology topo = smallCluster(1);
+    HardwareParams params;
+    params.maxTpDegree = 2;
+    HardwareModel hw(topo, params);
+    OperatorDesc op = plainOp(/*batch=*/1);
+    // Pure TP only (batch 1): valid n limited to {1, 2}.
+    auto valid = hw.validAllocations(op, 8);
+    EXPECT_EQ(valid, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(HardwareModel, BestConfigIsCheapest)
+{
+    ClusterTopology topo = smallCluster(1);
+    HardwareModel hw(topo);
+    OperatorDesc op = plainOp(/*batch=*/8);
+    ParallelConfig best = hw.bestConfig(op, 8);
+    for (const ParallelConfig &cfg : hw.configsFor(op, 8))
+        EXPECT_LE(hw.opTimeFwd(op, best), hw.opTimeFwd(op, cfg) + 1e-12);
+}
+
+TEST(HardwareModel, TpCommChargedOnlyWithTp)
+{
+    ClusterTopology topo = smallCluster(1);
+    HardwareModel hw(topo);
+    OperatorDesc op = plainOp(/*batch=*/8);
+    double dp_only = hw.opTimeFwd(op, ParallelConfig{8, 1});
+    double with_tp = hw.opTimeFwd(op, ParallelConfig{4, 2});
+    // Same per-device compute, but TP pays two all-reduces.
+    EXPECT_GT(with_tp, dp_only);
+}
+
+TEST(HardwareModel, BwdCostsMoreThanFwd)
+{
+    ClusterTopology topo = smallCluster(1);
+    HardwareModel hw(topo);
+    OperatorDesc op = plainOp();
+    ParallelConfig cfg = hw.bestConfig(op, 4);
+    EXPECT_GT(hw.opTimeBwd(op, cfg), hw.opTimeFwd(op, cfg));
+    EXPECT_NEAR(hw.opTime(op, 4),
+                hw.opTimeFwd(op, cfg) + hw.opTimeBwd(op, cfg), 1e-12);
+}
+
+TEST(HardwareModel, HeavyOpsScaleBetterThanLightOps)
+{
+    // The Fig. 4 phenomenon: scalability sigma(n) = T(1)/T(n) is far
+    // higher for heavy ops than for light ones.
+    ClusterTopology topo = smallCluster(4);
+    HardwareModel hw(topo);
+    OperatorDesc heavy = plainOp(64, 512, 4096, OpType::LM);
+    OperatorDesc light = plainOp(64, 77, 512, OpType::Text);
+    double sigma_heavy = hw.opTime(heavy, 1) / hw.opTime(heavy, 32);
+    double sigma_light = hw.opTime(light, 1) / hw.opTime(light, 32);
+    EXPECT_GT(sigma_heavy, 3 * sigma_light);
+}
+
+TEST(HardwareModel, MetaOpTimeMatchesMemberDesc)
+{
+    ComputationGraph g = testutil::fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(2);
+    HardwareModel hw(topo);
+    const MetaOp &m = meta.metaOp(0);
+    EXPECT_DOUBLE_EQ(hw.metaOpTime(m, 4), hw.opTime(memberDesc(m), 4));
+}
+
+/** T(n) sampled on the valid grid is positive everywhere. */
+class OracleSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(OracleSweep, TimesPositiveAndBoundedByLaunch)
+{
+    ClusterTopology topo = smallCluster(4);
+    HardwareModel hw(topo);
+    OperatorDesc op = plainOp(/*batch=*/32);
+    std::uint32_t n = GetParam();
+    if (!hw.isValidAllocation(op, n))
+        GTEST_SKIP();
+    double t = hw.opTime(op, n);
+    EXPECT_GT(t, 2 * hw.params().kernelLaunch);
+    EXPECT_LT(t, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllocSweep, OracleSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+} // namespace
+} // namespace spindle

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for models/: the SpindleTask/addFlow workload builder
+ * and the three evaluation workloads of Tab. 1b / Appendix C.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace spindle {
+namespace {
+
+double
+paramsBillions(const ComputationGraph &g)
+{
+    return g.totalUniqueParamBytes() / kBytesFp16 / 1e9;
+}
+
+TEST(WorkloadBuilder, TransformerAccounting)
+{
+    // 24 B S H^2 + 4 B S^2 H and 12 H^2 params.
+    EXPECT_DOUBLE_EQ(transformerFwdFlops(2, 4, 8),
+                     24.0 * 2 * 4 * 64 + 4.0 * 2 * 16 * 8);
+    EXPECT_DOUBLE_EQ(transformerParamBytes(8), 12.0 * 64 * kBytesFp16);
+    EXPECT_DOUBLE_EQ(activationBytesOf({2, 4, 8}), 64 * kBytesFp16);
+}
+
+TEST(WorkloadBuilder, SharedModulesShareParamKeys)
+{
+    WorkloadBuilder b;
+    SharedModule shared = b.declareShared(
+        transformerStack("enc", OpType::Text, 8, 16, 32, 3));
+    std::int32_t t0 = b.addTask("t0");
+    std::int32_t t1 = b.addTask("t1");
+    NodeRange r0 = b.addModule(
+        t0, transformerStack("t0.enc", OpType::Text, 8, 16, 32, 3),
+        &shared);
+    NodeRange r1 = b.addModule(
+        t1, transformerStack("t1.enc", OpType::Text, 8, 16, 32, 3),
+        &shared);
+    ComputationGraph g = b.build();
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(g.op(r0.first + i).paramKey, g.op(r1.first + i).paramKey);
+        EXPECT_NE(g.op(r0.first + i).paramKey, kNoParam);
+    }
+}
+
+TEST(WorkloadBuilder, LayerCountMismatchIsFatal)
+{
+    WorkloadBuilder b;
+    SharedModule shared = b.declareShared(
+        transformerStack("enc", OpType::Text, 8, 16, 32, 3));
+    std::int32_t t0 = b.addTask("t0");
+    ModuleSpec wrong = transformerStack("x", OpType::Text, 8, 16, 32, 4);
+    EXPECT_EXIT(b.addModule(t0, wrong, &shared),
+                ::testing::ExitedWithCode(1), "keys");
+}
+
+TEST(WorkloadBuilder, AddFlowConnectsRangeEnds)
+{
+    WorkloadBuilder b;
+    std::int32_t t0 = b.addTask("t0");
+    NodeRange a = b.addModule(
+        t0, transformerStack("a", OpType::Audio, 8, 16, 32, 2));
+    NodeRange c = b.addModule(
+        t0, transformerStack("c", OpType::LM, 8, 16, 64, 2));
+    b.addFlow(a, c);
+    ComputationGraph g = b.build();
+    bool found = false;
+    for (const Edge &e : g.edges())
+        if (e.src == a.last && e.dst == c.first)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(MultitaskClip, ParamCountNearPaper)
+{
+    // Tab. 1b: 1.20 B parameters at 10 tasks (ours ~1.28 B).
+    ComputationGraph g = buildMultitaskClip({.numTasks = 10});
+    EXPECT_NEAR(paramsBillions(g), 1.2, 0.15);
+}
+
+TEST(MultitaskClip, TaskCountsAndTypes)
+{
+    for (std::uint32_t tasks : {1u, 4u, 7u, 10u}) {
+        ComputationGraph g = buildMultitaskClip({.numTasks = tasks});
+        std::set<std::int32_t> ids;
+        for (const auto &op : g.ops())
+            ids.insert(op.taskId);
+        EXPECT_EQ(ids.size(), tasks);
+    }
+}
+
+TEST(MultitaskClip, Fig4TaskPairingsAtFourTasks)
+{
+    ComputationGraph g = buildMultitaskClip({.numTasks = 4});
+    // Task 0 pairs text+audio; task 1 pairs vision+depth (Fig. 4).
+    std::set<OpType> t0_types, t1_types;
+    for (const auto &op : g.ops()) {
+        if (op.taskId == 0 && op.type != OpType::Contrastive)
+            t0_types.insert(op.type);
+        if (op.taskId == 1 && op.type != OpType::Contrastive)
+            t1_types.insert(op.type);
+    }
+    EXPECT_EQ(t0_types, (std::set<OpType>{OpType::Text, OpType::Audio}));
+    EXPECT_EQ(t1_types,
+              (std::set<OpType>{OpType::Vision, OpType::Depth}));
+}
+
+TEST(MultitaskClip, EncodersSharedAcrossTasks)
+{
+    ComputationGraph g = buildMultitaskClip({.numTasks = 4});
+    // Audio appears in tasks 0 and 2 with identical param keys.
+    std::map<std::int32_t, std::vector<ParamKey>> audio_keys;
+    for (const auto &op : g.ops())
+        if (op.type == OpType::Audio)
+            audio_keys[op.taskId].push_back(op.paramKey);
+    ASSERT_EQ(audio_keys.size(), 2u);
+    EXPECT_EQ(audio_keys.begin()->second,
+              std::next(audio_keys.begin())->second);
+}
+
+TEST(MultitaskClip, ContractsToTwoLevelGraph)
+{
+    ComputationGraph g = buildMultitaskClip({.numTasks = 4});
+    MetaGraph meta = contractGraph(g);
+    // Two encoder MetaOps + one loss per task.
+    EXPECT_EQ(meta.numMetaOps(), 12u);
+    EXPECT_EQ(meta.numLevels(), 2u);
+}
+
+TEST(MultitaskClip, RejectsBadTaskCount)
+{
+    EXPECT_EXIT(buildMultitaskClip({.numTasks = 11}),
+                ::testing::ExitedWithCode(1), "numTasks");
+}
+
+TEST(Ofasys, ParamCountNearPaper)
+{
+    ComputationGraph g = buildOfasys({.numTasks = 7});
+    EXPECT_NEAR(paramsBillions(g), 0.66, 0.08);
+}
+
+TEST(Ofasys, UnifiedLmSharedByEveryTask)
+{
+    ComputationGraph g = buildOfasys({.numTasks = 7});
+    std::map<ParamKey, std::set<std::int32_t>> lm_tasks;
+    for (const auto &op : g.ops())
+        if (op.type == OpType::LM && op.paramKey != kNoParam)
+            lm_tasks[op.paramKey].insert(op.taskId);
+    ASSERT_FALSE(lm_tasks.empty());
+    for (const auto &[key, tasks] : lm_tasks)
+        EXPECT_EQ(tasks.size(), 7u);
+}
+
+TEST(Ofasys, AdaptorsAreLightweight)
+{
+    ComputationGraph g = buildOfasys({});
+    double adaptor = 0, lm = 0;
+    for (const auto &op : g.ops()) {
+        if (op.type == OpType::Adaptor)
+            adaptor += op.flopsFwd;
+        if (op.type == OpType::LM)
+            lm += op.flopsFwd;
+    }
+    EXPECT_LT(adaptor, 0.1 * lm);
+}
+
+TEST(QwenVal, ParamCountsAcrossScales)
+{
+    EXPECT_NEAR(paramsBillions(buildQwenVal({})), 9.25, 0.5);
+    EXPECT_NEAR(paramsBillions(buildQwenVal(
+                    {.size = QwenValConfig::Size::B30})),
+                30.0, 3.0);
+    EXPECT_NEAR(paramsBillions(buildQwenVal(
+                    {.size = QwenValConfig::Size::B70})),
+                70.0, 7.0);
+}
+
+TEST(QwenVal, CrossModalModuleDominatesEncoders)
+{
+    // Tab. 1b: the decoder-only LLM outweighs the modality encoders.
+    ComputationGraph g = buildQwenVal({});
+    double lm = 0, enc = 0;
+    for (const auto &op : g.ops()) {
+        if (op.type == OpType::LM)
+            lm += op.flopsFwd;
+        else if (op.type == OpType::Vision || op.type == OpType::Audio)
+            enc += op.flopsFwd;
+    }
+    EXPECT_GT(lm, enc);
+}
+
+TEST(QwenVal, ThreeTasksActivateExpectedEncoders)
+{
+    ComputationGraph g = buildQwenVal({});
+    std::map<std::int32_t, std::set<OpType>> types;
+    for (const auto &op : g.ops())
+        types[op.taskId].insert(op.type);
+    EXPECT_TRUE(types[0].count(OpType::Vision));  // VL
+    EXPECT_FALSE(types[0].count(OpType::Audio));
+    EXPECT_TRUE(types[1].count(OpType::Audio));   // AL
+    EXPECT_FALSE(types[1].count(OpType::Vision));
+    EXPECT_TRUE(types[2].count(OpType::Vision));  // VAL
+    EXPECT_TRUE(types[2].count(OpType::Audio));
+}
+
+/** Every workload builds, finalizes acyclically and contracts. */
+class WorkloadSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(WorkloadSweep, BuildsAndContracts)
+{
+    auto [model, tasks] = GetParam();
+    ComputationGraph g =
+        model == 0
+            ? buildMultitaskClip(
+                  {.numTasks = static_cast<std::uint32_t>(tasks)})
+            : (model == 1
+                   ? buildOfasys(
+                         {.numTasks = static_cast<std::uint32_t>(tasks)})
+                   : buildQwenVal({.numTasks =
+                                       static_cast<std::uint32_t>(tasks)}));
+    EXPECT_TRUE(g.finalized());
+    MetaGraph meta = contractGraph(g);
+    EXPECT_GT(meta.numMetaOps(), 0u);
+    EXPECT_LT(meta.numMetaOps(), g.numOps());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, WorkloadSweep,
+    ::testing::Values(std::tuple{0, 1}, std::tuple{0, 4}, std::tuple{0, 7},
+                      std::tuple{0, 10}, std::tuple{1, 4}, std::tuple{1, 7},
+                      std::tuple{2, 1}, std::tuple{2, 3}));
+
+} // namespace
+} // namespace spindle

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for device placement (§3.5): island affinity, memory
+ * balance with parameter deduplication, the memory-first fallback,
+ * and the sequential ablation strategy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "planner/planner.h"
+#include "test_util.h"
+
+namespace spindle {
+namespace {
+
+using testutil::fig3Workload;
+using testutil::smallCluster;
+
+PlannerOutput
+planWith(const MetaGraph &meta, const HardwareModel &hw,
+         PlacementStrategy strategy)
+{
+    PlannerOptions options;
+    options.placement.strategy = strategy;
+    ExecutionPlanner planner(hw, options);
+    return planner.plan(meta);
+}
+
+TEST(Placement, EveryEntryPlacedWithDeclaredSize)
+{
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(2);
+    HardwareModel hw(topo);
+    PlannerOutput out = planWith(meta, hw, PlacementStrategy::Spindle);
+    for (const Wave &w : out.plan.waves) {
+        for (const WaveEntry &e : w.entries) {
+            EXPECT_EQ(e.devices.size(), e.n);
+            EXPECT_TRUE(isCanonicalDeviceSet(e.devices));
+        }
+    }
+}
+
+TEST(Placement, WaveEntriesOccupyDisjointDevices)
+{
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(2);
+    HardwareModel hw(topo);
+    PlannerOutput out = planWith(meta, hw, PlacementStrategy::Spindle);
+    out.plan.validate(meta); // includes the disjointness check
+}
+
+TEST(Placement, ReportsPeakMemoryPerDevice)
+{
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(2);
+    HardwareModel hw(topo);
+    PlannerOutput out = planWith(meta, hw, PlacementStrategy::Spindle);
+    ASSERT_EQ(out.placement.peakBytes.size(), topo.numDevices());
+    double total = 0;
+    for (double b : out.placement.peakBytes) {
+        EXPECT_GE(b, 0);
+        EXPECT_LE(b, topo.device().memoryBytes);
+        total += b;
+    }
+    EXPECT_GT(total, 0);
+}
+
+TEST(Placement, SpindleCommCheaperThanSequential)
+{
+    // The Fig. 10 ablation: locality-aware placement cuts inter-wave
+    // transmission versus consecutive-devices placement.
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(2);
+    HardwareModel hw(topo);
+    PlannerOutput sp = planWith(meta, hw, PlacementStrategy::Spindle);
+    PlannerOutput seq =
+        planWith(meta, hw, PlacementStrategy::Sequential);
+
+    CollectiveModel coll(topo);
+    double sp_bytes = totalTransmissionBytes(
+        buildTransmissions(meta, sp.plan, coll));
+    double seq_bytes = totalTransmissionBytes(
+        buildTransmissions(meta, seq.plan, coll));
+    EXPECT_LT(sp_bytes, seq_bytes);
+}
+
+TEST(Placement, MemoryBalancedAcrossDevices)
+{
+    ComputationGraph g = buildMultitaskClip({.numTasks = 4});
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(2);
+    HardwareModel hw(topo);
+    PlannerOutput out = planWith(meta, hw, PlacementStrategy::Spindle);
+    double mx = 0, mn = 1e30;
+    for (double b : out.placement.peakBytes) {
+        mx = std::max(mx, b);
+        mn = std::min(mn, b);
+    }
+    // No device should be loaded an order of magnitude above another.
+    EXPECT_LT(mx, 10 * std::max(mn, 1.0));
+}
+
+TEST(Placement, MemoryFirstFallbackOnTightMemory)
+{
+    // Shrink HBM until the comm-first pass cannot fit; the placer
+    // must fall back to memory-first scoring rather than fail.
+    ComputationGraph g = buildMultitaskClip({.numTasks = 4});
+    MetaGraph meta = contractGraph(g);
+
+    ClusterConfig cfg;
+    cfg.numNodes = 2;
+    cfg.gpusPerNode = 8;
+    // Find a capacity between "comfortable" and "impossible".
+    ClusterTopology roomy(cfg);
+    HardwareModel hw_roomy(roomy);
+    PlannerOutput baseline =
+        planWith(meta, hw_roomy, PlacementStrategy::Spindle);
+    double peak = 0;
+    for (double b : baseline.placement.peakBytes)
+        peak = std::max(peak, b);
+
+    cfg.device.memoryBytes = peak * 1.05;
+    ClusterTopology tight(cfg);
+    HardwareModel hw_tight(tight);
+    PlannerOutput out =
+        planWith(meta, hw_tight, PlacementStrategy::Spindle);
+    for (double b : out.placement.peakBytes)
+        EXPECT_LE(b, cfg.device.memoryBytes * (1 + 1e-9));
+}
+
+TEST(Placement, SequentialStrategyIgnoresMemoryBalance)
+{
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(2);
+    HardwareModel hw(topo);
+    PlannerOutput out =
+        planWith(meta, hw, PlacementStrategy::Sequential);
+    out.plan.validate(meta);
+    EXPECT_FALSE(out.placement.usedMemoryFallback);
+}
+
+TEST(MemoryModel, ShardingArithmetic)
+{
+    MemoryModel mem;
+    MetaOp m;
+    m.paramBytesPerOp = 1000;
+    m.activationBytes = 4000;
+    // TP shards params; ZeRO shards optimizer state across DP.
+    double one_dev =
+        mem.paramStateBytesPerDevice(m, 1, ParallelConfig{1, 1});
+    EXPECT_DOUBLE_EQ(one_dev, 1000 + 7000);
+    double tp2 = mem.paramStateBytesPerDevice(m, 1, ParallelConfig{1, 2});
+    EXPECT_DOUBLE_EQ(tp2, 500 + 3500);
+    double dp4 = mem.paramStateBytesPerDevice(m, 1, ParallelConfig{4, 1});
+    EXPECT_DOUBLE_EQ(dp4, 1000 + 7000.0 / 4);
+    // Activations divide across all devices of the slice.
+    EXPECT_DOUBLE_EQ(
+        mem.activationBytesPerDevice(m, 3, ParallelConfig{2, 2}),
+        3 * 4000.0 / 4);
+    EXPECT_DOUBLE_EQ(mem.sliceBytesPerDevice(m, 1, ParallelConfig{1, 1}),
+                     one_dev + 4000);
+}
+
+TEST(MemoryModel, NoZeroShardReplicatesOptimizer)
+{
+    MemoryParams params;
+    params.zeroShardOptimizer = false;
+    MemoryModel mem(params);
+    MetaOp m;
+    m.paramBytesPerOp = 1000;
+    double dp4 = mem.paramStateBytesPerDevice(m, 1, ParallelConfig{4, 1});
+    EXPECT_DOUBLE_EQ(dp4, 1000 + 7000);
+}
+
+} // namespace
+} // namespace spindle

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Adversarial tests for ExecutionPlan::validate(): every structural
+ * invariant of the paper's formulation (§3 Eqs. 2-3, 6-7) must be
+ * enforced, so a malformed plan can never reach the runtime engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "planner/execution_plan.h"
+#include "test_util.h"
+
+namespace spindle {
+namespace {
+
+using testutil::fig3Workload;
+
+/** A minimal valid plan: one whole-cluster wave per MetaOp in
+ *  dependency order. */
+ExecutionPlan
+wholeClusterPlan(const MetaGraph &meta, std::uint32_t n)
+{
+    ExecutionPlan plan;
+    plan.numDevices = n;
+    for (std::size_t k = 0; k < meta.numLevels(); ++k) {
+        for (MetaOpId id : meta.level(k)) {
+            Wave wave;
+            wave.index = static_cast<std::int32_t>(plan.waves.size());
+            wave.level = meta.metaOp(id).level;
+            WaveEntry e;
+            e.metaOp = id;
+            e.n = n;
+            e.opBegin = 0;
+            e.numOps = meta.metaOp(id).numOps();
+            e.devices.resize(n);
+            std::iota(e.devices.begin(), e.devices.end(), 0u);
+            wave.entries.push_back(std::move(e));
+            plan.waves.push_back(std::move(wave));
+        }
+    }
+    return plan;
+}
+
+struct ValidateFixture : public ::testing::Test
+{
+    ValidateFixture()
+        : graph(fig3Workload()), meta(contractGraph(graph)),
+          plan(wholeClusterPlan(meta, 8))
+    {
+    }
+
+    ComputationGraph graph;
+    MetaGraph meta;
+    ExecutionPlan plan;
+};
+
+TEST_F(ValidateFixture, BaselineShapeIsValid)
+{
+    plan.validate(meta);
+}
+
+TEST_F(ValidateFixture, RejectsCapacityViolation)
+{
+    // Eq. 2: a wave allocating more than N devices.
+    plan.waves[0].entries[0].n = 9;
+    plan.waves[0].entries[0].devices.push_back(8);
+    EXPECT_DEATH(plan.validate(meta), "allocates");
+}
+
+TEST_F(ValidateFixture, RejectsDependencyViolation)
+{
+    // Eq. 3: move a level-1 (LM) wave before its encoders finish.
+    std::size_t lm_wave = 0;
+    for (std::size_t i = 0; i < plan.waves.size(); ++i)
+        if (meta.metaOp(plan.waves[i].entries[0].metaOp).level == 1)
+            lm_wave = i;
+    std::swap(plan.waves[0], plan.waves[lm_wave]);
+    EXPECT_DEATH(plan.validate(meta), "predecessor");
+}
+
+TEST_F(ValidateFixture, RejectsDuplicateMetaOpInWave)
+{
+    // Eq. 6: the same MetaOp twice in one wave (kept within the
+    // capacity budget so the duplicate check is what fires).
+    Wave &wave = plan.waves[0];
+    wave.entries[0].n = 4;
+    wave.entries[0].devices = {0, 1, 2, 3};
+    WaveEntry dup = wave.entries[0];
+    dup.devices = {4, 5, 6, 7};
+    wave.entries.push_back(dup);
+    EXPECT_DEATH(plan.validate(meta), "twice");
+}
+
+TEST_F(ValidateFixture, RejectsUnderExecution)
+{
+    // Eq. 7: a sink MetaOp (no successors to trip the dependency
+    // check first) that never finishes all L_m operators.
+    plan.waves.back().entries[0].numOps -= 1;
+    EXPECT_DEATH(plan.validate(meta), "executed");
+}
+
+TEST_F(ValidateFixture, RejectsOverExecution)
+{
+    plan.waves[0].entries[0].numOps += 1;
+    EXPECT_DEATH(plan.validate(meta), "over-executes");
+}
+
+TEST_F(ValidateFixture, RejectsNonContiguousSlices)
+{
+    // Split a MetaOp's wave into two slices and skip one operator.
+    Wave second = plan.waves[0];
+    plan.waves[0].entries[0].numOps = 1;
+    second.entries[0].opBegin = 2; // skips operator 1
+    second.entries[0].numOps =
+        meta.metaOp(second.entries[0].metaOp).numOps() - 2;
+    second.index = static_cast<std::int32_t>(plan.waves.size());
+    plan.waves.insert(plan.waves.begin() + 1, second);
+    EXPECT_DEATH(plan.validate(meta), "contiguous");
+}
+
+TEST_F(ValidateFixture, RejectsDeviceSetSizeMismatch)
+{
+    plan.waves[0].entries[0].devices.pop_back();
+    EXPECT_DEATH(plan.validate(meta), "device set size");
+}
+
+TEST_F(ValidateFixture, RejectsOverlappingDeviceSets)
+{
+    // Two entries of one wave sharing a device.
+    Wave &wave = plan.waves[0];
+    WaveEntry other;
+    other.metaOp = plan.waves[1].entries[0].metaOp;
+    other.n = 1;
+    other.opBegin = 0;
+    other.numOps = 1;
+    other.devices = {0}; // overlaps the first entry
+    wave.entries.push_back(other);
+    // Shrink the first entry so capacity is not the failure.
+    wave.entries[0].n = 4;
+    wave.entries[0].devices = {0, 1, 2, 3};
+    EXPECT_DEATH(plan.validate(meta), "overlapping");
+}
+
+TEST_F(ValidateFixture, RejectsZeroDeviceEntry)
+{
+    plan.waves[0].entries[0].n = 0;
+    EXPECT_DEATH(plan.validate(meta), "zero-device");
+}
+
+TEST_F(ValidateFixture, RejectsEmptyWave)
+{
+    plan.waves[0].entries.clear();
+    EXPECT_DEATH(plan.validate(meta), "empty wave");
+}
+
+TEST_F(ValidateFixture, UnplacedPlanSkipsDeviceChecks)
+{
+    // Placement is optional for validation: clearing device sets
+    // leaves a structurally valid (unplaced) plan.
+    for (Wave &w : plan.waves)
+        for (WaveEntry &e : w.entries)
+            e.devices.clear();
+    plan.validate(meta);
+}
+
+} // namespace
+} // namespace spindle

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * End-to-end tests for the execution planner (§3.2-§3.5 pipeline):
+ * validity, optimality gap against the Theorem 1 bound (Fig. 11),
+ * and planning cost (Fig. 12).
+ */
+
+#include <gtest/gtest.h>
+
+#include "planner/planner.h"
+#include "test_util.h"
+
+namespace spindle {
+namespace {
+
+using testutil::fig3Workload;
+using testutil::smallCluster;
+
+TEST(Planner, ProducesValidatedPlanWithCurves)
+{
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(2);
+    HardwareModel hw(topo);
+    ExecutionPlanner planner(hw);
+    PlannerOutput out = planner.plan(meta);
+    EXPECT_EQ(out.curves.size(), meta.numMetaOps());
+    EXPECT_GT(out.plan.theoreticalOptimum, 0);
+    EXPECT_GE(out.plan.estimatedSpan, out.plan.theoreticalOptimum * 0.99);
+    EXPECT_GT(out.planningSeconds, 0);
+}
+
+TEST(Planner, PlanningCompletesWithinPaperBudget)
+{
+    // Fig. 12: execution planning stays below 3 seconds.
+    ComputationGraph g = buildMultitaskClip({.numTasks = 10});
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(4);
+    HardwareModel hw(topo);
+    ExecutionPlanner planner(hw);
+    PlannerOutput out = planner.plan(meta);
+    EXPECT_LT(out.planningSeconds, 3.0);
+}
+
+TEST(Planner, DeterministicPlans)
+{
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(2);
+    HardwareModel hw(topo);
+    ExecutionPlanner planner(hw);
+    PlannerOutput a = planner.plan(meta);
+    PlannerOutput b = planner.plan(meta);
+    EXPECT_DOUBLE_EQ(a.plan.estimatedSpan, b.plan.estimatedSpan);
+    ASSERT_EQ(a.plan.waves.size(), b.plan.waves.size());
+    for (std::size_t i = 0; i < a.plan.waves.size(); ++i)
+        EXPECT_EQ(a.plan.waves[i].entries[0].devices,
+                  b.plan.waves[i].entries[0].devices);
+}
+
+TEST(Planner, PlanStrMentionsEveryWave)
+{
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(1);
+    HardwareModel hw(topo);
+    ExecutionPlanner planner(hw);
+    PlannerOutput out = planner.plan(meta);
+    std::string s = out.plan.str(meta);
+    for (const Wave &w : out.plan.waves)
+        EXPECT_NE(s.find(strCat("wave ", w.index)), std::string::npos);
+}
+
+/**
+ * Fig. 11 property: across workloads and cluster sizes, the planned
+ * compute span stays close to the continuous-relaxation optimum C~*.
+ * The paper reports <= 7% on its workloads; we allow extra headroom
+ * for the sparser valid-allocation grids of power-of-two batches.
+ */
+class OptimalityGap
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>>
+{
+};
+
+TEST_P(OptimalityGap, EstimatedSpanNearTheorem1Bound)
+{
+    auto [tasks, nodes] = GetParam();
+    ComputationGraph g =
+        buildMultitaskClip({.numTasks = static_cast<std::uint32_t>(tasks)});
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(nodes);
+    HardwareModel hw(topo);
+    ExecutionPlanner planner(hw);
+    PlannerOutput out = planner.plan(meta);
+    const double gap =
+        out.plan.estimatedSpan / out.plan.theoreticalOptimum;
+    EXPECT_GE(gap, 1.0 - 1e-9);
+    EXPECT_LE(gap, 1.30);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClipSweep, OptimalityGap,
+    ::testing::Combine(::testing::Values(4, 7, 10),
+                       ::testing::Values(2u, 4u)));
+
+/** The planner remains valid across every workload/cluster combo. */
+class PlannerSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>>
+{
+};
+
+TEST_P(PlannerSweep, PlanValidatesAndCoversAllOps)
+{
+    auto [model, nodes] = GetParam();
+    ComputationGraph g = model == 0
+        ? buildMultitaskClip({.numTasks = 7})
+        : (model == 1 ? buildOfasys({.numTasks = 7}) : buildQwenVal({}));
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(nodes);
+    HardwareModel hw(topo);
+    ExecutionPlanner planner(hw);
+    PlannerOutput out = planner.plan(meta);
+    out.plan.validate(meta);
+    EXPECT_EQ(out.plan.numDevices, topo.numDevices());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, PlannerSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1u, 2u, 4u)));
+
+} // namespace
+} // namespace spindle

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Property-based tests over randomly generated MT MM workloads:
+ * graph contraction, planning and execution invariants must hold for
+ * any dependency structure the builder can express.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "planner/planner.h"
+#include "test_util.h"
+
+namespace spindle {
+namespace {
+
+/** Deterministic random MT workload: tasks of random module chains
+ *  with random shared encoders and random fan-in joins. */
+ComputationGraph
+randomWorkload(std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    auto pick = [&](int lo, int hi) {
+        return std::uniform_int_distribution<int>(lo, hi)(rng);
+    };
+
+    const OpType types[] = {OpType::Text, OpType::Vision, OpType::Audio,
+                            OpType::Depth, OpType::Thermal,
+                            OpType::Motion};
+    const std::int64_t batches[] = {16, 32, 48, 64};
+
+    WorkloadBuilder b;
+    const int num_shared = pick(1, 3);
+    std::vector<SharedModule> shared;
+    std::vector<ModuleSpec> shared_specs;
+    for (int i = 0; i < num_shared; ++i) {
+        ModuleSpec spec = transformerStack(
+            strCat("shared", i), types[pick(0, 5)],
+            batches[pick(0, 3)], 64 * pick(1, 4), 256 * pick(1, 4),
+            static_cast<std::uint32_t>(pick(2, 8)));
+        shared_specs.push_back(spec);
+        shared.push_back(b.declareShared(spec));
+    }
+
+    const int num_tasks = pick(1, 5);
+    for (int t = 0; t < num_tasks; ++t) {
+        std::int32_t task = b.addTask(strCat("task", t));
+        const int num_encoders = pick(1, 3);
+        std::vector<NodeRange> encoders;
+        for (int e = 0; e < num_encoders; ++e) {
+            if (pick(0, 2) == 0) {
+                // Reuse a shared stack (same layer count required).
+                int s = pick(0, num_shared - 1);
+                ModuleSpec spec = shared_specs[s];
+                spec.name = strCat("t", t, ".shared", s);
+                encoders.push_back(b.addModule(task, spec, &shared[s]));
+            } else {
+                encoders.push_back(b.addModule(
+                    task, transformerStack(
+                              strCat("t", t, ".enc", e),
+                              types[pick(0, 5)], batches[pick(0, 3)],
+                              64 * pick(1, 4), 256 * pick(1, 4),
+                              static_cast<std::uint32_t>(pick(1, 6)))));
+            }
+        }
+        // A fusion stage joining all encoders.
+        NodeRange fusion = b.addModule(
+            task, transformerStack(strCat("t", t, ".fusion"), OpType::LM,
+                                   batches[pick(0, 3)], 128, 512,
+                                   static_cast<std::uint32_t>(pick(1, 4))));
+        for (const NodeRange &enc : encoders)
+            b.addFlow(enc, fusion);
+    }
+    return b.build();
+}
+
+class RandomWorkload : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomWorkload, ContractionPartitionsOperators)
+{
+    ComputationGraph g = randomWorkload(GetParam());
+    MetaGraph meta = contractGraph(g);
+    std::set<OpId> seen;
+    for (const MetaOp &m : meta.metaOps()) {
+        EXPECT_GT(m.numOps(), 0);
+        for (OpId op : m.ops) {
+            EXPECT_TRUE(seen.insert(op).second);
+            const OperatorDesc &desc = g.op(op);
+            EXPECT_EQ(desc.type, m.type);
+            EXPECT_EQ(desc.input, m.input);
+            EXPECT_EQ(desc.taskId, m.taskId);
+        }
+    }
+    EXPECT_EQ(seen.size(), g.numOps());
+}
+
+TEST_P(RandomWorkload, ChainsAreConnectedPaths)
+{
+    ComputationGraph g = randomWorkload(GetParam());
+    MetaGraph meta = contractGraph(g);
+    for (const MetaOp &m : meta.metaOps()) {
+        for (std::size_t i = 0; i + 1 < m.ops.size(); ++i) {
+            const auto &succ = g.successors(m.ops[i]);
+            ASSERT_EQ(succ.size(), 1u);
+            EXPECT_EQ(succ[0], m.ops[i + 1]);
+        }
+    }
+}
+
+TEST_P(RandomWorkload, LevelsRespectDependencies)
+{
+    ComputationGraph g = randomWorkload(GetParam());
+    MetaGraph meta = contractGraph(g);
+    for (const MetaEdge &e : meta.edges())
+        EXPECT_LT(meta.metaOp(e.src).level, meta.metaOp(e.dst).level);
+    // Every level is non-empty and indexes every MetaOp once.
+    std::size_t total = 0;
+    for (std::size_t k = 0; k < meta.numLevels(); ++k) {
+        EXPECT_FALSE(meta.level(k).empty());
+        total += meta.level(k).size();
+    }
+    EXPECT_EQ(total, meta.numMetaOps());
+}
+
+TEST_P(RandomWorkload, PlannerProducesValidPlan)
+{
+    ComputationGraph g = randomWorkload(GetParam());
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = testutil::smallCluster(2);
+    HardwareModel hw(topo);
+    ExecutionPlanner planner(hw);
+    PlannerOutput out = planner.plan(meta);
+    out.plan.validate(meta);
+    EXPECT_GT(out.plan.estimatedSpan, 0);
+    EXPECT_GE(out.plan.estimatedSpan,
+              out.plan.theoreticalOptimum * (1 - 1e-9));
+}
+
+TEST_P(RandomWorkload, EngineExecutesEveryOperator)
+{
+    ComputationGraph g = randomWorkload(GetParam());
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = testutil::smallCluster(2);
+    HardwareModel hw(topo);
+    ExecutionPlanner planner(hw);
+    PlannerOutput out = planner.plan(meta);
+    Engine engine(hw);
+    IterationResult r = engine.run(meta, out.plan);
+    EXPECT_GT(r.iterationSeconds, 0);
+    // All forward FLOPs retired: fwd + bwdFactor x fwd.
+    const double expect =
+        g.totalFlopsFwd() * (1 + hw.params().bwdFlopsFactor);
+    EXPECT_NEAR(r.timeline.totalFlops() / expect, 1.0, 1e-9);
+}
+
+TEST_P(RandomWorkload, AllSystemsAgreeOnWorkloadCoverage)
+{
+    ComputationGraph g = randomWorkload(GetParam());
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = testutil::smallCluster(1);
+    HardwareModel hw(topo);
+    const double expect =
+        g.totalFlopsFwd() * (1 + hw.params().bwdFlopsFactor);
+
+    SequentialSystem ds(hw, SequentialMode::DeepSpeed);
+    SpindleOptimusSystem optimus(hw);
+    for (System *sys : {(System *)&ds, (System *)&optimus}) {
+        SystemResult r = sys->runIteration(meta);
+        EXPECT_NEAR(r.timeline.totalFlops() / expect, 1.0, 1e-9)
+            << r.system;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkload,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+} // namespace
+} // namespace spindle

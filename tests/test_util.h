@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared fixtures for the Spindle test suite.
+ */
+
+#ifndef SPINDLE_TESTS_TEST_UTIL_H
+#define SPINDLE_TESTS_TEST_UTIL_H
+
+#include "spindle/spindle.h"
+
+namespace spindle::testutil {
+
+/** A 2-node x 8-GPU cluster with default link classes. */
+inline ClusterTopology
+smallCluster(std::uint32_t num_nodes = 2)
+{
+    ClusterConfig cfg;
+    cfg.numNodes = num_nodes;
+    cfg.gpusPerNode = 8;
+    return ClusterTopology(cfg);
+}
+
+/**
+ * The paper's Fig. 3 style workload: an audio-language and a
+ * vision-language task sharing a text encoder and an LM.
+ */
+inline ComputationGraph
+fig3Workload(std::int64_t batch = 32)
+{
+    WorkloadBuilder b;
+    SharedModule text = b.declareShared(
+        transformerStack("text", OpType::Text, batch, 77, 768, 4));
+    SharedModule lm = b.declareShared(
+        transformerStack("lm", OpType::LM, batch, 512, 1024, 6));
+
+    std::int32_t t0 = b.addTask("audio-language");
+    NodeRange a0 = b.addModule(
+        t0, transformerStack("t0.audio", OpType::Audio, batch, 229, 768, 3));
+    NodeRange x0 = b.addModule(
+        t0, transformerStack("t0.text", OpType::Text, batch, 77, 768, 4),
+        &text);
+    NodeRange l0 = b.addModule(
+        t0, transformerStack("t0.lm", OpType::LM, batch, 512, 1024, 6),
+        &lm);
+    b.addFlow(a0, l0);
+    b.addFlow(x0, l0);
+
+    std::int32_t t1 = b.addTask("vision-language");
+    NodeRange v1 = b.addModule(
+        t1, transformerStack("t1.vision", OpType::Vision, batch, 257, 1024,
+                             5));
+    NodeRange x1 = b.addModule(
+        t1, transformerStack("t1.text", OpType::Text, batch, 77, 768, 4),
+        &text);
+    NodeRange l1 = b.addModule(
+        t1, transformerStack("t1.lm", OpType::LM, batch, 512, 1024, 6),
+        &lm);
+    b.addFlow(v1, l1);
+    b.addFlow(x1, l1);
+    return b.build();
+}
+
+/** One bare operator description for low-level hardware tests. */
+inline OperatorDesc
+plainOp(std::int64_t batch = 32, std::int64_t seq = 128,
+        std::int64_t hidden = 1024, OpType type = OpType::Text)
+{
+    OperatorDesc op;
+    op.name = "op";
+    op.type = type;
+    op.input = {batch, seq, hidden};
+    op.flopsFwd = transformerFwdFlops(batch, seq, hidden);
+    op.paramBytes = transformerParamBytes(hidden);
+    op.activationBytes = activationBytesOf(op.input);
+    return op;
+}
+
+} // namespace spindle::testutil
+
+#endif // SPINDLE_TESTS_TEST_UTIL_H
