@@ -81,7 +81,10 @@ main()
     // ------------------------------------------------------------------
     // 3. Plan on a 2-node x 8-GPU cluster (§3.2-§3.5).
     // ------------------------------------------------------------------
-    ClusterTopology topo({.numNodes = 2, .gpusPerNode = 8});
+    ClusterConfig cluster;
+    cluster.numNodes = 2;
+    cluster.gpusPerNode = 8;
+    ClusterTopology topo(cluster);
     HardwareModel hw(topo);
     ExecutionPlanner planner(hw);
     PlannerOutput out = planner.plan(meta);

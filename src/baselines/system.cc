@@ -7,7 +7,7 @@
 namespace spindle {
 
 System::System(const HardwareModel &hw)
-    : hw_(hw), engine_(hw)
+    : hw_(hw)
 {
 }
 
@@ -16,10 +16,16 @@ System::runIteration(const MetaGraph &graph) const
 {
     const auto t0 = std::chrono::steady_clock::now();
     ExecutionPlan plan = buildPlan(graph);
+    // Every system dispatches on the same event-driven substrate:
+    // ensure the readiness edges its dispatcher consumes are
+    // annotated (planner-built plans already carry them).
+    if (!plan.hasReadiness())
+        plan.annotateReadiness(graph);
     const auto t1 = std::chrono::steady_clock::now();
     plan.validate(graph);
 
-    IterationResult iter = engine_.run(graph, plan);
+    Engine engine(hw_, MemoryParams{}, engine_options_);
+    IterationResult iter = engine.run(graph, plan);
 
     SystemResult result;
     result.system = name();

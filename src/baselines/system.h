@@ -41,6 +41,12 @@ struct SystemResult
 
 /**
  * Abstract training system: strategy = how the plan is built.
+ *
+ * Execution is shared: every system's plan is annotated with
+ * readiness edges and dispatched through the same event-driven
+ * engine (WaveDispatcher / TransmissionExecutor / SyncExecutor), so
+ * a DispatchPolicy change applies uniformly to all systems under
+ * comparison.
  */
 class System
 {
@@ -57,10 +63,19 @@ class System
     virtual ExecutionPlan buildPlan(const MetaGraph &graph) const = 0;
 
     /**
-     * Template method: build the plan, validate it, execute one
-     * iteration on the simulator, and package the measurements.
+     * Template method: build the plan, annotate its readiness
+     * edges, validate it, execute one iteration on the simulator,
+     * and package the measurements.
      */
     SystemResult runIteration(const MetaGraph &graph) const;
+
+    /** Engine tunables (e.g. the dispatch policy) used by every
+     *  subsequent runIteration(). */
+    void setEngineOptions(const EngineOptions &options)
+    {
+        engine_options_ = options;
+    }
+    const EngineOptions &engineOptions() const { return engine_options_; }
 
     const HardwareModel &hardware() const { return hw_; }
 
@@ -69,7 +84,7 @@ class System
     std::uint32_t largestValid(const MetaOp &m, std::uint32_t cap) const;
 
     const HardwareModel &hw_;
-    Engine engine_;
+    EngineOptions engine_options_;
 };
 
 } // namespace spindle

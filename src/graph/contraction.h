@@ -31,6 +31,13 @@ namespace spindle {
  */
 MetaGraph contractGraph(const ComputationGraph &graph);
 
+/**
+ * Deleted: the MetaGraph keeps a reference to @p graph, so feeding
+ * a temporary (e.g. contractGraph(buildMultitaskClip({}))) would
+ * dangle. Bind the graph to a variable first.
+ */
+MetaGraph contractGraph(ComputationGraph &&graph) = delete;
+
 } // namespace spindle
 
 #endif // SPINDLE_GRAPH_CONTRACTION_H

@@ -18,6 +18,123 @@ Wave::devicesAllocated() const
     return total;
 }
 
+namespace {
+
+/**
+ * Data-producer waves of every wave: for each entry, the wave that
+ * produced its inputs (each predecessor MetaOp's final slice for a
+ * first slice, the same MetaOp's previous slice otherwise). These
+ * are exactly the waves transmissions are sourced from.
+ */
+std::vector<std::vector<std::int32_t>>
+dataProducerWaves(const MetaGraph &graph, const std::vector<Wave> &waves)
+{
+    std::map<std::pair<MetaOpId, std::int64_t>, std::int32_t> producer;
+    std::vector<std::vector<std::int32_t>> preds(waves.size());
+    for (std::size_t i = 0; i < waves.size(); ++i) {
+        const Wave &w = waves[i];
+        panicIf(w.index != static_cast<std::int32_t>(i),
+                "readiness: wave index does not match its position");
+        for (const WaveEntry &e : w.entries) {
+            if (e.opBegin == 0) {
+                for (const MetaEdge &edge : graph.edges()) {
+                    if (edge.dst != e.metaOp)
+                        continue;
+                    auto it = producer.find(
+                        {edge.src, graph.metaOp(edge.src).numOps()});
+                    panicIf(it == producer.end(),
+                            "readiness: predecessor output missing "
+                            "(invalid plan)");
+                    preds[i].push_back(it->second);
+                }
+            } else {
+                auto it = producer.find({e.metaOp, e.opBegin});
+                panicIf(it == producer.end(),
+                        "readiness: missing previous slice");
+                preds[i].push_back(it->second);
+            }
+        }
+        for (const WaveEntry &e : w.entries)
+            producer[{e.metaOp, e.opBegin + e.numOps}] = w.index;
+    }
+    return preds;
+}
+
+void
+sortUnique(std::vector<std::int32_t> &v)
+{
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+} // namespace
+
+std::vector<std::vector<std::int32_t>>
+computeWaveReadiness(const MetaGraph &graph,
+                     const std::vector<Wave> &waves)
+{
+    std::vector<std::vector<std::int32_t>> preds =
+        dataProducerWaves(graph, waves);
+
+    // Program order within a stream.
+    std::map<std::int32_t, std::int32_t> last_of_stream;
+    // Per device-group predecessors: the latest earlier wave that
+    // touched each device (placed plans only).
+    std::map<DeviceId, std::int32_t> last_on_device;
+
+    for (std::size_t i = 0; i < waves.size(); ++i) {
+        const Wave &w = waves[i];
+        auto it = last_of_stream.find(w.stream);
+        if (it != last_of_stream.end())
+            preds[i].push_back(it->second);
+        last_of_stream[w.stream] = w.index;
+
+        for (const WaveEntry &e : w.entries) {
+            for (DeviceId d : e.devices) {
+                auto dit = last_on_device.find(d);
+                if (dit != last_on_device.end() &&
+                    dit->second != w.index)
+                    preds[i].push_back(dit->second);
+            }
+        }
+        for (const WaveEntry &e : w.entries)
+            for (DeviceId d : e.devices)
+                last_on_device[d] = w.index;
+
+        sortUnique(preds[i]);
+    }
+    return preds;
+}
+
+void
+annotateWaveReadiness(const MetaGraph &graph, std::vector<Wave> &waves)
+{
+    std::vector<std::vector<std::int32_t>> preds =
+        computeWaveReadiness(graph, waves);
+    for (std::size_t i = 0; i < waves.size(); ++i)
+        waves[i].predecessors = std::move(preds[i]);
+}
+
+bool
+hasWaveReadiness(const std::vector<Wave> &waves)
+{
+    return std::any_of(waves.begin(), waves.end(), [](const Wave &w) {
+        return !w.predecessors.empty();
+    });
+}
+
+void
+ExecutionPlan::annotateReadiness(const MetaGraph &graph)
+{
+    annotateWaveReadiness(graph, waves);
+}
+
+bool
+ExecutionPlan::hasReadiness() const
+{
+    return hasWaveReadiness(waves);
+}
+
 void
 ExecutionPlan::validate(const MetaGraph &graph) const
 {
@@ -80,6 +197,39 @@ ExecutionPlan::validate(const MetaGraph &graph) const
         panicIf(ops_done[m.id] != m.numOps(),
                 strCat("validate: MetaOp ", m.id, " executed ",
                        ops_done[m.id], " of ", m.numOps(), " ops"));
+    }
+
+    // Readiness edges (when annotated): well-formed and covering
+    // every data producer, so event-driven dispatch can never admit
+    // a wave before its inputs exist.
+    if (hasWaveReadiness(waves)) {
+        for (std::size_t i = 0; i < waves.size(); ++i) {
+            const auto &preds = waves[i].predecessors;
+            panicIf(!std::is_sorted(preds.begin(), preds.end()) ||
+                        std::adjacent_find(preds.begin(), preds.end()) !=
+                            preds.end(),
+                    strCat("validate: readiness edges of wave ", i,
+                           " are not sorted and unique"));
+            for (std::int32_t p : preds)
+                panicIf(p < 0 || p >= static_cast<std::int32_t>(i),
+                        strCat("validate: wave ", i,
+                               " has readiness predecessor ", p,
+                               " that is not strictly earlier"));
+        }
+        const std::vector<std::vector<std::int32_t>> data =
+            dataProducerWaves(graph, waves);
+        for (std::size_t i = 0; i < waves.size(); ++i) {
+            for (std::int32_t p : data[i]) {
+                if (p == waves[i].index)
+                    continue; // same-wave production needs no edge
+                panicIf(!std::binary_search(waves[i].predecessors.begin(),
+                                            waves[i].predecessors.end(),
+                                            p),
+                        strCat("validate: wave ", i,
+                               " misses readiness edge to data "
+                               "producer wave ", p));
+            }
+        }
     }
 }
 

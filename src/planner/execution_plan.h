@@ -54,6 +54,24 @@ struct Wave
      */
     std::int32_t stream = 0;
 
+    /**
+     * Readiness edges (§3.6 event-driven dispatch): indices of the
+     * waves that must complete before this wave may be admitted.
+     * Sorted, unique, strictly smaller than this wave's index.
+     *
+     * The edges cover (a) transmission producers and consumers — the
+     * waves that produced each entry's inputs (predecessor MetaOps'
+     * final slices, or the same MetaOp's previous slice); (b) the
+     * previous wave of the same stream (program order); and (c) per
+     * device-group wave predecessors — once the plan is placed, the
+     * latest earlier wave sharing any device.
+     *
+     * Empty on plans that were never annotated (see
+     * annotateWaveReadiness()); the runtime then derives the edges
+     * itself.
+     */
+    std::vector<std::int32_t> predecessors;
+
     /** Estimated start time within the plan (compute span only). */
     double start = 0;
 
@@ -94,13 +112,45 @@ struct ExecutionPlan
      *  - a MetaOp's first slice starts only after every predecessor
      *    MetaOp has fully executed in earlier waves (Eq. 3);
      *  - placed entries within a wave occupy disjoint device sets
-     *    of the declared size.
+     *    of the declared size;
+     *  - when readiness edges are annotated, every predecessor index
+     *    is in range and strictly earlier, the lists are sorted and
+     *    unique, and every data producer (transmission producer or
+     *    previous slice) is covered by an edge.
      */
     void validate(const MetaGraph &graph) const;
+
+    /**
+     * Fill Wave::predecessors for every wave (see that field for the
+     * edge kinds). Safe to call again after placement: device-group
+     * predecessor edges are only derivable once entries are placed.
+     */
+    void annotateReadiness(const MetaGraph &graph);
+
+    /** True when readiness edges were annotated (any wave carries
+     *  predecessors). */
+    bool hasReadiness() const;
 
     /** Human-readable wave-by-wave rendering (examples, debugging). */
     std::string str(const MetaGraph &graph) const;
 };
+
+/**
+ * Compute the readiness edges of @p waves without storing them (the
+ * adjacency the event-driven runtime dispatches on). Wave indices
+ * must equal their positions. Device-group predecessor edges are
+ * included only for placed entries.
+ */
+std::vector<std::vector<std::int32_t>>
+computeWaveReadiness(const MetaGraph &graph,
+                     const std::vector<Wave> &waves);
+
+/** Store computeWaveReadiness() edges into @p waves in place. */
+void annotateWaveReadiness(const MetaGraph &graph,
+                           std::vector<Wave> &waves);
+
+/** True when any wave of @p waves carries readiness predecessors. */
+bool hasWaveReadiness(const std::vector<Wave> &waves);
 
 } // namespace spindle
 

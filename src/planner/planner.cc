@@ -48,6 +48,10 @@ ExecutionPlanner::plan(const MetaGraph &graph) const
                               options_.placement);
     out.placement = placement.place(graph, out.plan);
 
+    // Re-annotate now that entries are placed: readiness gains the
+    // per device-group predecessor edges event dispatch relies on.
+    out.plan.annotateReadiness(graph);
+
     out.plan.validate(graph);
 
     const auto t1 = std::chrono::steady_clock::now();

@@ -2,154 +2,152 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "runtime/sync_executor.h"
+#include "runtime/transmission_executor.h"
+#include "runtime/wave_dispatcher.h"
 
 namespace spindle {
+
+namespace {
+
+/** Warn about and clamp an out-of-range option fraction. */
+void
+clampFraction(double &value, const char *name)
+{
+    if (value >= 0 && value <= 1)
+        return;
+    const double clamped = std::clamp(value, 0.0, 1.0);
+    warn(strCat("Engine: ", name, " = ", value,
+                " is outside [0, 1]; clamping to ", clamped));
+    value = clamped;
+}
+
+/**
+ * Everything one plan needs to execute on a shared simulator. The
+ * same bundle serves the base iteration and every mid-iteration
+ * arrival, so all plans dispatch on an identical substrate.
+ */
+struct PlanExecution
+{
+    PlanExecution(Simulator &sim, const HardwareModel &hw,
+                  const MetaGraph &graph, const ExecutionPlan &plan,
+                  const EngineOptions &options,
+                  const DispatchPolicy &policy)
+        : trans(sim, hw.collectives(), graph, plan),
+          pool(ParameterGroupPool::build(graph, plan)),
+          dispatcher(sim, hw, graph, plan, options, trans, policy),
+          syncer(sim, hw.collectives(), pool, options)
+    {
+    }
+
+    TransmissionExecutor trans;
+    ParameterGroupPool pool;
+    WaveDispatcher dispatcher;
+    SyncExecutor syncer;
+
+    DispatchStats stats;
+    SyncStats sync;
+    bool finished = false;
+};
+
+/** Dispatch fwd + bwd + sync of one plan, starting at @p earliest. */
+void
+startExecution(PlanExecution &exec, double earliest, bool overlap)
+{
+    exec.dispatcher.start(earliest, [&exec,
+                                     overlap](const DispatchStats &st) {
+        exec.stats = st;
+        exec.sync = exec.syncer.execute(st.fwdEnd, st.bwdEnd, overlap);
+        exec.finished = true;
+    });
+}
+
+} // namespace
 
 Engine::Engine(const HardwareModel &hw, MemoryParams mem_params,
                EngineOptions options)
     : hw_(hw), mem_(mem_params), options_(options)
 {
+    clampFraction(options_.syncOverlapFraction, "syncOverlapFraction");
+    clampFraction(options_.minSyncFraction, "minSyncFraction");
 }
 
 IterationResult
 Engine::run(const MetaGraph &graph, const ExecutionPlan &plan) const
 {
+    return runDynamic(graph, plan, {});
+}
+
+IterationResult
+Engine::runDynamic(const MetaGraph &graph, const ExecutionPlan &plan,
+                   const std::vector<TaskArrival> &arrivals,
+                   std::vector<double> *arrival_end) const
+{
     IterationResult result;
-    if (plan.waves.empty())
+    if (arrival_end)
+        arrival_end->clear();
+    if (plan.waves.empty()) {
+        // Refuse to silently drop injected work: an empty base plan
+        // has no simulator to dispatch the arrivals on.
+        panicIf(!arrivals.empty(),
+                "runDynamic: arrivals with an empty base plan");
         return result;
-
-    // §3.6 step 2: insert transmission operators.
-    const CollectiveModel &coll = hw_.collectives();
-    std::vector<TransmissionOp> trans =
-        buildTransmissions(graph, plan, coll);
-    result.transmissionBytes = totalTransmissionBytes(trans);
-    std::map<std::int32_t, std::vector<const TransmissionOp *>> by_dst;
-    std::map<std::int32_t, std::vector<const TransmissionOp *>> by_src;
-    for (const TransmissionOp &t : trans) {
-        by_dst[t.dstWave].push_back(&t);
-        by_src[t.srcWave].push_back(&t);
     }
-
-    // §3.6 step 3: parameter device-group pool.
-    ParameterGroupPool pool = ParameterGroupPool::build(graph, plan);
-    result.syncBytes = pool.totalSyncBytes();
-
-    // Group waves per execution stream (order preserved).
-    std::map<std::int32_t, std::vector<const Wave *>> streams;
-    for (const Wave &w : plan.waves)
-        streams[w.stream].push_back(&w);
 
     Simulator sim(plan.numDevices);
-    std::map<std::int32_t, double> send_acc; // per-stream boundary time
+    const std::unique_ptr<DispatchPolicy> policy =
+        makeDispatchPolicy(options_.dispatch);
+    const bool overlap =
+        policy->kind() != DispatchPolicyKind::StrictBarrier;
 
-    // One phase = forward (waves in order) or backward (reverse,
-    // with gradient flows mirroring the forward transmissions).
-    auto run_phase = [&](bool forward) {
-        for (auto &[stream_id, waves] : streams) {
-            // The stream resumes where its devices became free.
-            double clock = 0;
-            for (const Wave *w : waves)
-                for (const WaveEntry &e : w->entries)
-                    clock = std::max(clock, sim.groupFree(e.devices));
+    // The base iteration registers its events immediately...
+    PlanExecution base(sim, hw_, graph, plan, options_, *policy);
+    startExecution(base, 0.0, overlap);
 
-            auto process = [&](const Wave &w) {
-                // Boundary transmissions feeding this wave's phase.
-                double t_start = clock;
-                const auto &flows =
-                    forward ? by_dst[w.index] : by_src[w.index];
-                for (const TransmissionOp *t : flows) {
-                    DeviceSet devs =
-                        unionOf(t->srcDevices, t->dstDevices);
-                    double end = sim.occupy(devs, clock, t->seconds,
-                                            ExecKind::Transmission, 0,
-                                            t->dstMeta, "send_recv");
-                    t_start = std::max(t_start, end);
-                }
-                send_acc[stream_id] += t_start - clock;
-
-                double wave_end = t_start;
-                for (const WaveEntry &e : w.entries) {
-                    const MetaOp &m = graph.metaOp(e.metaOp);
-                    const OperatorDesc desc = memberDesc(m);
-                    const ParallelConfig cfg = hw_.bestConfig(desc, e.n);
-                    const double per_op = forward
-                        ? hw_.opTimeFwd(desc, cfg)
-                        : hw_.opTimeBwd(desc, cfg);
-                    const double dur =
-                        per_op * static_cast<double>(e.numOps);
-                    const double flops =
-                        m.flopsFwdPerOp *
-                        (forward ? 1.0 : hw_.params().bwdFlopsFactor) *
-                        static_cast<double>(e.numOps);
-                    double end = sim.occupy(e.devices, t_start, dur,
-                                            ExecKind::Compute, flops,
-                                            e.metaOp,
-                                            forward ? "fwd" : "bwd");
-                    wave_end = std::max(wave_end, end);
-                }
-                clock = wave_end + options_.waveBarrier;
-            };
-
-            // Dispatch through the event queue: each wave event
-            // schedules its successor at the wave's completion.
-            // Semantic times come from the per-stream clock and the
-            // device availability inside occupy(); the queue's own
-            // clock is monotone across streams, so dispatch times
-            // are clamped to it.
-            std::size_t next = 0;
-            std::function<void()> dispatch = [&]() {
-                if (next >= waves.size())
-                    return;
-                const Wave &w = forward
-                    ? *waves[next]
-                    : *waves[waves.size() - 1 - next];
-                ++next;
-                process(w);
-                sim.queue().schedule(
-                    std::max(clock, sim.queue().now()), dispatch);
-            };
-            sim.queue().schedule(std::max(clock, sim.queue().now()),
-                                 dispatch);
-            sim.queue().run();
-        }
-    };
-
-    run_phase(/*forward=*/true);
-    const double t_bwd = sim.timeline().makespan();
-    run_phase(/*forward=*/false);
-
-    // §3.6 step 4 tail: group-wise parameter synchronization after
-    // the backward phase; groups on disjoint devices overlap with
-    // each other, and bucketed all-reduce hides part of the cost
-    // under the backward compute (syncOverlapFraction).
-    const double t_sync = sim.timeline().makespan();
-    const double bwd_span = t_sync - t_bwd;
-    double sync_end = t_sync;
-    for (const ParamGroup &g : pool.groups()) {
-        if (g.devices.size() < 2)
-            continue;
-        const double dur = coll.allReduceTime(g.bytes, g.devices);
-        double end = sim.occupy(g.devices, t_sync, dur, ExecKind::Sync,
-                                0, -1, "param_sync");
-        sync_end = std::max(sync_end, end);
+    // ... and each arriving task is injected through the event
+    // queue at its arrival time, contending for the same devices.
+    std::vector<std::unique_ptr<PlanExecution>> injected;
+    for (const TaskArrival &a : arrivals) {
+        panicIf(a.graph == nullptr || a.plan == nullptr,
+                "runDynamic: null arrival");
+        panicIf(a.time < 0, "runDynamic: negative arrival time");
+        panicIf(a.plan->numDevices != plan.numDevices,
+                "runDynamic: arrival targets a different cluster");
+        panicIf(a.plan->waves.empty(), "runDynamic: empty arrival plan");
+        injected.push_back(std::make_unique<PlanExecution>(
+            sim, hw_, *a.graph, *a.plan, options_, *policy));
+        PlanExecution *exec = injected.back().get();
+        const double at = a.time;
+        sim.queue().schedule(at, [exec, at, overlap] {
+            startExecution(*exec, at, overlap);
+        });
     }
-    const double sync_raw = sync_end - t_sync;
-    const double sync_eff = std::clamp(
-        sync_raw - options_.syncOverlapFraction * bwd_span,
-        options_.minSyncFraction * sync_raw, sync_raw);
 
-    result.iterationSeconds = t_sync + sync_eff;
-    result.breakdown.sync = sync_eff;
-    double send = 0;
-    for (const auto &[stream_id, acc] : send_acc)
-        send = std::max(send, acc);
-    result.breakdown.sendRecv = send;
+    sim.queue().run();
+
+    panicIf(!base.finished, "runDynamic: base iteration never drained");
+    result.iterationSeconds = base.sync.iterationEnd;
+    result.breakdown.sync = base.sync.exposedSync;
+    result.breakdown.sendRecv = base.stats.exposedSendRecv;
     result.breakdown.fwdBwd = result.iterationSeconds -
                               result.breakdown.sync -
                               result.breakdown.sendRecv;
+    result.transmissionBytes = base.trans.totalBytes();
+    result.syncBytes = base.pool.totalSyncBytes();
+    for (const auto &exec : injected) {
+        panicIf(!exec->finished, "runDynamic: arrival never drained");
+        result.iterationSeconds =
+            std::max(result.iterationSeconds, exec->sync.iterationEnd);
+        result.transmissionBytes += exec->trans.totalBytes();
+        result.syncBytes += exec->pool.totalSyncBytes();
+        if (arrival_end)
+            arrival_end->push_back(exec->sync.iterationEnd);
+    }
+
     result.peakMemoryBytes = peakMemoryPerDevice(graph, plan, hw_, mem_);
     result.timeline = sim.timeline();
     return result;

@@ -1,14 +1,25 @@
 /**
  * @file
- * Spindle runtime engine (paper §3.6).
+ * Spindle runtime engine (paper §3.6), event-driven since the
+ * dependency-dispatch refactor.
  *
- * Executes a placed plan on the cluster simulator, one training
- * iteration at a time: wave-by-wave forward, wave-by-wave backward
- * in reverse, transmission operators at wave boundaries, and
- * group-wise parameter synchronization after the backward phase.
- * Wave dispatch is driven through the discrete-event queue; every
- * busy interval lands in the timeline, from which iteration time,
- * the Fig. 10 breakdown, and all utilization figures derive.
+ * One training iteration is dispatched as a dependency graph of
+ * events on the cluster simulator rather than a sequence of global
+ * barriers: the engine builds transmissions and the parameter
+ * device-group pool, then hands the placed plan to a WaveDispatcher
+ * that registers wave events on the discrete-event queue. A
+ * DispatchPolicy decides admission order — StrictBarrier (default)
+ * reproduces lockstep wave-by-wave execution bit for bit, Overlap
+ * releases each device group as soon as its own readiness
+ * predecessors finish so transmissions and exposed sync overlap
+ * compute where dependencies allow. A SyncExecutor runs group-wise
+ * parameter synchronization after the backward phase. Every busy
+ * interval lands in the timeline, from which iteration time, the
+ * Fig. 10 breakdown, and all utilization figures derive.
+ *
+ * runDynamic() additionally injects tasks mid-iteration through
+ * scheduled events (the Fig. 13 dynamic-arrival scenario) instead
+ * of requiring a full replan.
  */
 
 #ifndef SPINDLE_RUNTIME_ENGINE_H
@@ -19,6 +30,7 @@
 #include "runtime/memory_model.h"
 #include "runtime/param_groups.h"
 #include "runtime/transmission.h"
+#include "sim/dispatch_policy.h"
 #include "sim/simulator.h"
 
 namespace spindle {
@@ -64,18 +76,34 @@ struct EngineOptions
      * synchronization (bucketed all-reduce overlapped with backward
      * compute, as PyTorch DDP / Megatron do). The residual sync
      * cost is what the iteration pays after the backward finishes.
+     * Out-of-range values are clamped to [0, 1] with a warning.
      */
     double syncOverlapFraction = 0.5;
 
     /** Floor on the exposed sync cost as a fraction of the raw
-     *  collective time (the unoverlappable tail). */
+     *  collective time (the unoverlappable tail). Clamped to [0, 1]
+     *  with a warning when out of range. */
     double minSyncFraction = 0.25;
+
+    /** Admission-order policy of the event-driven dispatcher. */
+    DispatchPolicyKind dispatch = DispatchPolicyKind::StrictBarrier;
+};
+
+/** One task (graph + placed plan) arriving mid-iteration. */
+struct TaskArrival
+{
+    /** Simulated arrival time; dispatch begins no earlier. */
+    double time = 0;
+
+    const MetaGraph *graph = nullptr;
+    const ExecutionPlan *plan = nullptr;
 };
 
 /**
  * The runtime engine: localizes a plan (implicitly, via the placed
  * device sets), inserts transmissions, builds the parameter
- * device-group pool, and runs the iteration on the simulator.
+ * device-group pool, and dispatches the iteration on the simulator
+ * through the event queue.
  */
 class Engine
 {
@@ -87,8 +115,27 @@ class Engine
     IterationResult run(const MetaGraph &graph,
                         const ExecutionPlan &plan) const;
 
+    /**
+     * Simulate one iteration of @p plan while additional tasks
+     * arrive mid-iteration via events scheduled at their arrival
+     * times, all sharing one simulator (and hence contending for
+     * the same devices). Every plan must target the same cluster.
+     *
+     * The returned result carries the base plan's breakdown and
+     * peak memory; iterationSeconds and the timeline cover
+     * everything, including the injected tasks. When
+     * @p arrival_end is non-null it receives each arrival's
+     * completion time (sync included), in input order.
+     */
+    IterationResult runDynamic(const MetaGraph &graph,
+                               const ExecutionPlan &plan,
+                               const std::vector<TaskArrival> &arrivals,
+                               std::vector<double> *arrival_end =
+                                   nullptr) const;
+
     const HardwareModel &hardware() const { return hw_; }
     const MemoryModel &memory() const { return mem_; }
+    const EngineOptions &options() const { return options_; }
 
   private:
     const HardwareModel &hw_;

@@ -1,0 +1,47 @@
+#include "runtime/sync_executor.h"
+
+#include <algorithm>
+
+namespace spindle {
+
+SyncExecutor::SyncExecutor(Simulator &sim, const CollectiveModel &coll,
+                           const ParameterGroupPool &pool,
+                           const EngineOptions &options)
+    : sim_(sim), coll_(coll), pool_(pool), options_(options)
+{
+}
+
+SyncStats
+SyncExecutor::execute(double fwd_end, double bwd_end, bool overlap)
+{
+    const double bwd_span = bwd_end - fwd_end;
+    double sync_end = bwd_end;
+    for (const ParamGroup &g : pool_.groups()) {
+        if (g.devices.size() < 2)
+            continue;
+        const double dur = coll_.allReduceTime(g.bytes, g.devices);
+        // Strict: every group waits for the global backward barrier.
+        // Overlap: the group starts at its own devices' free time —
+        // as soon as its own backward predecessors finished.
+        const double earliest = overlap ? 0.0 : bwd_end;
+        const double end = sim_.occupy(g.devices, earliest, dur,
+                                       ExecKind::Sync, 0, -1,
+                                       "param_sync");
+        sync_end = std::max(sync_end, end);
+    }
+
+    // Bucketed all-reduce hides part of the exposed cost under the
+    // backward compute (syncOverlapFraction), down to the
+    // unoverlappable tail (minSyncFraction).
+    const double sync_raw = sync_end - bwd_end;
+    const double sync_eff = std::clamp(
+        sync_raw - options_.syncOverlapFraction * bwd_span,
+        options_.minSyncFraction * sync_raw, sync_raw);
+
+    SyncStats stats;
+    stats.exposedSync = sync_eff;
+    stats.iterationEnd = bwd_end + sync_eff;
+    return stats;
+}
+
+} // namespace spindle

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Parameter-synchronization unit of the event-driven runtime (§3.6
+ * step 4). After the backward phase, every parameter device group
+ * all-reduces its gradients; groups on disjoint devices overlap
+ * each other. Under the strict-barrier policy all groups wait for
+ * the global backward end (legacy semantics, bit-reproducible);
+ * under the overlap policy each group starts as soon as its own
+ * devices finish their backward work, so sync hides under the
+ * compute of slower groups.
+ */
+
+#ifndef SPINDLE_RUNTIME_SYNC_EXECUTOR_H
+#define SPINDLE_RUNTIME_SYNC_EXECUTOR_H
+
+#include "hardware/collective.h"
+#include "runtime/engine.h"
+#include "runtime/param_groups.h"
+#include "sim/simulator.h"
+
+namespace spindle {
+
+/** What one sync pass yields. */
+struct SyncStats
+{
+    /** Iteration end after the exposed sync cost. */
+    double iterationEnd = 0;
+
+    /** Exposed (un-hidden) sync cost charged to the iteration. */
+    double exposedSync = 0;
+};
+
+/**
+ * Executes the group-wise parameter synchronization on the
+ * simulator and models bucketed all-reduce overlap with backward
+ * compute (EngineOptions::syncOverlapFraction / minSyncFraction).
+ */
+class SyncExecutor
+{
+  public:
+    SyncExecutor(Simulator &sim, const CollectiveModel &coll,
+                 const ParameterGroupPool &pool,
+                 const EngineOptions &options);
+
+    /**
+     * Run the sync tail.
+     *
+     * @param fwd_end end of the forward phase (backward span start)
+     * @param bwd_end end of the backward phase
+     * @param overlap release each group at its own devices' free
+     *                time instead of the global backward barrier
+     */
+    SyncStats execute(double fwd_end, double bwd_end, bool overlap);
+
+  private:
+    Simulator &sim_;
+    const CollectiveModel &coll_;
+    const ParameterGroupPool &pool_;
+    const EngineOptions &options_;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_RUNTIME_SYNC_EXECUTOR_H

@@ -1,0 +1,40 @@
+#include "runtime/transmission_executor.h"
+
+namespace spindle {
+
+namespace {
+
+const std::vector<const TransmissionOp *> kNoFlows;
+
+} // namespace
+
+TransmissionExecutor::TransmissionExecutor(Simulator &sim,
+                                           const CollectiveModel &coll,
+                                           const MetaGraph &graph,
+                                           const ExecutionPlan &plan)
+    : sim_(sim), ops_(buildTransmissions(graph, plan, coll)),
+      total_bytes_(totalTransmissionBytes(ops_))
+{
+    for (const TransmissionOp &t : ops_) {
+        by_dst_[t.dstWave].push_back(&t);
+        by_src_[t.srcWave].push_back(&t);
+    }
+}
+
+const std::vector<const TransmissionOp *> &
+TransmissionExecutor::flowsInto(std::int32_t wave, bool forward) const
+{
+    const auto &map = forward ? by_dst_ : by_src_;
+    auto it = map.find(wave);
+    return it == map.end() ? kNoFlows : it->second;
+}
+
+double
+TransmissionExecutor::execute(const TransmissionOp &t, double earliest)
+{
+    const DeviceSet devs = unionOf(t.srcDevices, t.dstDevices);
+    return sim_.occupy(devs, earliest, t.seconds, ExecKind::Transmission,
+                       0, t.dstMeta, "send_recv");
+}
+
+} // namespace spindle

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Transmission execution unit of the event-driven runtime (§3.6
+ * step 2). Builds the plan's inter-wave transmission operators once
+ * and executes them on the simulator when the dispatcher asks —
+ * keyed by the consuming (forward) or producing (backward) wave, in
+ * deterministic build order.
+ */
+
+#ifndef SPINDLE_RUNTIME_TRANSMISSION_EXECUTOR_H
+#define SPINDLE_RUNTIME_TRANSMISSION_EXECUTOR_H
+
+#include <map>
+
+#include "runtime/transmission.h"
+#include "sim/simulator.h"
+
+namespace spindle {
+
+/**
+ * Owns a plan's transmissions and runs them as occupy() intervals.
+ */
+class TransmissionExecutor
+{
+  public:
+    TransmissionExecutor(Simulator &sim, const CollectiveModel &coll,
+                         const MetaGraph &graph,
+                         const ExecutionPlan &plan);
+
+    /**
+     * Flows that must complete before @p wave executes in the given
+     * phase: forward pulls the wave's inputs (dstWave == wave),
+     * backward pushes gradients back (srcWave == wave). Build order
+     * is preserved so dispatch is deterministic.
+     */
+    const std::vector<const TransmissionOp *> &
+    flowsInto(std::int32_t wave, bool forward) const;
+
+    /**
+     * Execute one flow: occupy the union of source and destination
+     * devices starting no earlier than @p earliest.
+     *
+     * @return the flow's completion time
+     */
+    double execute(const TransmissionOp &t, double earliest);
+
+    /** Total bytes moved by all transmissions (Fig. 10 metric). */
+    double totalBytes() const { return total_bytes_; }
+
+  private:
+    Simulator &sim_;
+    std::vector<TransmissionOp> ops_;
+    std::map<std::int32_t, std::vector<const TransmissionOp *>> by_dst_;
+    std::map<std::int32_t, std::vector<const TransmissionOp *>> by_src_;
+    double total_bytes_ = 0;
+};
+
+} // namespace spindle
+
+#endif // SPINDLE_RUNTIME_TRANSMISSION_EXECUTOR_H

@@ -1,0 +1,76 @@
+#include "sim/dispatch_policy.h"
+
+#include "common/logging.h"
+
+namespace spindle {
+
+namespace {
+
+class StrictBarrierPolicy final : public DispatchPolicy
+{
+  public:
+    DispatchPolicyKind
+    kind() const override
+    {
+        return DispatchPolicyKind::StrictBarrier;
+    }
+
+    std::string
+    name() const override
+    {
+        return "strict-barrier";
+    }
+
+    bool
+    admits(std::size_t slot, const std::vector<std::int32_t> &,
+           const std::vector<bool> &done) const override
+    {
+        // Lockstep: every earlier slot of the phase has completed.
+        for (std::size_t i = 0; i < slot; ++i)
+            if (!done[i])
+                return false;
+        return true;
+    }
+};
+
+class OverlapPolicy final : public DispatchPolicy
+{
+  public:
+    DispatchPolicyKind
+    kind() const override
+    {
+        return DispatchPolicyKind::Overlap;
+    }
+
+    std::string
+    name() const override
+    {
+        return "overlap";
+    }
+
+    bool
+    admits(std::size_t, const std::vector<std::int32_t> &preds,
+           const std::vector<bool> &done) const override
+    {
+        for (std::int32_t p : preds)
+            if (!done[static_cast<std::size_t>(p)])
+                return false;
+        return true;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<DispatchPolicy>
+makeDispatchPolicy(DispatchPolicyKind kind)
+{
+    switch (kind) {
+      case DispatchPolicyKind::StrictBarrier:
+        return std::make_unique<StrictBarrierPolicy>();
+      case DispatchPolicyKind::Overlap:
+        return std::make_unique<OverlapPolicy>();
+    }
+    panic("makeDispatchPolicy: unknown policy kind");
+}
+
+} // namespace spindle

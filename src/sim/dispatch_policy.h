@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Dispatch policies for the event-driven execution core (§3.6).
+ *
+ * The runtime dispatches one training iteration as a dependency
+ * graph of wave events. A DispatchPolicy decides the admission
+ * order: when a wave may start relative to the completion of the
+ * other waves of its phase. Two policies ship:
+ *
+ *  - StrictBarrier (default): lockstep wave barriers — a wave is
+ *    admitted only once every wave before it in phase order has
+ *    completed. This reproduces the pre-event-core engine timelines
+ *    bit for bit.
+ *  - Overlap: dependency-driven — a device group is released as
+ *    soon as its own readiness predecessors finish, so transmissions
+ *    and exposed sync overlap compute where dependencies allow.
+ */
+
+#ifndef SPINDLE_SIM_DISPATCH_POLICY_H
+#define SPINDLE_SIM_DISPATCH_POLICY_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spindle {
+
+/** Selectable admission-order policies. */
+enum class DispatchPolicyKind : std::uint8_t
+{
+    StrictBarrier, ///< lockstep global barriers (legacy semantics)
+    Overlap,       ///< release a group once its predecessors finish
+};
+
+/**
+ * Admission-order hook of the event-driven dispatcher.
+ *
+ * On the generic event path, slots are wave indices in plan order
+ * for both phases; the phase direction is encoded entirely in
+ * @p preds (forward: the plan's readiness edges; backward: those
+ * edges reversed). Whenever a wave completes, the dispatcher asks
+ * the policy which not-yet-admitted waves may now start.
+ *
+ * StrictBarrier is special-cased onto a dedicated lockstep path
+ * that reproduces legacy barrier semantics (per-stream clocks,
+ * boundary transmissions) bit for bit; its admits() describes the
+ * same total order for reference. Custom policies run on the
+ * generic path and should gate on @p preds, not on slot order.
+ */
+class DispatchPolicy
+{
+  public:
+    virtual ~DispatchPolicy() = default;
+
+    virtual DispatchPolicyKind kind() const = 0;
+    virtual std::string name() const = 0;
+
+    /**
+     * May the wave at position @p slot of the phase's dispatch order
+     * be admitted?
+     *
+     * @param slot position in the phase dispatch order
+     * @param preds readiness predecessors of the slot (positions in
+     *              the same dispatch order)
+     * @param done per-slot completion flags
+     */
+    virtual bool admits(std::size_t slot,
+                        const std::vector<std::int32_t> &preds,
+                        const std::vector<bool> &done) const = 0;
+};
+
+/** Construct the policy implementing @p kind. */
+std::unique_ptr<DispatchPolicy> makeDispatchPolicy(DispatchPolicyKind kind);
+
+} // namespace spindle
+
+#endif // SPINDLE_SIM_DISPATCH_POLICY_H

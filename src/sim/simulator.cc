@@ -36,15 +36,38 @@ Simulator::occupy(const DeviceSet &group, double earliest,
 {
     panicIf(group.empty(), "occupy: empty group");
     panicIf(duration < 0, "occupy: negative duration");
+    // Validate the whole group before touching any state, so a bad
+    // device id mid-group cannot leave the timeline and free_at_
+    // inconsistent.
+    for (DeviceId d : group)
+        panicIf(d >= num_devices_, strCat("occupy: bad device ", d));
     const double start = std::max(earliest, groupFree(group));
     const double end = start + duration;
     const double flops_each = flops / static_cast<double>(group.size());
     for (DeviceId d : group) {
-        panicIf(d >= num_devices_, strCat("occupy: bad device ", d));
         timeline_.record({d, start, end, kind, flops_each, meta_op, label});
         free_at_[d] = end;
     }
     return end;
+}
+
+double
+Simulator::request(const DeviceSet &group, double earliest,
+                   double duration, ExecKind kind, double flops,
+                   std::int32_t meta_op, const std::string &label,
+                   Completion on_done)
+{
+    panicIf(!on_done, "request: null completion");
+    const double end =
+        occupy(group, earliest, duration, kind, flops, meta_op, label);
+    notifyAt(end, [on_done = std::move(on_done), end] { on_done(end); });
+    return end;
+}
+
+void
+Simulator::notifyAt(double when, EventQueue::Action action)
+{
+    queue_.schedule(std::max(when, queue_.now()), std::move(action));
 }
 
 void

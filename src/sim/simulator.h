@@ -1,13 +1,26 @@
 /**
  * @file
- * Cluster simulator: couples the event queue, the execution
- * timeline, and per-device availability. The runtime engine and all
- * baseline systems execute their schedules through this facade, so
- * every system is measured on an identical substrate.
+ * Cluster simulator: the event-driven core that couples the
+ * discrete-event queue, the execution timeline, and per-device
+ * availability. The runtime engine and all baseline systems execute
+ * their schedules through this facade, so every system is measured
+ * on an identical substrate.
+ *
+ * Two styles of use coexist:
+ *  - occupy() reserves a device group synchronously and returns the
+ *    completion time (the resource ledger primitive); the runtime's
+ *    WaveDispatcher builds its wave events from occupy() plus
+ *    notifyAt() completions, since a wave completes at the max over
+ *    several reservations;
+ *  - request() is the single-reservation composite: the same
+ *    occupy(), with the completion delivered via notifyAt() — for
+ *    handlers driven by one reservation's end.
  */
 
 #ifndef SPINDLE_SIM_SIMULATOR_H
 #define SPINDLE_SIM_SIMULATOR_H
+
+#include <functional>
 
 #include "hardware/device.h"
 #include "sim/event_queue.h"
@@ -18,15 +31,19 @@ namespace spindle {
 /**
  * Per-device occupancy simulator.
  *
- * occupy() is the single primitive: it reserves a device group for a
- * duration no earlier than a requested start, records the interval
- * in the timeline, and returns the completion time. Wave barriers,
- * sequential task execution, and parameter sync all reduce to
- * sequences of occupy() calls.
+ * occupy() is the single resource primitive: it reserves a device
+ * group for a duration no earlier than a requested start, records
+ * the interval in the timeline, and returns the completion time.
+ * Wave dispatch, transmissions, and parameter sync all reduce to
+ * sequences of occupy()/request() calls; the event queue orders the
+ * dispatch deterministically.
  */
 class Simulator
 {
   public:
+    /** Completion callback of request(): receives the end time. */
+    using Completion = std::function<void(double end)>;
+
     explicit Simulator(std::uint32_t num_devices);
 
     std::uint32_t numDevices() const { return num_devices_; }
@@ -45,11 +62,36 @@ class Simulator
      * later of @p earliest and the group's free time. Total
      * @p flops are split evenly across the group for the trace.
      *
+     * The whole group is validated before any state is touched, so
+     * a bad device id can never leave the timeline and the
+     * availability ledger inconsistent.
+     *
      * @return the completion time of the interval
      */
     double occupy(const DeviceSet &group, double earliest,
                   double duration, ExecKind kind, double flops,
                   std::int32_t meta_op, const std::string &label);
+
+    /**
+     * Event-driven occupy: reserve like occupy(), then deliver the
+     * completion through the event queue — @p on_done fires as an
+     * event at the interval's end time (never earlier than the
+     * queue's current time), so handlers chain deterministically.
+     *
+     * @return the completion time of the interval
+     */
+    double request(const DeviceSet &group, double earliest,
+                   double duration, ExecKind kind, double flops,
+                   std::int32_t meta_op, const std::string &label,
+                   Completion on_done);
+
+    /**
+     * Schedule @p action at the later of @p when and the queue's
+     * current time — the monotone-clamped scheduling every event
+     * handler (wave completions, chained dispatch, request()
+     * deliveries) is built on.
+     */
+    void notifyAt(double when, EventQueue::Action action);
 
     /** Reset clock, queue, timeline and availability to zero. */
     void reset();

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Tests for the event-driven execution core: the strict-barrier
+ * policy must reproduce the pre-refactor lockstep engine bit for
+ * bit, both policies must be deterministic, the overlap policy must
+ * expose less communication where dependencies allow, and dynamic
+ * task arrivals must inject through the event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/math_util.h"
+#include "planner/planner.h"
+#include "test_util.h"
+
+namespace spindle {
+namespace {
+
+using testutil::fig3Workload;
+using testutil::smallCluster;
+
+/**
+ * Faithful reimplementation of the pre-event-core engine iteration
+ * loop (lockstep wave barriers, per-stream clocks, transmissions at
+ * the wave boundary, sync after the global backward end). The
+ * strict-barrier policy must reproduce this bit for bit.
+ */
+IterationResult
+legacyLockstepRun(const HardwareModel &hw, const MetaGraph &graph,
+                  const ExecutionPlan &plan, const EngineOptions &options)
+{
+    IterationResult result;
+    if (plan.waves.empty())
+        return result;
+
+    const CollectiveModel &coll = hw.collectives();
+    std::vector<TransmissionOp> trans =
+        buildTransmissions(graph, plan, coll);
+    std::map<std::int32_t, std::vector<const TransmissionOp *>> by_dst;
+    std::map<std::int32_t, std::vector<const TransmissionOp *>> by_src;
+    for (const TransmissionOp &t : trans) {
+        by_dst[t.dstWave].push_back(&t);
+        by_src[t.srcWave].push_back(&t);
+    }
+    ParameterGroupPool pool = ParameterGroupPool::build(graph, plan);
+
+    std::map<std::int32_t, std::vector<const Wave *>> streams;
+    for (const Wave &w : plan.waves)
+        streams[w.stream].push_back(&w);
+
+    Simulator sim(plan.numDevices);
+    std::map<std::int32_t, double> send_acc;
+
+    auto run_phase = [&](bool forward) {
+        for (auto &[stream_id, waves] : streams) {
+            double clock = 0;
+            for (const Wave *w : waves)
+                for (const WaveEntry &e : w->entries)
+                    clock = std::max(clock, sim.groupFree(e.devices));
+
+            for (std::size_t next = 0; next < waves.size(); ++next) {
+                const Wave &w = forward
+                    ? *waves[next]
+                    : *waves[waves.size() - 1 - next];
+                double t_start = clock;
+                const auto &flows =
+                    forward ? by_dst[w.index] : by_src[w.index];
+                for (const TransmissionOp *t : flows) {
+                    DeviceSet devs =
+                        unionOf(t->srcDevices, t->dstDevices);
+                    double end = sim.occupy(devs, clock, t->seconds,
+                                            ExecKind::Transmission, 0,
+                                            t->dstMeta, "send_recv");
+                    t_start = std::max(t_start, end);
+                }
+                send_acc[stream_id] += t_start - clock;
+
+                double wave_end = t_start;
+                for (const WaveEntry &e : w.entries) {
+                    const MetaOp &m = graph.metaOp(e.metaOp);
+                    const OperatorDesc desc = memberDesc(m);
+                    const ParallelConfig cfg = hw.bestConfig(desc, e.n);
+                    const double per_op = forward
+                        ? hw.opTimeFwd(desc, cfg)
+                        : hw.opTimeBwd(desc, cfg);
+                    const double dur =
+                        per_op * static_cast<double>(e.numOps);
+                    const double flops =
+                        m.flopsFwdPerOp *
+                        (forward ? 1.0 : hw.params().bwdFlopsFactor) *
+                        static_cast<double>(e.numOps);
+                    double end = sim.occupy(e.devices, t_start, dur,
+                                            ExecKind::Compute, flops,
+                                            e.metaOp,
+                                            forward ? "fwd" : "bwd");
+                    wave_end = std::max(wave_end, end);
+                }
+                clock = wave_end + options.waveBarrier;
+            }
+        }
+    };
+
+    run_phase(/*forward=*/true);
+    const double t_bwd = sim.timeline().makespan();
+    run_phase(/*forward=*/false);
+
+    const double t_sync = sim.timeline().makespan();
+    const double bwd_span = t_sync - t_bwd;
+    double sync_end = t_sync;
+    for (const ParamGroup &g : pool.groups()) {
+        if (g.devices.size() < 2)
+            continue;
+        const double dur = coll.allReduceTime(g.bytes, g.devices);
+        double end = sim.occupy(g.devices, t_sync, dur, ExecKind::Sync,
+                                0, -1, "param_sync");
+        sync_end = std::max(sync_end, end);
+    }
+    const double sync_raw = sync_end - t_sync;
+    const double sync_eff = std::clamp(
+        sync_raw - options.syncOverlapFraction * bwd_span,
+        options.minSyncFraction * sync_raw, sync_raw);
+
+    result.iterationSeconds = t_sync + sync_eff;
+    result.breakdown.sync = sync_eff;
+    double send = 0;
+    for (const auto &[stream_id, acc] : send_acc)
+        send = std::max(send, acc);
+    result.breakdown.sendRecv = send;
+    result.breakdown.fwdBwd = result.iterationSeconds -
+                              result.breakdown.sync -
+                              result.breakdown.sendRecv;
+    result.timeline = sim.timeline();
+    return result;
+}
+
+/** Bit-exact timeline comparison. */
+void
+expectIdenticalTimelines(const Timeline &a, const Timeline &b)
+{
+    ASSERT_EQ(a.records().size(), b.records().size());
+    for (std::size_t i = 0; i < a.records().size(); ++i) {
+        const ExecRecord &ra = a.records()[i];
+        const ExecRecord &rb = b.records()[i];
+        EXPECT_EQ(ra.device, rb.device) << "record " << i;
+        EXPECT_EQ(ra.start, rb.start) << "record " << i;
+        EXPECT_EQ(ra.end, rb.end) << "record " << i;
+        EXPECT_EQ(ra.kind, rb.kind) << "record " << i;
+        EXPECT_EQ(ra.flops, rb.flops) << "record " << i;
+        EXPECT_EQ(ra.metaOp, rb.metaOp) << "record " << i;
+        EXPECT_EQ(ra.label, rb.label) << "record " << i;
+    }
+}
+
+struct DispatchFixture : public ::testing::Test
+{
+    DispatchFixture()
+        : graph(fig3Workload()), meta(contractGraph(graph)),
+          topo(smallCluster(2)), hw(topo), planner(hw),
+          out(planner.plan(meta))
+    {
+    }
+
+    Engine
+    engineWith(DispatchPolicyKind kind) const
+    {
+        EngineOptions options;
+        options.dispatch = kind;
+        return Engine(hw, MemoryParams{}, options);
+    }
+
+    ComputationGraph graph;
+    MetaGraph meta;
+    ClusterTopology topo;
+    HardwareModel hw;
+    ExecutionPlanner planner;
+    PlannerOutput out;
+};
+
+TEST_F(DispatchFixture, StrictBarrierMatchesLegacyLockstepBitForBit)
+{
+    const EngineOptions options;
+    IterationResult legacy =
+        legacyLockstepRun(hw, meta, out.plan, options);
+    IterationResult now =
+        Engine(hw, MemoryParams{}, options).run(meta, out.plan);
+
+    EXPECT_EQ(legacy.iterationSeconds, now.iterationSeconds);
+    EXPECT_EQ(legacy.breakdown.fwdBwd, now.breakdown.fwdBwd);
+    EXPECT_EQ(legacy.breakdown.sync, now.breakdown.sync);
+    EXPECT_EQ(legacy.breakdown.sendRecv, now.breakdown.sendRecv);
+    expectIdenticalTimelines(legacy.timeline, now.timeline);
+}
+
+TEST_F(DispatchFixture, StrictBarrierMatchesLegacyOnMultiStreamPlans)
+{
+    // The Optimus baseline emits a multi-stream plan; stream
+    // handling must also be bit-reproducible.
+    SpindleOptimusSystem optimus(hw);
+    ExecutionPlan plan = optimus.buildPlan(meta);
+    plan.annotateReadiness(meta);
+    plan.validate(meta);
+
+    const EngineOptions options;
+    IterationResult legacy = legacyLockstepRun(hw, meta, plan, options);
+    IterationResult now =
+        Engine(hw, MemoryParams{}, options).run(meta, plan);
+    EXPECT_EQ(legacy.iterationSeconds, now.iterationSeconds);
+    expectIdenticalTimelines(legacy.timeline, now.timeline);
+}
+
+TEST_F(DispatchFixture, BothPoliciesAreDeterministic)
+{
+    for (DispatchPolicyKind kind : {DispatchPolicyKind::StrictBarrier,
+                                    DispatchPolicyKind::Overlap}) {
+        Engine engine = engineWith(kind);
+        IterationResult a = engine.run(meta, out.plan);
+        IterationResult b = engine.run(meta, out.plan);
+        EXPECT_EQ(a.iterationSeconds, b.iterationSeconds);
+        expectIdenticalTimelines(a.timeline, b.timeline);
+    }
+}
+
+TEST_F(DispatchFixture, OverlapExposesNoMoreCommThanStrict)
+{
+    IterationResult strict =
+        engineWith(DispatchPolicyKind::StrictBarrier).run(meta, out.plan);
+    IterationResult overlap =
+        engineWith(DispatchPolicyKind::Overlap).run(meta, out.plan);
+    EXPECT_LE(overlap.breakdown.sendRecv + overlap.breakdown.sync,
+              strict.breakdown.sendRecv + strict.breakdown.sync);
+    EXPECT_LE(overlap.iterationSeconds, strict.iterationSeconds);
+    // Same work is simulated either way.
+    EXPECT_EQ(overlap.timeline.records().size(),
+              strict.timeline.records().size());
+    EXPECT_NEAR(overlap.timeline.totalFlops(),
+                strict.timeline.totalFlops(),
+                1e-6 * strict.timeline.totalFlops());
+}
+
+TEST_F(DispatchFixture, OverlapStrictlyReducesExposedCommOnSeedWorkload)
+{
+    // Fig. 10 acceptance: with the overlap policy, exposed
+    // send/recv + sync is strictly lower than under fwd/bwd-
+    // serialized (strict-barrier) execution on a seed workload.
+    ComputationGraph clip = buildMultitaskClip({.numTasks = 10});
+    MetaGraph m = contractGraph(clip);
+    PlannerOutput o = ExecutionPlanner(hw).plan(m);
+    IterationResult strict =
+        engineWith(DispatchPolicyKind::StrictBarrier).run(m, o.plan);
+    IterationResult overlap =
+        engineWith(DispatchPolicyKind::Overlap).run(m, o.plan);
+    EXPECT_LT(overlap.breakdown.sendRecv + overlap.breakdown.sync,
+              strict.breakdown.sendRecv + strict.breakdown.sync);
+}
+
+TEST_F(DispatchFixture, ReadinessEdgesCoverDataAndDeviceOrder)
+{
+    const auto preds = computeWaveReadiness(meta, out.plan.waves);
+    ASSERT_EQ(preds.size(), out.plan.waves.size());
+    // Every transmission's producer wave is a readiness predecessor
+    // of its consumer wave.
+    const auto trans =
+        buildTransmissions(meta, out.plan, hw.collectives());
+    for (const TransmissionOp &t : trans) {
+        const auto &p = preds[static_cast<std::size_t>(t.dstWave)];
+        EXPECT_TRUE(std::binary_search(p.begin(), p.end(), t.srcWave))
+            << "wave " << t.dstWave << " misses producer " << t.srcWave;
+    }
+    // Consecutive waves sharing a device are ordered.
+    for (std::size_t i = 1; i < out.plan.waves.size(); ++i) {
+        for (const WaveEntry &a : out.plan.waves[i - 1].entries) {
+            for (const WaveEntry &b : out.plan.waves[i].entries) {
+                if (!intersects(a.devices, b.devices))
+                    continue;
+                EXPECT_TRUE(std::binary_search(
+                    preds[i].begin(), preds[i].end(),
+                    static_cast<std::int32_t>(i - 1)));
+            }
+        }
+    }
+}
+
+TEST_F(DispatchFixture, DynamicArrivalAfterBaseCompletes)
+{
+    // An arrival scheduled after the base iteration finishes must
+    // run exactly like a standalone iteration shifted in time.
+    Engine engine(hw);
+    IterationResult base = engine.run(meta, out.plan);
+    IterationResult alone = engine.run(meta, out.plan);
+
+    const double t_arr = 2.0 * base.iterationSeconds;
+    std::vector<double> ends;
+    IterationResult combined = engine.runDynamic(
+        meta, out.plan, {{t_arr, &meta, &out.plan}}, &ends);
+
+    ASSERT_EQ(ends.size(), 1u);
+    EXPECT_NEAR(ends[0], t_arr + alone.iterationSeconds,
+                1e-9 * ends[0]);
+    EXPECT_EQ(combined.timeline.records().size(),
+              2 * base.timeline.records().size());
+    // The base prefix is untouched by the later arrival.
+    EXPECT_EQ(combined.iterationSeconds, ends[0]);
+    EXPECT_EQ(combined.breakdown.sync, base.breakdown.sync);
+    // No arrival record starts before the arrival time: everything
+    // past the base's makespan belongs to the injected task.
+    for (const ExecRecord &r : combined.timeline.records())
+        EXPECT_TRUE(r.start < base.timeline.makespan() + 1e-12 ||
+                    r.start >= t_arr);
+}
+
+TEST_F(DispatchFixture, MidIterationArrivalThroughEventQueue)
+{
+    for (DispatchPolicyKind kind : {DispatchPolicyKind::StrictBarrier,
+                                    DispatchPolicyKind::Overlap}) {
+        Engine engine = engineWith(kind);
+        IterationResult base = engine.run(meta, out.plan);
+
+        // A second task joins at 30% of the base iteration — no
+        // replan, injected through a scheduled event.
+        const double t_arr = 0.3 * base.iterationSeconds;
+        std::vector<double> ends;
+        IterationResult combined = engine.runDynamic(
+            meta, out.plan, {{t_arr, &meta, &out.plan}}, &ends);
+
+        ASSERT_EQ(ends.size(), 1u);
+        EXPECT_GE(ends[0], t_arr);
+        EXPECT_GE(combined.iterationSeconds, base.iterationSeconds);
+        EXPECT_EQ(combined.timeline.records().size(),
+                  2 * base.timeline.records().size());
+        // Contention can only delay the base iteration's end.
+        EXPECT_GE(combined.timeline.makespan(),
+                  base.timeline.makespan());
+
+        // Injection is deterministic.
+        std::vector<double> ends2;
+        IterationResult again = engine.runDynamic(
+            meta, out.plan, {{t_arr, &meta, &out.plan}}, &ends2);
+        EXPECT_EQ(ends, ends2);
+        expectIdenticalTimelines(combined.timeline, again.timeline);
+    }
+}
+
+TEST_F(DispatchFixture, ArrivalOnDifferentClusterIsRejected)
+{
+    Engine engine(hw);
+    ExecutionPlan other = out.plan;
+    other.numDevices += 1;
+    EXPECT_DEATH(
+        engine.runDynamic(meta, out.plan, {{0.1, &meta, &other}}),
+        "different cluster");
+}
+
+TEST_F(DispatchFixture, ArrivalsWithEmptyBasePlanAreRejected)
+{
+    // Injected work must never be silently dropped: with no base
+    // plan there is no simulator to dispatch the arrivals on.
+    Engine engine(hw);
+    ExecutionPlan empty;
+    empty.numDevices = out.plan.numDevices;
+    EXPECT_DEATH(
+        engine.runDynamic(meta, empty, {{0.1, &meta, &out.plan}}),
+        "empty base plan");
+}
+
+TEST(EngineOptionsClamp, WarnsAndClampsOutOfRangeFractions)
+{
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(1);
+    HardwareModel hw(topo);
+    ExecutionPlanner planner(hw);
+    PlannerOutput out = planner.plan(meta);
+
+    EngineOptions bad;
+    bad.syncOverlapFraction = 1.7; // clamped to 1
+    bad.minSyncFraction = -0.3;    // clamped to 0
+    Engine clamped(hw, MemoryParams{}, bad);
+    EXPECT_EQ(clamped.options().syncOverlapFraction, 1.0);
+    EXPECT_EQ(clamped.options().minSyncFraction, 0.0);
+
+    EngineOptions edge;
+    edge.syncOverlapFraction = 1.0;
+    edge.minSyncFraction = 0.0;
+    Engine same(hw, MemoryParams{}, edge);
+    IterationResult a = clamped.run(meta, out.plan);
+    IterationResult b = same.run(meta, out.plan);
+    EXPECT_EQ(a.iterationSeconds, b.iterationSeconds);
+}
+
+} // namespace
+} // namespace spindle

@@ -155,6 +155,41 @@ TEST_F(ValidateFixture, RejectsEmptyWave)
     EXPECT_DEATH(plan.validate(meta), "empty wave");
 }
 
+TEST_F(ValidateFixture, AnnotatedReadinessValidates)
+{
+    plan.annotateReadiness(meta);
+    plan.validate(meta);
+    // Whole-cluster waves share devices, so every wave after the
+    // first has at least its device predecessor.
+    for (std::size_t i = 1; i < plan.waves.size(); ++i)
+        EXPECT_FALSE(plan.waves[i].predecessors.empty()) << "wave " << i;
+}
+
+TEST_F(ValidateFixture, RejectsMissingDataProducerEdge)
+{
+    plan.annotateReadiness(meta);
+    // Drop every readiness edge of a wave that consumes data (the
+    // last wave is a sink whose inputs were produced earlier).
+    plan.waves.back().predecessors.clear();
+    EXPECT_DEATH(plan.validate(meta), "readiness");
+}
+
+TEST_F(ValidateFixture, RejectsOutOfRangeReadinessPredecessor)
+{
+    plan.annotateReadiness(meta);
+    // A wave may not depend on itself or a later wave.
+    plan.waves[1].predecessors = {1};
+    EXPECT_DEATH(plan.validate(meta), "strictly earlier");
+}
+
+TEST_F(ValidateFixture, RejectsUnsortedReadinessEdges)
+{
+    plan.annotateReadiness(meta);
+    ASSERT_GE(plan.waves.size(), 3u);
+    plan.waves[2].predecessors = {1, 0};
+    EXPECT_DEATH(plan.validate(meta), "sorted and unique");
+}
+
 TEST_F(ValidateFixture, UnplacedPlanSkipsDeviceChecks)
 {
     // Placement is optional for validation: clearing device sets

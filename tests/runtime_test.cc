@@ -173,6 +173,20 @@ TEST_F(RuntimeFixture, SyncOverlapReducesExposedCost)
     EXPECT_LE(t_ovl, t_raw);
 }
 
+TEST_F(RuntimeFixture, OverlapPolicyBreakdownIsConsistent)
+{
+    EngineOptions options;
+    options.dispatch = DispatchPolicyKind::Overlap;
+    Engine engine(hw, MemoryParams{}, options);
+    IterationResult r = engine.run(meta, out.plan);
+    EXPECT_GT(r.iterationSeconds, 0);
+    EXPECT_GT(r.breakdown.fwdBwd, 0);
+    EXPECT_GE(r.breakdown.sync, 0);
+    EXPECT_GE(r.breakdown.sendRecv, 0);
+    EXPECT_NEAR(r.breakdown.total(), r.iterationSeconds,
+                1e-9 * r.iterationSeconds);
+}
+
 TEST(Runtime, EmptyPlanYieldsZeroIteration)
 {
     ComputationGraph g = fig3Workload();

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cost/estimator.h"
 #include "planner/resource_allocator.h"
 #include "planner/wavefront_scheduler.h"
@@ -171,8 +173,24 @@ TEST_F(SchedulerFixture, LevelsDoNotInterleave)
     for (const Wave &w : plan.waves) {
         if (w.level == 1)
             seen_level1 = true;
-        if (seen_level1)
+        if (seen_level1) {
             EXPECT_EQ(w.level, 1);
+        }
+    }
+}
+
+TEST_F(SchedulerFixture, EmitsReadinessEdges)
+{
+    // scheduleAll() annotates the readiness edges the event-driven
+    // runtime dispatches on: same-stream program order at minimum
+    // (all waves share stream 0 here), plus data producers.
+    ExecutionPlan plan = makePlan();
+    ASSERT_FALSE(plan.waves.empty());
+    for (std::size_t i = 1; i < plan.waves.size(); ++i) {
+        const auto &preds = plan.waves[i].predecessors;
+        EXPECT_TRUE(std::binary_search(preds.begin(), preds.end(),
+                                       static_cast<std::int32_t>(i - 1)))
+            << "wave " << i << " misses its program-order edge";
     }
 }
 

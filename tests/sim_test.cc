@@ -169,5 +169,73 @@ TEST(Simulator, RejectsUnknownDevice)
                  "bad device");
 }
 
+TEST(Simulator, RejectsBadDeviceMidGroupBeforeRecording)
+{
+    // A bad id in the middle of a group must be caught by the
+    // pre-validation pass (before any timeline or availability
+    // mutation), not after earlier devices were already recorded.
+    Simulator sim(4);
+    EXPECT_DEATH(sim.occupy({0, 1, 9}, 0.0, 1.0, ExecKind::Compute, 0,
+                            0, "x"),
+                 "bad device");
+}
+
+TEST(Simulator, RequestDeliversCompletionThroughQueue)
+{
+    Simulator sim(2);
+    double completed_at = -1;
+    double queue_now_at_completion = -1;
+    const double end = sim.request({0, 1}, 0.5, 1.0, ExecKind::Compute,
+                                   10, 0, "a", [&](double e) {
+                                       completed_at = e;
+                                       queue_now_at_completion =
+                                           sim.queue().now();
+                                   });
+    EXPECT_DOUBLE_EQ(end, 1.5);
+    // Nothing fires until the queue runs.
+    EXPECT_DOUBLE_EQ(completed_at, -1);
+    sim.queue().run();
+    EXPECT_DOUBLE_EQ(completed_at, 1.5);
+    EXPECT_DOUBLE_EQ(queue_now_at_completion, 1.5);
+}
+
+TEST(Simulator, RequestsChainDeterministically)
+{
+    Simulator sim(1);
+    std::vector<int> order;
+    sim.request({0}, 0.0, 1.0, ExecKind::Compute, 0, 0, "a",
+                [&](double) { order.push_back(0); });
+    sim.request({0}, 0.0, 1.0, ExecKind::Compute, 0, 1, "b",
+                [&](double) { order.push_back(1); });
+    sim.queue().run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_DOUBLE_EQ(sim.deviceFree(0), 2.0);
+}
+
+TEST(Simulator, ResetThenReplayYieldsIdenticalTimeline)
+{
+    // Executing the same occupy sequence twice (after reset())
+    // yields bit-identical timelines.
+    Simulator sim(4);
+    auto replay = [&sim] {
+        sim.occupy({0, 1}, 0.0, 1.0, ExecKind::Compute, 100, 0, "a");
+        sim.occupy({2, 3}, 0.5, 0.25, ExecKind::Transmission, 0, 1, "t");
+        sim.occupy({1, 2}, 0.0, 2.0, ExecKind::Sync, 0, -1, "s");
+    };
+    replay();
+    const std::vector<ExecRecord> first = sim.timeline().records();
+    sim.reset();
+    replay();
+    const std::vector<ExecRecord> &second = sim.timeline().records();
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].device, second[i].device);
+        EXPECT_EQ(first[i].start, second[i].start);
+        EXPECT_EQ(first[i].end, second[i].end);
+        EXPECT_EQ(first[i].kind, second[i].kind);
+        EXPECT_EQ(first[i].label, second[i].label);
+    }
+}
+
 } // namespace
 } // namespace spindle
