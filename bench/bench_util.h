@@ -8,14 +8,79 @@
 #ifndef SPINDLE_BENCH_BENCH_UTIL_H
 #define SPINDLE_BENCH_BENCH_UTIL_H
 
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "spindle/spindle.h"
 
 namespace spindle::bench {
+
+/**
+ * Minimal JSON emitter for benchmark artifacts: an array of flat
+ * records, each a name plus numeric fields. Lets bench binaries
+ * drop machine-readable results (e.g. BENCH_planner.json) next to
+ * their human-readable tables, so trajectory tooling and the CI
+ * perf smoke can diff runs without parsing stdout.
+ */
+class BenchJsonWriter
+{
+  public:
+    /** Add (or overwrite, matched by name) one record. */
+    void
+    record(const std::string &name,
+           std::vector<std::pair<std::string, double>> fields)
+    {
+        for (auto &rec : records_) {
+            if (rec.first == name) {
+                rec.second = std::move(fields);
+                return;
+            }
+        }
+        records_.emplace_back(name, std::move(fields));
+    }
+
+    bool empty() const { return records_.empty(); }
+
+    /** Render the records as a JSON array of objects. */
+    std::string
+    str() const
+    {
+        std::ostringstream os;
+        os.precision(17);
+        os << "[\n";
+        for (std::size_t i = 0; i < records_.size(); ++i) {
+            const auto &[name, fields] = records_[i];
+            os << "  {\"name\": \"" << name << "\"";
+            for (const auto &[key, value] : fields)
+                os << ", \"" << key << "\": " << value;
+            os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+        }
+        os << "]\n";
+        return os.str();
+    }
+
+    /** Write the JSON rendering to @p path; false on I/O failure. */
+    bool
+    writeFile(const std::string &path) const
+    {
+        std::ofstream out(path);
+        if (!out)
+            return false;
+        out << str();
+        return static_cast<bool>(out);
+    }
+
+  private:
+    std::vector<std::pair<
+        std::string, std::vector<std::pair<std::string, double>>>>
+        records_;
+};
 
 /** The paper's cluster: nodes of 8 A800s, NVLink + 400Gb/s IB. */
 inline ClusterTopology

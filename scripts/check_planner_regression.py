@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""CI perf smoke: fail when planner wall-clock regresses.
+
+Compares a fresh BENCH_planner.json (written by bench_planner_scaling)
+against the checked-in budget file bench/baseline_planner.json. The
+gate is the paper's headline scale point: every 64-GPU record must
+stay within REGRESSION_FACTOR x its budgeted plan_seconds. Budgets
+are deliberately generous (several times a warm local run) so shared
+CI runners do not flap; a return of the quadratic placement rescans
+(hundreds of milliseconds at 64 GPUs) still trips the gate by a wide
+margin. Other scale points are reported informationally.
+
+Usage: check_planner_regression.py CURRENT_JSON BASELINE_JSON [FACTOR]
+"""
+
+import json
+import sys
+
+REGRESSION_FACTOR = 2.0
+
+
+def load_records(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {rec["name"]: rec for rec in data}
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        print(__doc__)
+        return 2
+    current = load_records(argv[1])
+    baseline = load_records(argv[2])
+    factor = float(argv[3]) if len(argv) == 4 else REGRESSION_FACTOR
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        gate = base.get("gpus") == 64
+        cur = current.get(name)
+        if cur is None:
+            # Only gate points are mandatory; other scale points are
+            # informational (a trimmed sweep should not fail CI).
+            if gate:
+                failures.append(f"{name}: missing from {argv[1]}")
+            else:
+                print(f"warn  {name:<24} missing from current run")
+            continue
+        budget = base["plan_seconds"]
+        actual = cur["plan_seconds"]
+        ratio = actual / budget if budget > 0 else float("inf")
+        status = "OK" if ratio <= factor else ("FAIL" if gate else "warn")
+        print(
+            f"{status:>4}  {name:<24} plan={actual * 1e3:8.3f} ms"
+            f"  budget={budget * 1e3:8.3f} ms  ratio={ratio:5.2f}x"
+            + ("  [gate]" if gate else "")
+        )
+        if gate and ratio > factor:
+            failures.append(
+                f"{name}: {actual:.6f}s > {factor:.1f}x budget "
+                f"{budget:.6f}s"
+            )
+
+    # Current-only records carry no budget and are therefore ungated;
+    # say so rather than silently skipping them.
+    for name in sorted(set(current) - set(baseline)):
+        print(f"warn  {name:<24} not in baseline (ungated)")
+
+    if failures:
+        print("\nplanner perf regression detected:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nplanner perf within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,5 +1,7 @@
 #include "common/math_util.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace spindle {
@@ -67,6 +69,22 @@ std::int64_t
 roundNearest(double x)
 {
     return static_cast<std::int64_t>(std::llround(x));
+}
+
+std::int64_t
+waveSliceOps(double span, double per_op, std::int64_t l_max)
+{
+    panicIf(l_max < 1, "waveSliceOps: need at least one operator");
+    // Epsilon criterion: when per_op is so small relative to span
+    // (denormal or zero curve times) that the quotient leaves
+    // llround()'s defined domain, the slice is effectively free —
+    // everything remaining fits the wave. The negated comparison
+    // also routes inf and NaN quotients here.
+    constexpr double kMaxOps = 9.0e18; // < INT64_MAX, llround-safe
+    const double ratio = span / per_op;
+    if (!(ratio < kMaxOps))
+        return l_max;
+    return std::clamp<std::int64_t>(roundNearest(ratio), 1, l_max);
 }
 
 } // namespace spindle

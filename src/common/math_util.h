@@ -40,6 +40,20 @@ std::uint32_t ceilPowerOfTwo(std::uint32_t n);
 /** Round a positive real to the nearest integer, half away from zero. */
 std::int64_t roundNearest(double x);
 
+/**
+ * Number of member operators a wave slice covers: the nearest
+ * integer to span / per_op, clamped to [1, l_max].
+ *
+ * Shared by the wavefront scheduler and any baseline that slices by
+ * time ratio. A denormal or zero @p per_op can push the quotient
+ * past llround()'s defined domain (ultimately to infinity); an
+ * explicit epsilon criterion maps that regime to "all remaining
+ * operators fit" instead of undefined behaviour, and the lower
+ * clamp keeps a wave from covering zero operators.
+ */
+std::int64_t waveSliceOps(double span, double per_op,
+                          std::int64_t l_max);
+
 } // namespace spindle
 
 #endif // SPINDLE_COMMON_MATH_UTIL_H

@@ -1,11 +1,19 @@
 #include "cost/scaling_curve.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/logging.h"
 
 namespace spindle {
+
+namespace {
+
+/** Bound on the inverse() memo before it is dropped wholesale. */
+constexpr std::size_t kInverseMemoLimit = 1 << 13;
+
+} // namespace
 
 ScalingCurve::ScalingCurve(std::vector<std::uint32_t> valid_ns,
                            std::vector<double> times)
@@ -23,21 +31,31 @@ ScalingCurve::ScalingCurve(std::vector<std::uint32_t> valid_ns,
     // estimation wiggle (e.g. a kernel-regime penalty) downward.
     for (std::size_t i = 1; i < times_.size(); ++i)
         times_[i] = std::min(times_[i], times_[i - 1]);
+
+    index_of_.assign(ns_.back() + 1, -1);
+    for (std::size_t i = 0; i < ns_.size(); ++i)
+        index_of_[ns_[i]] = static_cast<std::int32_t>(i);
 }
 
 bool
 ScalingCurve::isValid(std::uint32_t n) const
 {
-    return std::binary_search(ns_.begin(), ns_.end(), n);
+    return n < index_of_.size() && index_of_[n] >= 0;
 }
 
 double
 ScalingCurve::timeAt(std::uint32_t n) const
 {
-    auto it = std::lower_bound(ns_.begin(), ns_.end(), n);
-    fatalIf(it == ns_.end() || *it != n,
-            strCat("timeAt: n=", n, " is not a valid allocation"));
-    return times_[static_cast<std::size_t>(it - ns_.begin())];
+    if (!isValid(n))
+        fatal(strCat("timeAt: n=", n, " is not a valid allocation"));
+    return times_[static_cast<std::size_t>(index_of_[n])];
+}
+
+std::uint32_t
+ScalingCurve::nextValidAbove(std::uint32_t n) const
+{
+    auto it = std::upper_bound(ns_.begin(), ns_.end(), n);
+    return it == ns_.end() ? 0 : *it;
 }
 
 double
@@ -63,28 +81,46 @@ ScalingCurve::eval(double n) const
 double
 ScalingCurve::inverse(double t) const
 {
-    panicIf(t <= 0, "inverse: t must be positive");
+    // Negated form so NaN is rejected too (the former linear scan
+    // ended in panic("unreachable") for NaN; the binary search would
+    // silently interpolate with it).
+    panicIf(!(t > 0), "inverse: t must be positive");
+    const std::uint64_t key = std::bit_cast<std::uint64_t>(t);
+    if (auto it = inverse_memo_.find(key); it != inverse_memo_.end())
+        return it->second;
+
+    double result;
     if (t >= times_.front()) {
         // Slower than the smallest valid allocation: hyperbolic
         // region, n = n_1 * T(n_1) / t (possibly < 1).
-        return static_cast<double>(ns_.front()) * times_.front() / t;
+        result =
+            static_cast<double>(ns_.front()) * times_.front() / t;
+    } else if (t <= times_.back()) {
+        result = static_cast<double>(ns_.back());
+    } else {
+        // Find the grid segment with T(n_lo) >= t >= T(n_hi) and
+        // apply the linear combination of Eq. (11). times_ is
+        // non-increasing, so the first grid point with time <= t is
+        // a binary search (partition_point over "time > t").
+        auto seg = std::partition_point(
+            times_.begin() + 1, times_.end(),
+            [&](double grid_t) { return grid_t > t; });
+        panicIf(seg == times_.end(), "inverse: unreachable");
+        const std::size_t i =
+            static_cast<std::size_t>(seg - times_.begin());
+        const double n_lo = ns_[i - 1], n_hi = ns_[i];
+        const double t_lo = times_[i - 1], t_hi = times_[i];
+        if (t_lo == t_hi)
+            result = n_lo;
+        else
+            result = ((t_lo - t) * n_hi + (t - t_hi) * n_lo) /
+                     (t_lo - t_hi);
     }
-    if (t <= times_.back())
-        return static_cast<double>(ns_.back());
 
-    // Find the grid segment with T(n_lo) >= t >= T(n_hi) and apply
-    // the linear combination of Eq. (11).
-    for (std::size_t i = 1; i < ns_.size(); ++i) {
-        if (times_[i] <= t) {
-            const double n_lo = ns_[i - 1], n_hi = ns_[i];
-            const double t_lo = times_[i - 1], t_hi = times_[i];
-            if (t_lo == t_hi)
-                return n_lo;
-            return ((t_lo - t) * n_hi + (t - t_hi) * n_lo) /
-                   (t_lo - t_hi);
-        }
-    }
-    panic("inverse: unreachable");
+    if (inverse_memo_.size() >= kInverseMemoLimit)
+        inverse_memo_.clear();
+    inverse_memo_.emplace(key, result);
+    return result;
 }
 
 double

@@ -10,6 +10,7 @@
 #define SPINDLE_COST_SCALING_CURVE_H
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "cost/alpha_beta.h"
@@ -27,6 +28,14 @@ namespace spindle {
  * n_1 the curve extends hyperbolically (t = t_1 * n_1 / n), which
  * gives the continuous MPSP relaxation meaning for fractional
  * allocations smaller than one device.
+ *
+ * Lookups are planner hot-path operations (placement and scheduling
+ * query the same (MetaOp, n) pairs hundreds of times per plan), so
+ * grid queries go through a dense n -> grid-index table and inverse()
+ * keeps a small memo of recently inverted times. All caches are
+ * value-transparent: a cached query returns the bit-identical double
+ * the uncached code path would. Not thread-safe (single planner
+ * thread, like the rest of the planner).
  */
 class ScalingCurve
 {
@@ -49,6 +58,13 @@ class ScalingCurve
 
     /** Grid time at a valid allocation; fatal if @p n is not valid. */
     double timeAt(std::uint32_t n) const;
+
+    /**
+     * Smallest valid allocation strictly greater than @p n, or 0
+     * when @p n is already at or above maxValid() (the scheduler's
+     * resource-extension query, O(log k) instead of a grid scan).
+     */
+    std::uint32_t nextValidAbove(std::uint32_t n) const;
 
     /** Continuous T(n) for fractional n > 0 (see class comment). */
     double eval(double n) const;
@@ -74,6 +90,12 @@ class ScalingCurve
   private:
     std::vector<std::uint32_t> ns_;
     std::vector<double> times_;
+
+    /** Dense n -> index into ns_/times_ (-1 = not valid). */
+    std::vector<std::int32_t> index_of_;
+
+    /** Memo of inverse() results keyed by the bit pattern of t. */
+    mutable std::unordered_map<std::uint64_t, double> inverse_memo_;
 };
 
 } // namespace spindle

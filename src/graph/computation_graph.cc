@@ -68,8 +68,10 @@ ComputationGraph::finalize()
 const OperatorDesc &
 ComputationGraph::op(OpId id) const
 {
-    panicIf(id < 0 || static_cast<std::size_t>(id) >= ops_.size(),
-            strCat("op: bad id ", id));
+    // Guard-then-panic: keep the strCat off the happy path (this is
+    // a planner hot-path accessor).
+    if (id < 0 || static_cast<std::size_t>(id) >= ops_.size())
+        panic(strCat("op: bad id ", id));
     return ops_[id];
 }
 

@@ -74,8 +74,10 @@ memberDesc(const MetaOp &m)
 const MetaOp &
 MetaGraph::metaOp(MetaOpId id) const
 {
-    panicIf(id < 0 || static_cast<std::size_t>(id) >= nodes_.size(),
-            strCat("metaOp: bad id ", id));
+    // Guard-then-panic: keep the strCat off the happy path (this is
+    // a planner hot-path accessor).
+    if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size())
+        panic(strCat("metaOp: bad id ", id));
     return nodes_[id];
 }
 

@@ -1,12 +1,51 @@
 #include "hardware/hardware_model.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "common/logging.h"
 #include "common/math_util.h"
 
 namespace spindle {
+
+namespace {
+
+/** Bound on the lookup memos before they are dropped wholesale. */
+constexpr std::size_t kMemoLimit = 1 << 16;
+
+inline std::size_t
+hashCombine(std::size_t seed, std::size_t value)
+{
+    return seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                   (seed >> 2));
+}
+
+} // namespace
+
+std::size_t
+HardwareModel::OpSignatureHash::operator()(const OpSignature &sig) const
+{
+    std::size_t h = std::hash<std::int64_t>{}(sig.batch);
+    h = hashCombine(h, std::hash<std::int64_t>{}(sig.hidden));
+    h = hashCombine(h, std::hash<std::uint64_t>{}(
+                           std::bit_cast<std::uint64_t>(sig.flopsFwd)));
+    h = hashCombine(h, std::hash<std::uint64_t>{}(
+                           std::bit_cast<std::uint64_t>(
+                               sig.activationBytes)));
+    h = hashCombine(h, std::hash<std::uint32_t>{}(sig.n));
+    return h;
+}
+
+HardwareModel::OpSignature
+HardwareModel::signatureOf(const OperatorDesc &op, std::uint32_t n)
+{
+    // + 0.0 normalizes -0.0 to +0.0: the hash is over bit patterns
+    // while operator== is numeric, and the two must agree on signed
+    // zeros to honor the unordered_map key contract.
+    return {op.input.batch, op.input.hidden, op.flopsFwd + 0.0,
+            op.activationBytes + 0.0, n};
+}
 
 HardwareModel::HardwareModel(const ClusterTopology &topo,
                              HardwareParams params)
@@ -68,21 +107,35 @@ std::vector<std::uint32_t>
 HardwareModel::validAllocations(const OperatorDesc &op,
                                 std::uint32_t max_n) const
 {
+    const OpSignature sig = signatureOf(op, max_n);
+    if (auto it = valid_allocs_memo_.find(sig);
+        it != valid_allocs_memo_.end())
+        return it->second;
+
     std::vector<std::uint32_t> out;
     for (std::uint32_t n = 1; n <= max_n; ++n)
         if (isValidAllocation(op, n))
             out.push_back(n);
     panicIf(out.empty(), "validAllocations: not even n=1 is valid");
+
+    if (valid_allocs_memo_.size() >= kMemoLimit)
+        valid_allocs_memo_.clear();
+    valid_allocs_memo_.emplace(sig, out);
     return out;
 }
 
 ParallelConfig
 HardwareModel::bestConfig(const OperatorDesc &op, std::uint32_t n) const
 {
+    const OpSignature sig = signatureOf(op, n);
+    if (auto it = best_config_memo_.find(sig);
+        it != best_config_memo_.end())
+        return it->second;
+
     auto configs = configsFor(op, n);
-    fatalIf(configs.empty(),
-            strCat("bestConfig: no valid config for op '", op.name,
-                   "' with n=", n));
+    if (configs.empty())
+        fatal(strCat("bestConfig: no valid config for op '", op.name,
+                     "' with n=", n));
     ParallelConfig best = configs.front();
     double best_t = std::numeric_limits<double>::infinity();
     for (const ParallelConfig &cfg : configs) {
@@ -92,6 +145,10 @@ HardwareModel::bestConfig(const OperatorDesc &op, std::uint32_t n) const
             best = cfg;
         }
     }
+
+    if (best_config_memo_.size() >= kMemoLimit)
+        best_config_memo_.clear();
+    best_config_memo_.emplace(sig, best);
     return best;
 }
 

@@ -25,6 +25,7 @@
 #ifndef SPINDLE_HARDWARE_HARDWARE_MODEL_H
 #define SPINDLE_HARDWARE_HARDWARE_MODEL_H
 
+#include <unordered_map>
 #include <vector>
 
 #include "graph/meta_graph.h"
@@ -131,9 +132,46 @@ class HardwareModel
     double passTime(double flops, double act_bytes,
                     ParallelConfig cfg) const;
 
+    /**
+     * Workload signature of an operator for the lookup caches: the
+     * exact set of fields configsFor()/opTimeFwd() read. Two ops
+     * with equal signatures get identical configs and times, so
+     * memoized answers are value-transparent. Placement synthesizes
+     * a fresh memberDesc() per query, hence keying on fields rather
+     * than addresses.
+     */
+    struct OpSignature
+    {
+        std::int64_t batch = 0;
+        std::int64_t hidden = 0;
+        double flopsFwd = 0;
+        double activationBytes = 0;
+        std::uint32_t n = 0;
+
+        bool operator==(const OpSignature &other) const = default;
+    };
+
+    struct OpSignatureHash
+    {
+        std::size_t operator()(const OpSignature &sig) const;
+    };
+
+    static OpSignature signatureOf(const OperatorDesc &op,
+                                   std::uint32_t n);
+
     const ClusterTopology &topo_;
     HardwareParams params_;
     CollectiveModel coll_;
+
+    /** Memo of bestConfig() answers (planner hot path; placement
+     *  asks for the same (MetaOp workload, n) hundreds of times).
+     *  Pure-function cache — never stale; not thread-safe. */
+    mutable std::unordered_map<OpSignature, ParallelConfig,
+                               OpSignatureHash> best_config_memo_;
+
+    /** Memo of validAllocations() grids, keyed with n = max_n. */
+    mutable std::unordered_map<OpSignature, std::vector<std::uint32_t>,
+                               OpSignatureHash> valid_allocs_memo_;
 };
 
 } // namespace spindle

@@ -20,7 +20,11 @@ ClusterTopology::ClusterTopology(ClusterConfig config)
 std::uint32_t
 ClusterTopology::islandOf(DeviceId dev) const
 {
-    panicIf(dev >= num_devices_, strCat("islandOf: bad device ", dev));
+    // Guard-then-panic: panicIf(cond, strCat(...)) builds the message
+    // even on the happy path, and this accessor runs tens of millions
+    // of times inside placement scoring.
+    if (dev >= num_devices_)
+        panic(strCat("islandOf: bad device ", dev));
     return dev / config_.gpusPerNode;
 }
 

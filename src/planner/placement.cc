@@ -21,9 +21,35 @@ paramDedupKey(const OperatorDesc &op)
     return -(static_cast<std::int64_t>(op.id) + 2);
 }
 
+/**
+ * Parameter signature of one member operator of a slice: the dedup
+ * key plus the per-device share and raw bytes the scoring loops
+ * consume. Computed once per wave entry instead of re-deriving the
+ * OperatorDesc and share inside every candidate window.
+ */
+struct SliceParam
+{
+    std::int64_t key = 0;
+    double share = 0; ///< per-device param + optimizer share
+    double bytes = 0; ///< raw parameter bytes (affinity scoring)
+};
+
+/** Number of link classes a (src set, device) pair can fall into. */
+constexpr int kNumLinkClasses = 3;
+
 } // namespace
 
-/** Mutable state of one placement attempt. */
+/**
+ * Mutable state of one placement attempt.
+ *
+ * Per-device totals are cached: the former deviceTotal() walked the
+ * whole parameter map on every candidate window of every entry
+ * (quadratic in practice). The cache is refreshed lazily after a
+ * commit dirties a device, by replaying the exact walk the uncached
+ * code performed — cached reads are bit-identical, and each device
+ * is re-walked at most once per committed entry instead of once per
+ * candidate window.
+ */
 struct DevicePlacement::Attempt
 {
     /** Per-device stored parameter state, deduplicated by key. */
@@ -35,13 +61,36 @@ struct DevicePlacement::Attempt
     /** Most recent device set of each MetaOp (last placed slice). */
     std::map<MetaOpId, DeviceSet> lastSlice;
 
-    double
-    deviceTotal(DeviceId d) const
+    /** Lazily refreshed deviceTotal() cache (see class comment). */
+    std::vector<double> total_cache;
+    std::vector<char> total_dirty;
+
+    void
+    init(std::uint32_t num_devices)
     {
-        double total = activations[d];
-        for (const auto &[key, bytes] : params[d])
-            total += bytes;
-        return total;
+        params.assign(num_devices, {});
+        activations.assign(num_devices, 0.0);
+        total_cache.assign(num_devices, 0.0);
+        total_dirty.assign(num_devices, 1);
+    }
+
+    void
+    markDirty(DeviceId d)
+    {
+        total_dirty[d] = 1;
+    }
+
+    double
+    deviceTotal(DeviceId d)
+    {
+        if (total_dirty[d]) {
+            double total = activations[d];
+            for (const auto &[key, bytes] : params[d])
+                total += bytes;
+            total_cache[d] = total;
+            total_dirty[d] = 0;
+        }
+        return total_cache[d];
     }
 };
 
@@ -81,8 +130,7 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
     const CollectiveModel &coll = hw_.collectives();
 
     Attempt state;
-    state.params.assign(num_devices, {});
-    state.activations.assign(num_devices, 0.0);
+    state.init(num_devices);
 
     // Per-op parameter share charged to each device of a slice.
     auto param_share = [&](const OperatorDesc &op, ParallelConfig cfg) {
@@ -95,45 +143,81 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
         return shard + opt;
     };
 
+    // The three link classes a (src set, candidate device) pair can
+    // use. CollectiveModel::flowTime maximizes bandwidth over all
+    // (src, dst) pairs, so the sweep must (a) track, per candidate
+    // device, *every* class it has a pair in — a device sharing an
+    // island with one source device still has inter-island pairs to
+    // the others — and (b) probe classes in bandwidth order, not
+    // class-index order (a config may rank its fabrics differently
+    // from the defaults). Two classes configured to the exact same
+    // bandwidth but different latency make flowTime's winner depend
+    // on its pair iteration order, which class-level bookkeeping
+    // cannot reproduce; such (pathological) configs drop to scoring
+    // every window with flowTime directly, keeping the bit-identical
+    // contract unconditional.
+    const LinkParams link_class[kNumLinkClasses] = {
+        {topo_.device().copyBandwidth, 0.0}, // overlapping device
+        topo_.config().intraIsland,          // same island
+        topo_.config().interIsland,          // cross island
+    };
+    int class_by_bw[kNumLinkClasses] = {0, 1, 2};
+    std::stable_sort(class_by_bw, class_by_bw + kNumLinkClasses,
+                     [&](int a, int b) {
+                         return link_class[a].bandwidth >
+                                link_class[b].bandwidth;
+                     });
+    const bool tied_class_bandwidths =
+        link_class[0].bandwidth == link_class[1].bandwidth ||
+        link_class[0].bandwidth == link_class[2].bandwidth ||
+        link_class[1].bandwidth == link_class[2].bandwidth;
+
     std::uint32_t seq_cursor = 0; // Sequential strategy cursor
+
+    // Scratch buffers reused across entries (sized per wave).
+    std::vector<double> cand_total;      // per free pos: total if placed
+    std::vector<SliceParam> sig;         // slice param signature
+    std::vector<std::int32_t> sig_row;   // sig index -> residency row
+    std::vector<std::uint32_t> res_pref; // residency prefix counts
+    std::vector<std::uint32_t> island_src_count; // src devs per island
+    DeviceSet win_buf; // window scratch for the tied-bandwidth path
 
     for (Wave &wave : plan.waves) {
         DeviceSet free = topo_.allDevices();
         free.resize(std::min<std::size_t>(free.size(), num_devices));
 
         // Entry placement order: highest communication volume first
-        // (or largest memory first in the fallback pass).
+        // (or largest memory first in the fallback pass). Sort keys
+        // are precomputed; the former comparator re-derived them on
+        // every comparison (including a bestConfig search per probe
+        // in the fallback pass).
         std::vector<std::size_t> order(wave.entries.size());
         for (std::size_t i = 0; i < order.size(); ++i)
             order[i] = i;
-        auto entry_volume = [&](const WaveEntry &e) {
-            const MetaOp &m = graph.metaOp(e.metaOp);
-            double vol = m.activationBytes; // outflow / chain flow
-            if (e.opBegin == 0) {
-                for (const MetaEdge &edge : graph.edges())
-                    if (edge.dst == e.metaOp)
-                        vol += edge.flowBytes;
-            }
-            return vol;
-        };
-        auto entry_memory = [&](const WaveEntry &e) {
-            const MetaOp &m = graph.metaOp(e.metaOp);
-            ParallelConfig cfg = hw_.bestConfig(memberDesc(m), e.n);
-            return mem_.sliceBytesPerDevice(m, e.numOps, cfg);
-        };
         if (options_.strategy == PlacementStrategy::Spindle) {
+            std::vector<double> sort_key(wave.entries.size());
+            for (std::size_t i = 0; i < wave.entries.size(); ++i) {
+                const WaveEntry &e = wave.entries[i];
+                const MetaOp &m = graph.metaOp(e.metaOp);
+                if (memory_first) {
+                    ParallelConfig cfg =
+                        hw_.bestConfig(memberDesc(m), e.n);
+                    sort_key[i] =
+                        mem_.sliceBytesPerDevice(m, e.numOps, cfg);
+                } else {
+                    double vol = m.activationBytes; // outflow / chain
+                    if (e.opBegin == 0) {
+                        for (const MetaEdge &edge : graph.edges())
+                            if (edge.dst == e.metaOp)
+                                vol += edge.flowBytes;
+                    }
+                    sort_key[i] = vol;
+                }
+            }
             std::sort(order.begin(), order.end(),
                       [&](std::size_t a, std::size_t b) {
-                          double va, vb;
-                          if (memory_first) {
-                              va = entry_memory(wave.entries[a]);
-                              vb = entry_memory(wave.entries[b]);
-                          } else {
-                              va = entry_volume(wave.entries[a]);
-                              vb = entry_volume(wave.entries[b]);
-                          }
-                          if (va != vb)
-                              return va > vb;
+                          if (sort_key[a] != sort_key[b])
+                              return sort_key[a] > sort_key[b];
                           return a < b;
                       });
         }
@@ -145,10 +229,59 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
             const double act_share =
                 mem_.activationBytesPerDevice(m, e.numOps, cfg);
 
-            // Candidate windows: contiguous runs of the free list.
             panicIf(free.size() < e.n,
                     "tryPlace: scheduler exceeded wave capacity");
-            std::vector<DeviceSet> windows;
+
+            // Slice parameter signature, computed once per entry.
+            sig.clear();
+            sig.reserve(static_cast<std::size_t>(e.numOps));
+            for (std::int64_t i = 0; i < e.numOps; ++i) {
+                const OperatorDesc &op =
+                    graph.base().op(m.ops[e.opBegin + i]);
+                sig.push_back({paramDedupKey(op), param_share(op, cfg),
+                               op.paramBytes});
+            }
+
+            // Inter-wave data sources feeding this entry, in the
+            // edge order the score accumulates them: first slices
+            // pull from predecessor MetaOps, later slices from the
+            // own MetaOp's previous slice.
+            std::vector<std::pair<double, const DeviceSet *>> inflows;
+            if (e.opBegin == 0) {
+                for (const MetaEdge &edge : graph.edges()) {
+                    if (edge.dst != e.metaOp)
+                        continue;
+                    auto it = state.lastSlice.find(edge.src);
+                    if (it != state.lastSlice.end())
+                        inflows.emplace_back(edge.flowBytes,
+                                             &it->second);
+                }
+            } else {
+                auto it = state.lastSlice.find(e.metaOp);
+                if (it != state.lastSlice.end())
+                    inflows.emplace_back(m.activationBytes,
+                                         &it->second);
+            }
+
+            // Intra-island preference: a TP group spanning islands
+            // pays the real collective slowdown. Window-independent,
+            // hoisted out of the scoring loop.
+            double island_penalty = 0;
+            if (cfg.tp > 1) {
+                const double shard = m.activationBytes / cfg.dp;
+                const double slow = CollectiveModel::ringAllReduce(
+                    shard, cfg.tp, topo_.config().interIsland);
+                const double fast = CollectiveModel::ringAllReduce(
+                    shard, cfg.tp, topo_.config().intraIsland);
+                island_penalty = 2.0 * static_cast<double>(e.numOps) *
+                                 (slow - fast);
+            }
+
+            double best_primary = std::numeric_limits<double>::infinity();
+            double best_secondary = best_primary;
+            double best_comm = 0;
+            DeviceSet best_win;
+
             if (options_.strategy == PlacementStrategy::Sequential) {
                 // Next consecutive devices, wrapping; no awareness.
                 DeviceSet win;
@@ -158,153 +291,321 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                 // Wrapping can collapse duplicates only if n >
                 // num_devices, which validate() forbids.
                 seq_cursor = (seq_cursor + e.n) % num_devices;
-                windows.push_back(std::move(win));
-            } else {
-                for (std::size_t s = 0; s + e.n <= free.size(); ++s)
-                    windows.emplace_back(free.begin() + s,
-                                         free.begin() + s + e.n);
-            }
 
-            // Score each window: {primary, secondary} lexicographic.
-            double best_primary = std::numeric_limits<double>::infinity();
-            double best_secondary = best_primary;
-            std::size_t best_w = windows.size();
-            double best_comm = 0;
-            for (std::size_t w = 0; w < windows.size(); ++w) {
-                const DeviceSet &win = windows[w];
-
-                // Memory feasibility and resulting peak fraction.
-                bool feasible = true;
+                // Single candidate: score it directly (the memory
+                // capacity check never rejects in this ablation).
                 double peak_frac = 0;
                 for (DeviceId d : win) {
                     double add = act_share;
-                    for (std::int64_t i = 0; i < e.numOps; ++i) {
-                        const OperatorDesc &op =
-                            graph.base().op(m.ops[e.opBegin + i]);
-                        const std::int64_t key = paramDedupKey(op);
-                        const double share = param_share(op, cfg);
-                        auto it = state.params[d].find(key);
+                    for (const SliceParam &sp : sig) {
+                        auto it = state.params[d].find(sp.key);
                         if (it == state.params[d].end())
-                            add += share;
-                        else if (share > it->second)
-                            add += share - it->second;
+                            add += sp.share;
+                        else if (sp.share > it->second)
+                            add += sp.share - it->second;
                     }
                     const double total = state.deviceTotal(d) + add;
-                    if (options_.strategy == PlacementStrategy::Spindle &&
-                        total > capacity) {
-                        feasible = false;
-                        break;
-                    }
                     peak_frac = std::max(
                         peak_frac, total / topo_.device().memoryBytes);
                 }
-                if (!feasible)
-                    continue;
-
-                // Inter-wave communication: first slices pull from
-                // predecessor MetaOps, later slices from the own
-                // MetaOp's previous slice.
                 double comm = 0;
-                if (e.opBegin == 0) {
-                    for (const MetaEdge &edge : graph.edges()) {
-                        if (edge.dst != e.metaOp)
-                            continue;
-                        auto it = state.lastSlice.find(edge.src);
-                        if (it != state.lastSlice.end())
-                            comm += coll.flowTime(edge.flowBytes,
-                                                  it->second, win);
-                    }
-                } else {
-                    auto it = state.lastSlice.find(e.metaOp);
-                    if (it != state.lastSlice.end())
-                        comm += coll.flowTime(m.activationBytes,
-                                              it->second, win);
-                }
-
-                // Parameter affinity (§3.5): reward windows whose
-                // devices already store this slice's parameter sets;
-                // placing elsewhere would grow the corresponding
-                // gradient-sync groups by roughly one ring pass of
-                // the non-resident bytes.
+                for (const auto &[bytes, src] : inflows)
+                    comm += coll.flowTime(bytes, *src, win);
                 double non_resident_bytes = 0;
-                for (std::int64_t i = 0; i < e.numOps; ++i) {
-                    const OperatorDesc &op =
-                        graph.base().op(m.ops[e.opBegin + i]);
-                    if (op.paramBytes <= 0)
+                for (const SliceParam &sp : sig) {
+                    if (sp.bytes <= 0)
                         continue;
-                    const std::int64_t key = paramDedupKey(op);
                     bool resident = false;
                     for (DeviceId d : win) {
-                        if (state.params[d].count(key)) {
+                        if (state.params[d].count(sp.key)) {
                             resident = true;
                             break;
                         }
                     }
                     if (!resident)
-                        non_resident_bytes += op.paramBytes;
+                        non_resident_bytes += sp.bytes;
                 }
                 comm += options_.paramAffinityWeight * 2.0 *
                         non_resident_bytes /
                         topo_.config().interIslandCollective.bandwidth;
+                if (cfg.tp > 1 && !topo_.withinOneIsland(win))
+                    comm += island_penalty;
+                best_primary = memory_first
+                                   ? peak_frac
+                                   : comm + options_.memoryWeight *
+                                                peak_frac;
+                best_comm = comm;
+                best_win = std::move(win);
+            } else {
+                // Candidate windows: the contiguous runs of the free
+                // list. All window scores derive from per-device
+                // quantities computed once per entry; the window
+                // sweep combines them with prefix/extremum queries
+                // that reproduce the former full rescan bit for bit.
+                const std::size_t F = free.size();
+                const std::size_t W = F - e.n + 1;
 
-                // Intra-island preference: a TP group spanning
-                // islands pays the real collective slowdown.
-                if (cfg.tp > 1 && !topo_.withinOneIsland(win)) {
-                    const double shard = m.activationBytes / cfg.dp;
-                    const double slow = CollectiveModel::ringAllReduce(
-                        shard, cfg.tp, topo_.config().interIsland);
-                    const double fast = CollectiveModel::ringAllReduce(
-                        shard, cfg.tp, topo_.config().intraIsland);
-                    comm += 2.0 * static_cast<double>(e.numOps) *
-                            (slow - fast);
+                // (a) Per-device total if this slice lands on it.
+                cand_total.resize(F);
+                for (std::size_t pos = 0; pos < F; ++pos) {
+                    const DeviceId d = free[pos];
+                    double add = act_share;
+                    for (const SliceParam &sp : sig) {
+                        auto it = state.params[d].find(sp.key);
+                        if (it == state.params[d].end())
+                            add += sp.share;
+                        else if (sp.share > it->second)
+                            add += sp.share - it->second;
+                    }
+                    cand_total[pos] = state.deviceTotal(d) + add;
                 }
 
-                const double mem_score =
-                    options_.memoryWeight * peak_frac;
-                double primary, secondary;
-                if (memory_first) {
-                    primary = peak_frac;
-                    secondary = comm;
-                } else {
-                    primary = comm + mem_score;
-                    secondary = peak_frac;
+                // (b) Per-inflow link-class machinery: class of each
+                // free device w.r.t. the source set, prefix counts
+                // per class, the per-class flow time, and the window
+                // that equals the source set (zero-cost flow).
+                struct InflowCtx
+                {
+                    double flowByClass[kNumLinkClasses];
+                    // class prefix counts, kNumLinkClasses rows of
+                    // F + 1 entries each
+                    std::vector<std::uint32_t> pref;
+                    std::ptrdiff_t eq_window = -1;
+                };
+                std::vector<InflowCtx> inflow_ctx(inflows.size());
+                for (std::size_t k = 0; k < inflows.size(); ++k) {
+                    const auto &[bytes, src_ptr] = inflows[k];
+                    const DeviceSet &src = *src_ptr;
+                    InflowCtx &ctx = inflow_ctx[k];
+
+                    const double streams = static_cast<double>(
+                        std::min<std::size_t>(src.size(), e.n));
+                    for (int c = 0; c < kNumLinkClasses; ++c)
+                        ctx.flowByClass[c] =
+                            bytes / streams /
+                                link_class[c].bandwidth +
+                            link_class[c].latency;
+
+                    island_src_count.assign(topo_.numIslands(), 0);
+                    for (DeviceId s : src)
+                        ++island_src_count[topo_.islandOf(s)];
+                    const auto src_size =
+                        static_cast<std::uint32_t>(src.size());
+
+                    // A device's class is the fastest one it has any
+                    // pair in: copy needs the device itself in src,
+                    // intra another src device in its island, inter
+                    // a src device in a different island.
+                    ctx.pref.assign(
+                        kNumLinkClasses * (F + 1), 0);
+                    for (std::size_t pos = 0; pos < F; ++pos) {
+                        const DeviceId d = free[pos];
+                        const bool in_src = std::binary_search(
+                            src.begin(), src.end(), d);
+                        const std::uint32_t same_island =
+                            island_src_count[topo_.islandOf(d)];
+                        const bool avail[kNumLinkClasses] = {
+                            in_src,
+                            same_island > (in_src ? 1u : 0u),
+                            src_size > same_island,
+                        };
+                        int cls = class_by_bw[kNumLinkClasses - 1];
+                        for (int r = 0; r < kNumLinkClasses; ++r) {
+                            if (avail[class_by_bw[r]]) {
+                                cls = class_by_bw[r];
+                                break;
+                            }
+                        }
+                        for (int c = 0; c < kNumLinkClasses; ++c)
+                            ctx.pref[c * (F + 1) + pos + 1] =
+                                ctx.pref[c * (F + 1) + pos] +
+                                (cls == c ? 1u : 0u);
+                    }
+
+                    if (src.size() == e.n) {
+                        auto at = std::lower_bound(
+                            free.begin(), free.end(), src.front());
+                        const std::size_t p = static_cast<std::size_t>(
+                            at - free.begin());
+                        if (p + e.n <= F &&
+                            std::equal(src.begin(), src.end(),
+                                       free.begin() + p))
+                            ctx.eq_window =
+                                static_cast<std::ptrdiff_t>(p);
+                    }
                 }
-                if (primary < best_primary ||
-                    (primary == best_primary &&
-                     secondary < best_secondary)) {
-                    best_primary = primary;
-                    best_secondary = secondary;
-                    best_w = w;
-                    best_comm = comm;
+
+                // (c) Residency prefix counts per distinct parameter
+                // key carried by the slice (affinity scoring).
+                sig_row.assign(sig.size(), -1);
+                std::unordered_map<std::int64_t, std::int32_t> row_of;
+                for (std::size_t i = 0; i < sig.size(); ++i) {
+                    if (sig[i].bytes <= 0)
+                        continue;
+                    auto it = row_of
+                                  .emplace(sig[i].key,
+                                           static_cast<std::int32_t>(
+                                               row_of.size()))
+                                  .first;
+                    sig_row[i] = it->second;
                 }
+                const std::size_t rows = row_of.size();
+                res_pref.assign(rows * (F + 1), 0);
+                for (const auto &[key, row] : row_of) {
+                    const std::size_t base =
+                        static_cast<std::size_t>(row) * (F + 1);
+                    for (std::size_t pos = 0; pos < F; ++pos)
+                        res_pref[base + pos + 1] =
+                            res_pref[base + pos] +
+                            (state.params[free[pos]].count(key) ? 1u
+                                                                : 0u);
+                }
+
+                // (d) Sweep the windows. The memory extremum uses a
+                // monotonic deque (sliding-window maximum over the
+                // per-device candidate totals).
+                std::size_t best_w = W;
+                std::vector<std::size_t> deque_pos;
+                std::size_t head = 0;
+                for (std::size_t pos = 0; pos < F; ++pos) {
+                    while (deque_pos.size() > head &&
+                           cand_total[deque_pos.back()] <=
+                               cand_total[pos])
+                        deque_pos.pop_back();
+                    deque_pos.push_back(pos);
+                    if (pos + 1 < e.n)
+                        continue; // window not yet full
+                    const std::size_t w = pos + 1 - e.n;
+                    if (deque_pos[head] < w)
+                        ++head;
+                    const double max_total =
+                        cand_total[deque_pos[head]];
+
+                    // Memory feasibility and resulting peak
+                    // fraction. Division by a positive constant is
+                    // monotone, so dividing the window maximum
+                    // equals the former per-device quotient maximum.
+                    if (max_total > capacity)
+                        continue;
+                    const double peak_frac =
+                        max_total / topo_.device().memoryBytes;
+
+                    // Inter-wave communication, accumulated in the
+                    // same source order as before.
+                    double comm = 0;
+                    if (tied_class_bandwidths && !inflows.empty()) {
+                        // Exact fallback (see link_class comment):
+                        // equal-bandwidth classes are resolved by
+                        // flowTime's own pair order.
+                        win_buf.assign(free.begin() + w,
+                                       free.begin() + w + e.n);
+                        for (const auto &[bytes, src] : inflows)
+                            comm +=
+                                coll.flowTime(bytes, *src, win_buf);
+                    } else {
+                        for (std::size_t k = 0; k < inflows.size();
+                             ++k) {
+                            const InflowCtx &ctx = inflow_ctx[k];
+                            if (static_cast<std::ptrdiff_t>(w) ==
+                                ctx.eq_window)
+                                continue; // data already resident
+                            if (inflows[k].first <= 0)
+                                continue;
+                            // Fastest link class present in the
+                            // window (classes partition the devices,
+                            // so the probe always finds one).
+                            int cls =
+                                class_by_bw[kNumLinkClasses - 1];
+                            for (int r = 0; r < kNumLinkClasses;
+                                 ++r) {
+                                const int c = class_by_bw[r];
+                                if (ctx.pref[c * (F + 1) + w + e.n] >
+                                    ctx.pref[c * (F + 1) + w]) {
+                                    cls = c;
+                                    break;
+                                }
+                            }
+                            comm += ctx.flowByClass[cls];
+                        }
+                    }
+
+                    // Parameter affinity (§3.5): reward windows
+                    // whose devices already store this slice's
+                    // parameter sets; placing elsewhere would grow
+                    // the corresponding gradient-sync groups by
+                    // roughly one ring pass of the non-resident
+                    // bytes.
+                    double non_resident_bytes = 0;
+                    for (std::size_t i = 0; i < sig.size(); ++i) {
+                        const std::int32_t row = sig_row[i];
+                        if (row < 0)
+                            continue;
+                        const std::size_t base =
+                            static_cast<std::size_t>(row) * (F + 1);
+                        if (res_pref[base + w + e.n] ==
+                            res_pref[base + w])
+                            non_resident_bytes += sig[i].bytes;
+                    }
+                    comm += options_.paramAffinityWeight * 2.0 *
+                            non_resident_bytes /
+                            topo_.config()
+                                .interIslandCollective.bandwidth;
+
+                    // Devices ascend and islands are contiguous id
+                    // ranges, so a window spans one island iff its
+                    // endpoints share it.
+                    if (cfg.tp > 1 &&
+                        topo_.islandOf(free[w]) !=
+                            topo_.islandOf(free[pos]))
+                        comm += island_penalty;
+
+                    const double mem_score =
+                        options_.memoryWeight * peak_frac;
+                    double primary, secondary;
+                    if (memory_first) {
+                        primary = peak_frac;
+                        secondary = comm;
+                    } else {
+                        primary = comm + mem_score;
+                        secondary = peak_frac;
+                    }
+                    if (primary < best_primary ||
+                        (primary == best_primary &&
+                         secondary < best_secondary)) {
+                        best_primary = primary;
+                        best_secondary = secondary;
+                        best_w = w;
+                        best_comm = comm;
+                    }
+                }
+                if (best_w == W)
+                    return false; // nothing fits: trigger fallback
+                best_win.assign(free.begin() + best_w,
+                                free.begin() + best_w + e.n);
             }
-            if (best_w == windows.size())
-                return false; // nothing fits: trigger fallback
 
             // Commit the chosen window.
-            const DeviceSet &win = windows[best_w];
-            for (DeviceId d : win) {
+            for (DeviceId d : best_win) {
                 state.activations[d] += act_share;
-                for (std::int64_t i = 0; i < e.numOps; ++i) {
-                    const OperatorDesc &op =
-                        graph.base().op(m.ops[e.opBegin + i]);
-                    const std::int64_t key = paramDedupKey(op);
-                    const double share = param_share(op, cfg);
+                for (const SliceParam &sp : sig) {
                     auto [it, inserted] =
-                        state.params[d].emplace(key, share);
-                    if (!inserted && share > it->second)
-                        it->second = share;
+                        state.params[d].emplace(sp.key, sp.share);
+                    if (!inserted && sp.share > it->second)
+                        it->second = sp.share;
                 }
+                state.markDirty(d);
             }
-            e.devices = win;
-            state.lastSlice[e.metaOp] = win;
+            e.devices = best_win;
+            state.lastSlice[e.metaOp] = std::move(best_win);
             result.estimatedCommSeconds += best_comm;
             if (options_.strategy != PlacementStrategy::Sequential) {
-                DeviceSet remaining;
-                std::set_difference(free.begin(), free.end(),
-                                    win.begin(), win.end(),
-                                    std::back_inserter(remaining));
-                free = std::move(remaining);
+                // The committed window is a contiguous run of the
+                // free list; erasing it preserves order exactly as
+                // the former set_difference did.
+                const DeviceSet &win = state.lastSlice[e.metaOp];
+                auto at = std::lower_bound(free.begin(), free.end(),
+                                           win.front());
+                free.erase(at, at + static_cast<std::ptrdiff_t>(e.n));
             }
         }
     }

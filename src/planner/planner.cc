@@ -16,7 +16,12 @@ ExecutionPlanner::ExecutionPlanner(const HardwareModel &hw,
 PlannerOutput
 ExecutionPlanner::plan(const MetaGraph &graph) const
 {
-    const auto t0 = std::chrono::steady_clock::now();
+    using clock = std::chrono::steady_clock;
+    auto seconds = [](clock::time_point a, clock::time_point b) {
+        return std::chrono::duration<double>(b - a).count();
+    };
+
+    const auto t0 = clock::now();
     const std::uint32_t n = hw_.topology().numDevices();
 
     PlannerOutput out;
@@ -24,10 +29,14 @@ ExecutionPlanner::plan(const MetaGraph &graph) const
     // §3.2: profile the oracle and fit per-MetaOp scaling curves.
     ScalabilityEstimator estimator(hw_, options_.estimator);
     out.curves = estimator.estimateAll(graph, n);
+    const auto t_estimated = clock::now();
+    out.phaseSeconds.estimation = seconds(t0, t_estimated);
 
     // §3.3: per-MetaLevel MPSP allocation + bi-point discretization.
     ResourceAllocator allocator(graph, out.curves, n, options_.allocator);
     std::vector<LevelAllocation> allocations = allocator.allocateAll();
+    const auto t_allocated = clock::now();
+    out.phaseSeconds.allocation = seconds(t_estimated, t_allocated);
 
     // §3.4: craft waves level by level, then merge.
     WavefrontScheduler scheduler(graph, out.curves, n,
@@ -41,12 +50,16 @@ ExecutionPlanner::plan(const MetaGraph &graph) const
     out.plan.estimatedSpan = out.plan.waves.empty()
         ? 0.0
         : out.plan.waves.back().start + out.plan.waves.back().duration;
+    const auto t_scheduled = clock::now();
+    out.phaseSeconds.scheduling = seconds(t_allocated, t_scheduled);
 
     // §3.5: map wave entries onto devices.
     MemoryModel mem(options_.memory);
     DevicePlacement placement(hw_.topology(), hw_, mem,
                               options_.placement);
     out.placement = placement.place(graph, out.plan);
+    const auto t_placed = clock::now();
+    out.phaseSeconds.placement = seconds(t_scheduled, t_placed);
 
     // Re-annotate now that entries are placed: readiness gains the
     // per device-group predecessor edges event dispatch relies on.
@@ -54,9 +67,7 @@ ExecutionPlanner::plan(const MetaGraph &graph) const
 
     out.plan.validate(graph);
 
-    const auto t1 = std::chrono::steady_clock::now();
-    out.planningSeconds =
-        std::chrono::duration<double>(t1 - t0).count();
+    out.planningSeconds = seconds(t0, clock::now());
     return out;
 }
 

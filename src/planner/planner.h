@@ -29,6 +29,15 @@ struct PlannerOptions
     MemoryParams memory;
 };
 
+/** Wall-clock spent in each planning phase, seconds. */
+struct PlannerPhaseSeconds
+{
+    double estimation = 0; ///< §3.2 curve profiling + fitting
+    double allocation = 0; ///< §3.3 MPSP + discretization
+    double scheduling = 0; ///< §3.4 wavefront crafting
+    double placement = 0;  ///< §3.5 device mapping
+};
+
 /** Everything the planner produces for one workload. */
 struct PlannerOutput
 {
@@ -41,6 +50,9 @@ struct PlannerOutput
 
     /** Wall-clock spent planning, seconds (Fig. 12). */
     double planningSeconds = 0;
+
+    /** Per-phase breakdown of planningSeconds (scaling benches). */
+    PlannerPhaseSeconds phaseSeconds;
 };
 
 /**

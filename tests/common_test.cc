@@ -95,6 +95,27 @@ TEST(RoundNearest, HalfAwayFromZero)
     EXPECT_EQ(roundNearest(0.0), 0);
 }
 
+TEST(WaveSliceOps, NearestRatioClampedToValidRange)
+{
+    EXPECT_EQ(waveSliceOps(4.0, 1.0, 10), 4);
+    EXPECT_EQ(waveSliceOps(4.6, 1.0, 10), 5);
+    // Rounds to zero before the clamp: a wave still covers one op.
+    EXPECT_EQ(waveSliceOps(0.2, 1.0, 10), 1);
+    // Ratio past the remaining operators clamps down.
+    EXPECT_EQ(waveSliceOps(100.0, 1.0, 10), 10);
+}
+
+TEST(WaveSliceOps, DenormalPerOpTimeIsDefined)
+{
+    // A denormal curve time drives span / per_op to infinity, where
+    // llround() is undefined; the epsilon criterion must map the
+    // regime to "everything remaining fits" instead.
+    EXPECT_EQ(waveSliceOps(1.0, 1e-320, 7), 7);
+    EXPECT_EQ(waveSliceOps(1.0, 0.0, 7), 7);
+    // Denormal ratios that stay representable keep exact slicing.
+    EXPECT_EQ(waveSliceOps(2e-320, 1e-320, 3), 2);
+}
+
 TEST(Units, Conversions)
 {
     EXPECT_DOUBLE_EQ(toMs(0.5), 500.0);

@@ -132,6 +132,65 @@ TEST(Placement, MemoryFirstFallbackOnTightMemory)
         EXPECT_LE(b, cfg.device.memoryBytes * (1 + 1e-9));
 }
 
+TEST(Placement, MemoryFirstFallbackFlagAndValidity)
+{
+    // Force the comm-first pass to fail so place() demonstrably runs
+    // the memory-first fallback, then check the fallback plan both
+    // fits the shrunken capacity and carries valid device sets.
+    ComputationGraph g = buildMultitaskClip({.numTasks = 4});
+    MetaGraph meta = contractGraph(g);
+
+    ClusterConfig cfg;
+    cfg.numNodes = 2;
+    cfg.gpusPerNode = 8;
+    ClusterTopology roomy(cfg);
+    HardwareModel hw_roomy(roomy);
+    PlannerOutput baseline =
+        planWith(meta, hw_roomy, PlacementStrategy::Spindle);
+    double peak = 0;
+    for (double b : baseline.placement.peakBytes)
+        peak = std::max(peak, b);
+
+    // March capacity down until comm-first placement no longer fits.
+    // Mild pressure lets the comm-first greedy adapt; the fallback
+    // is only forced once capacity undercuts its best effort.
+    PlannerOutput out;
+    bool fell_back = false;
+    double capacity_bytes = 0;
+    for (double frac : {0.999, 0.95, 0.9, 0.85, 0.8, 0.75}) {
+        cfg.device.memoryBytes =
+            peak * frac / PlacementOptions{}.memorySlack;
+        ClusterTopology tight(cfg);
+        HardwareModel hw(tight);
+        MetaGraph fresh = contractGraph(g);
+        out = planWith(fresh, hw, PlacementStrategy::Spindle);
+        if (out.placement.usedMemoryFallback) {
+            fell_back = true;
+            capacity_bytes = cfg.device.memoryBytes;
+            break;
+        }
+    }
+    ASSERT_TRUE(fell_back)
+        << "pressure ladder never forced the memory-first pass";
+
+    // The fallback plan fits the shrunken devices...
+    ASSERT_EQ(out.placement.peakBytes.size(), 16u);
+    for (double b : out.placement.peakBytes)
+        EXPECT_LE(b, capacity_bytes * (1 + 1e-9));
+    // ...and still yields structurally valid device sets (size,
+    // canonical form, in-wave disjointness via validate()).
+    MetaGraph fresh = contractGraph(g);
+    out.plan.validate(fresh);
+    for (const Wave &w : out.plan.waves) {
+        for (const WaveEntry &e : w.entries) {
+            EXPECT_EQ(e.devices.size(), e.n);
+            EXPECT_TRUE(isCanonicalDeviceSet(e.devices));
+            for (DeviceId d : e.devices)
+                EXPECT_LT(d, 16u);
+        }
+    }
+}
+
 TEST(Placement, SequentialStrategyIgnoresMemoryBalance)
 {
     ComputationGraph g = fig3Workload();

@@ -194,6 +194,73 @@ TEST_F(SchedulerFixture, EmitsReadinessEdges)
     }
 }
 
+TEST_F(SchedulerFixture, EmptyLevelAllocationPanics)
+{
+    // An empty level used to dereference alloc.metaOps.front() (UB);
+    // it must now die with a diagnostic instead.
+    LevelAllocation empty;
+    std::vector<Wave> waves;
+    EXPECT_DEATH(sched.scheduleLevel(empty, 0.0, waves),
+                 "empty level allocation");
+}
+
+TEST_F(SchedulerFixture, MisalignedPlansPanic)
+{
+    LevelAllocation bad;
+    bad.metaOps = {0, 1};
+    bad.plans.resize(1);
+    std::vector<Wave> waves;
+    EXPECT_DEATH(sched.scheduleLevel(bad, 0.0, waves),
+                 "plans misaligned");
+}
+
+TEST(Scheduler, NearZeroCurveTimesStayDefined)
+{
+    // A curve with denormal per-op times drives t_wave / per_op
+    // toward infinity; waveSliceOps() must keep slicing defined and
+    // every wave covering at least one operator.
+    ComputationGraph g;
+    OpId prev = -1;
+    for (int i = 0; i < 6; ++i) {
+        OperatorDesc op;
+        op.type = OpType::LM;
+        op.input = {48, 128, 1024};
+        op.flopsFwd = 5e10;
+        op.paramBytes = 1e6;
+        op.activationBytes = 1e6;
+        OpId id = g.addOperator(std::move(op));
+        if (prev >= 0)
+            g.addEdge(prev, id);
+        prev = id;
+    }
+    g.finalize();
+    MetaGraph meta = contractGraph(g);
+    ASSERT_EQ(meta.numMetaOps(), 1u);
+
+    std::vector<ScalingCurve> denormal;
+    denormal.emplace_back(std::vector<std::uint32_t>{1, 2, 4},
+                          std::vector<double>{4e-320, 2e-320, 1e-320});
+    WavefrontScheduler sched(meta, denormal, 4);
+
+    LevelAllocation alloc;
+    alloc.metaOps = {0};
+    MetaOpAllocation plan;
+    plan.metaOp = 0;
+    plan.tuples = {{4, -1, 2}, {2, -1, 4}};
+    alloc.plans = {plan};
+
+    std::vector<Wave> waves;
+    sched.scheduleLevel(alloc, 0.0, waves);
+    std::int64_t ops = 0;
+    for (const Wave &w : waves) {
+        for (const WaveEntry &e : w.entries) {
+            EXPECT_GE(e.numOps, 1);
+            ops += e.numOps;
+        }
+    }
+    EXPECT_EQ(ops, 6);
+}
+
 TEST(Scheduler, SingleMetaOpProducesSequentialWaves)
 {
     // One MetaOp with a two-tuple allocation becomes at most two
