@@ -36,13 +36,18 @@ struct WorkloadCase
     const char *name;
     ComputationGraph graph;
     bool zeroShardParams = false;
+
+    /** Mixed 12/4-GPU islands + island-aware windows instead of the
+     *  homogeneous 8-GPU nodes (same total GPU count). */
+    bool hetero = false;
 };
 
 void
 planAtScale(benchmark::State &state, const WorkloadCase &wl)
 {
     const auto nodes = static_cast<std::uint32_t>(state.range(0));
-    ClusterTopology topo = makeCluster(nodes);
+    ClusterTopology topo =
+        wl.hetero ? makeHeteroCluster(nodes) : makeCluster(nodes);
     HardwareModel hw(topo);
     MetaGraph meta = contractGraph(wl.graph);
 
@@ -50,6 +55,8 @@ planAtScale(benchmark::State &state, const WorkloadCase &wl)
     // >= 30B models need ZeRO-3-style parameter sharding to fit
     // 80 GB devices (as real deployments do).
     options.memory.zeroShardParams = wl.zeroShardParams;
+    if (wl.hetero)
+        options.placement.windows = WindowPolicy::IslandAware;
     ExecutionPlanner planner(hw, options);
 
     // Keep the *fastest* iteration: the CI gate compares these
@@ -93,11 +100,17 @@ const WorkloadCase qwen70{
     "QWenVAL-70B",
     buildQwenVal({.size = QwenValConfig::Size::B70, .batch = 128}),
     /*zeroShardParams=*/true};
+const WorkloadCase clip10_hetero{"CLIP-10-hetero",
+                                 buildMultitaskClip({.numTasks = 10}),
+                                 /*zeroShardParams=*/false,
+                                 /*hetero=*/true};
 
 } // namespace
 
 // 8..256 GPUs. QWen-VAL 70B needs >= 64 GPUs to fit 80 GB devices
-// even with ZeRO-3 sharding, so its sweep starts there.
+// even with ZeRO-3 sharding, so its sweep starts there. The hetero
+// case plans the same GPU counts over mixed 12/4-GPU islands with
+// island-aware window generation.
 BENCHMARK_CAPTURE(planAtScale, CLIP_10Tasks, clip10)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
     ->Unit(benchmark::kMillisecond);
@@ -106,6 +119,9 @@ BENCHMARK_CAPTURE(planAtScale, OFASys_7Tasks, ofa7)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(planAtScale, QWenVAL_70B, qwen70)
     ->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(planAtScale, CLIP_10Tasks_hetero, clip10_hetero)
+    ->Arg(2)->Arg(8)->Arg(16)->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
 int

@@ -92,6 +92,32 @@ makeCluster(std::uint32_t num_nodes)
     return ClusterTopology(cfg);
 }
 
+/**
+ * Heterogeneous variant with the same GPU count: node pairs fused
+ * into 12-GPU + 4-GPU islands (a big NVLink domain next to a small
+ * one), odd trailing node kept at 8. Exercises mixed island sizes in
+ * the planner sweeps.
+ */
+inline ClusterTopology
+makeHeteroCluster(std::uint32_t num_nodes)
+{
+    ClusterConfig cfg;
+    std::uint32_t next = 0;
+    auto add_island = [&](std::uint32_t size) {
+        IslandSpec island;
+        for (std::uint32_t i = 0; i < size; ++i)
+            island.devices.push_back(next++);
+        cfg.islands.push_back(std::move(island));
+    };
+    for (std::uint32_t k = 0; k + 1 < num_nodes; k += 2) {
+        add_island(12);
+        add_island(4);
+    }
+    if (num_nodes % 2 != 0)
+        add_island(8);
+    return ClusterTopology(cfg);
+}
+
 /** Label like "1Node(8GPUs)". */
 inline std::string
 clusterLabel(std::uint32_t num_nodes)

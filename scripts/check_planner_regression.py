@@ -2,13 +2,20 @@
 """CI perf smoke: fail when planner wall-clock regresses.
 
 Compares a fresh BENCH_planner.json (written by bench_planner_scaling)
-against the checked-in budget file bench/baseline_planner.json. The
-gate is the paper's headline scale point: every 64-GPU record must
-stay within REGRESSION_FACTOR x its budgeted plan_seconds. Budgets
-are deliberately generous (several times a warm local run) so shared
-CI runners do not flap; a return of the quadratic placement rescans
-(hundreds of milliseconds at 64 GPUs) still trips the gate by a wide
-margin. Other scale points are reported informationally.
+against the checked-in budget file bench/baseline_planner.json. Two
+gates:
+
+  * every 64-GPU record must stay within REGRESSION_FACTOR x its
+    budgeted plan_seconds (the paper's headline scale point);
+  * every 256-GPU record must additionally stay within the factor on
+    each budgeted *per-phase* wall-clock (estimation / allocation /
+    scheduling / placement seconds), so a regression confined to one
+    phase cannot hide inside a healthy total at the largest scale.
+
+Budgets are deliberately generous (several times a warm local run) so
+shared CI runners do not flap; a return of the quadratic placement
+rescans (hundreds of milliseconds at 64 GPUs) still trips the gate by
+a wide margin. Other scale points are reported informationally.
 
 Usage: check_planner_regression.py CURRENT_JSON BASELINE_JSON [FACTOR]
 """
@@ -17,6 +24,13 @@ import json
 import sys
 
 REGRESSION_FACTOR = 2.0
+
+PHASE_FIELDS = (
+    "estimation_seconds",
+    "allocation_seconds",
+    "scheduling_seconds",
+    "placement_seconds",
+)
 
 
 def load_records(path):
@@ -36,11 +50,14 @@ def main(argv):
     failures = []
     for name, base in sorted(baseline.items()):
         gate = base.get("gpus") == 64
+        phase_gate = base.get("gpus") == 256 and any(
+            f in base for f in PHASE_FIELDS
+        )
         cur = current.get(name)
         if cur is None:
             # Only gate points are mandatory; other scale points are
             # informational (a trimmed sweep should not fail CI).
-            if gate:
+            if gate or phase_gate:
                 failures.append(f"{name}: missing from {argv[1]}")
             else:
                 print(f"warn  {name:<24} missing from current run")
@@ -59,6 +76,35 @@ def main(argv):
                 f"{name}: {actual:.6f}s > {factor:.1f}x budget "
                 f"{budget:.6f}s"
             )
+
+        if not phase_gate:
+            continue
+        for field in PHASE_FIELDS:
+            if field not in base:
+                continue
+            phase_budget = base[field]
+            phase_actual = cur.get(field)
+            if phase_actual is None:
+                failures.append(f"{name}: {field} missing from {argv[1]}")
+                continue
+            phase_ratio = (
+                phase_actual / phase_budget
+                if phase_budget > 0
+                else float("inf")
+            )
+            phase_status = "OK" if phase_ratio <= factor else "FAIL"
+            phase = field.removesuffix("_seconds")
+            print(
+                f"{phase_status:>4}  {name:<24} {phase:>10}="
+                f"{phase_actual * 1e3:8.3f} ms"
+                f"  budget={phase_budget * 1e3:8.3f} ms"
+                f"  ratio={phase_ratio:5.2f}x  [gate-256]"
+            )
+            if phase_ratio > factor:
+                failures.append(
+                    f"{name} {phase}: {phase_actual:.6f}s > "
+                    f"{factor:.1f}x budget {phase_budget:.6f}s"
+                )
 
     # Current-only records carry no budget and are therefore ungated;
     # say so rather than silently skipping them.

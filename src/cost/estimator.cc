@@ -24,11 +24,24 @@ ScalabilityEstimator::profilePoints(const MetaOp &m,
     if (options_.profileAllValid)
         return valid;
 
+    // Island-size boundaries: the TP cap (and hence the invoked
+    // kernels) changes where an allocation first outgrows an island,
+    // so valid n equal to an island size are profiled exactly. On
+    // homogeneous power-of-two islands these coincide with the
+    // power-of-two knots below.
+    std::vector<std::uint32_t> island_sizes;
+    const ClusterTopology &topo = hw_.topology();
+    for (std::uint32_t k = 0; k < topo.numIslands(); ++k)
+        island_sizes.push_back(topo.islandSizeOf(k));
+    std::sort(island_sizes.begin(), island_sizes.end());
+
     // Power-of-two valid allocations, always including the extremes,
     // mirroring the paper's "several discrete data points".
     std::vector<std::uint32_t> points;
     for (std::uint32_t n : valid) {
-        if (isPowerOfTwo(n) || n == valid.front() || n == valid.back())
+        if (isPowerOfTwo(n) || n == valid.front() || n == valid.back() ||
+            std::binary_search(island_sizes.begin(), island_sizes.end(),
+                               n))
             points.push_back(n);
     }
     return points;

@@ -64,7 +64,13 @@ class ScalabilityEstimator
     std::vector<ScalingCurve> estimateAll(const MetaGraph &graph,
                                           std::uint32_t max_devices) const;
 
-    /** The device counts that estimate() would profile for @p m. */
+    /**
+     * The device counts that estimate() would profile for @p m:
+     * the power-of-two valid allocations, the extremes, and any
+     * valid allocation equal to an island size (the TP cap — and
+     * hence the invoked kernels — changes where an allocation first
+     * outgrows an island, so those knots are profiled exactly).
+     */
     std::vector<std::uint32_t> profilePoints(const MetaOp &m,
                                              std::uint32_t max_devices) const;
 

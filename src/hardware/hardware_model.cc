@@ -80,9 +80,10 @@ HardwareModel::configsFor(const OperatorDesc &op, std::uint32_t n) const
     const auto hidden = static_cast<std::uint32_t>(
         std::max<std::int64_t>(op.input.hidden, 1));
     // TP shards attention heads / MLP columns; cap so each shard
-    // keeps a sane width, and keep the TP group inside one island.
+    // keeps a sane width, and keep the TP group inside one island —
+    // the largest island bounds what any placement can host.
     std::uint32_t tp_cap = std::min(params_.maxTpDegree,
-                                    topo_.islandSize());
+                                    topo_.maxIslandSize());
     tp_cap = std::min(tp_cap, std::max(1u, hidden / 64));
 
     for (std::uint32_t tp = 1; tp <= tp_cap && tp <= n; tp *= 2) {

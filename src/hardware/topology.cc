@@ -1,31 +1,171 @@
 #include "hardware/topology.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/logging.h"
 
 namespace spindle {
 
-ClusterTopology::ClusterTopology(ClusterConfig config)
-    : config_(config),
-      num_devices_(config.numNodes * config.gpusPerNode)
+namespace {
+
+/** Reject non-positive bandwidths / negative latencies. */
+void
+checkLink(const LinkParams &link, const char *what)
 {
-    fatalIf(config_.numNodes == 0 || config_.gpusPerNode == 0,
-            "ClusterTopology: empty cluster");
-    fatalIf(config_.intraIsland.bandwidth <= 0 ||
-            config_.interIsland.bandwidth <= 0,
-            "ClusterTopology: bandwidths must be positive");
+    fatalIf(link.bandwidth <= 0,
+            strCat("ClusterTopology: ", what,
+                   " bandwidth must be positive (got ", link.bandwidth,
+                   ")"));
+    fatalIf(link.latency < 0,
+            strCat("ClusterTopology: ", what, " latency must be >= 0"));
 }
 
-std::uint32_t
-ClusterTopology::islandOf(DeviceId dev) const
+/**
+ * Resolve an override against its default class: bandwidth 0
+ * inherits the default's bandwidth (so a latency-only override is
+ * expressible), a fully zero link inherits the default wholesale,
+ * and negative values are rejected.
+ */
+LinkParams
+resolveLink(const LinkParams &link, const LinkParams &fallback,
+            const char *what)
 {
-    // Guard-then-panic: panicIf(cond, strCat(...)) builds the message
-    // even on the happy path, and this accessor runs tens of millions
-    // of times inside placement scoring.
-    if (dev >= num_devices_)
-        panic(strCat("islandOf: bad device ", dev));
-    return dev / config_.gpusPerNode;
+    fatalIf(link.bandwidth < 0,
+            strCat("ClusterTopology: ", what,
+                   " bandwidth must be >= 0 (0 inherits the default)"));
+    fatalIf(link.latency < 0,
+            strCat("ClusterTopology: ", what, " latency must be >= 0"));
+    if (link.bandwidth == 0 && link.latency == 0)
+        return fallback;
+    if (link.bandwidth == 0)
+        return {fallback.bandwidth, link.latency};
+    return link;
+}
+
+} // namespace
+
+ClusterTopology::ClusterTopology(ClusterConfig config)
+    : config_(std::move(config))
+{
+    validateAndBuild();
+}
+
+void
+ClusterTopology::validateAndBuild()
+{
+    checkLink(config_.intraIsland, "intraIsland");
+    checkLink(config_.interIsland, "interIsland");
+    checkLink(config_.interIslandCollective, "interIslandCollective");
+    fatalIf(config_.device.copyBandwidth <= 0,
+            "ClusterTopology: device copyBandwidth must be positive");
+    fatalIf(config_.device.memoryBytes <= 0,
+            "ClusterTopology: device memoryBytes must be positive");
+
+    if (config_.islands.empty()) {
+        // Homogeneous shorthand: contiguous equal-size islands.
+        fatalIf(config_.numNodes == 0 || config_.gpusPerNode == 0,
+                "ClusterTopology: empty cluster");
+        num_devices_ = config_.numNodes * config_.gpusPerNode;
+        islands_.resize(config_.numNodes);
+        for (std::uint32_t k = 0; k < config_.numNodes; ++k) {
+            islands_[k].resize(config_.gpusPerNode);
+            std::iota(islands_[k].begin(), islands_[k].end(),
+                      k * config_.gpusPerNode);
+        }
+    } else {
+        std::size_t total = 0;
+        for (const IslandSpec &spec : config_.islands) {
+            fatalIf(spec.devices.empty(),
+                    strCat("ClusterTopology: island ", islands_.size(),
+                           " has no devices"));
+            total += spec.devices.size();
+            DeviceSet members = spec.devices;
+            canonicalize(members);
+            fatalIf(members.size() != spec.devices.size(),
+                    strCat("ClusterTopology: island ", islands_.size(),
+                           " lists a device id twice"));
+            islands_.push_back(std::move(members));
+        }
+        num_devices_ = static_cast<std::uint32_t>(total);
+    }
+
+    // Dense membership map; doubles as the duplicate / coverage check
+    // across islands (ids must be exactly [0, numDevices)).
+    island_of_.assign(num_devices_, num_devices_);
+    for (std::size_t k = 0; k < islands_.size(); ++k) {
+        for (DeviceId d : islands_[k]) {
+            fatalIf(d >= num_devices_,
+                    strCat("ClusterTopology: device id ", d,
+                           " out of range [0, ", num_devices_,
+                           ") — ids must be dense"));
+            fatalIf(island_of_[d] != num_devices_,
+                    strCat("ClusterTopology: device id ", d,
+                           " belongs to islands ", island_of_[d],
+                           " and ", k));
+            island_of_[d] = static_cast<std::uint32_t>(k);
+        }
+    }
+    // Sizes summed to num_devices_ and no id appeared twice, so every
+    // id in [0, num_devices_) is covered; no separate scan needed.
+
+    max_island_size_ = 0;
+    min_island_size_ = num_devices_;
+    for (const DeviceSet &island : islands_) {
+        const auto size = static_cast<std::uint32_t>(island.size());
+        max_island_size_ = std::max(max_island_size_, size);
+        min_island_size_ = std::min(min_island_size_, size);
+    }
+
+    // Resolve per-island intra classes (0-bandwidth inherits).
+    intra_links_.reserve(islands_.size());
+    uniform_links_ = true;
+    for (std::size_t k = 0; k < config_.islands.size(); ++k) {
+        const LinkParams &ovr = config_.islands[k].intra;
+        intra_links_.push_back(resolveLink(ovr, config_.intraIsland,
+                                           "island intra"));
+        if (ovr.bandwidth != 0 || ovr.latency != 0)
+            uniform_links_ = false;
+    }
+    intra_links_.resize(islands_.size(), config_.intraIsland);
+
+    // Resolve island-pair overrides.
+    for (const IslandLinkSpec &spec : config_.islandLinks) {
+        fatalIf(spec.a >= numIslands() || spec.b >= numIslands(),
+                strCat("ClusterTopology: islandLinks names island ",
+                       std::max(spec.a, spec.b), " but there are only ",
+                       numIslands()));
+        fatalIf(spec.a == spec.b,
+                strCat("ClusterTopology: islandLinks pair (", spec.a,
+                       ", ", spec.b,
+                       ") is not a pair; use IslandSpec::intra"));
+        PairLinks pair;
+        const std::uint64_t lo = std::min(spec.a, spec.b);
+        const std::uint64_t hi = std::max(spec.a, spec.b);
+        pair.key = lo * numIslands() + hi;
+        pair.p2p = resolveLink(spec.p2p, config_.interIsland,
+                               "islandLinks p2p");
+        pair.collective = resolveLink(spec.collective,
+                                      config_.interIslandCollective,
+                                      "islandLinks collective");
+        for (const PairLinks &existing : pair_links_)
+            fatalIf(existing.key == pair.key,
+                    strCat("ClusterTopology: duplicate islandLinks "
+                           "entry for pair (",
+                           lo, ", ", hi, ")"));
+        pair_links_.push_back(pair);
+        uniform_links_ = false;
+    }
+    std::sort(pair_links_.begin(), pair_links_.end(),
+              [](const PairLinks &x, const PairLinks &y) {
+                  return x.key < y.key;
+              });
+}
+
+void
+ClusterTopology::badDevice(DeviceId dev) const
+{
+    panic(strCat("islandOf: bad device ", dev));
 }
 
 bool
@@ -45,13 +185,18 @@ ClusterTopology::withinOneIsland(const DeviceSet &devices) const
     return true;
 }
 
-DeviceSet
+const DeviceSet &
 ClusterTopology::islandDevices(std::uint32_t island) const
 {
     panicIf(island >= numIslands(), strCat("islandDevices: bad ", island));
-    DeviceSet out(config_.gpusPerNode);
-    std::iota(out.begin(), out.end(), island * config_.gpusPerNode);
-    return out;
+    return islands_[island];
+}
+
+std::uint32_t
+ClusterTopology::islandSizeOf(std::uint32_t island) const
+{
+    panicIf(island >= numIslands(), strCat("islandSizeOf: bad ", island));
+    return static_cast<std::uint32_t>(islands_[island].size());
 }
 
 DeviceSet
@@ -62,13 +207,60 @@ ClusterTopology::allDevices() const
     return out;
 }
 
+const LinkParams &
+ClusterTopology::intraLink(std::uint32_t island) const
+{
+    panicIf(island >= numIslands(), strCat("intraLink: bad ", island));
+    return intra_links_[island];
+}
+
+const ClusterTopology::PairLinks *
+ClusterTopology::findPair(std::uint32_t a, std::uint32_t b) const
+{
+    if (pair_links_.empty())
+        return nullptr;
+    const std::uint64_t lo = std::min(a, b);
+    const std::uint64_t hi = std::max(a, b);
+    const std::uint64_t key = lo * numIslands() + hi;
+    auto it = std::lower_bound(
+        pair_links_.begin(), pair_links_.end(), key,
+        [](const PairLinks &p, std::uint64_t k) { return p.key < k; });
+    if (it != pair_links_.end() && it->key == key)
+        return &*it;
+    return nullptr;
+}
+
+const LinkParams &
+ClusterTopology::interLink(std::uint32_t a, std::uint32_t b) const
+{
+    panicIf(a >= numIslands() || b >= numIslands() || a == b,
+            strCat("interLink: bad island pair (", a, ", ", b, ")"));
+    if (const PairLinks *pair = findPair(a, b))
+        return pair->p2p;
+    return config_.interIsland;
+}
+
+const LinkParams &
+ClusterTopology::collectiveLink(std::uint32_t a, std::uint32_t b) const
+{
+    panicIf(a >= numIslands() || b >= numIslands() || a == b,
+            strCat("collectiveLink: bad island pair (", a, ", ", b, ")"));
+    if (const PairLinks *pair = findPair(a, b))
+        return pair->collective;
+    return config_.interIslandCollective;
+}
+
 LinkParams
 ClusterTopology::linkBetween(DeviceId a, DeviceId b) const
 {
     if (a == b)
         return {config_.device.copyBandwidth, 0.0};
-    if (sameIsland(a, b))
-        return config_.intraIsland;
+    const std::uint32_t ia = islandOf(a);
+    const std::uint32_t ib = islandOf(b);
+    if (ia == ib)
+        return intra_links_[ia];
+    if (const PairLinks *pair = findPair(ia, ib))
+        return pair->p2p;
     return config_.interIsland;
 }
 
@@ -78,9 +270,36 @@ ClusterTopology::groupLink(const DeviceSet &devices) const
     panicIf(devices.empty(), "groupLink: empty group");
     if (devices.size() == 1)
         return {config_.device.copyBandwidth, 0.0};
-    if (withinOneIsland(devices))
-        return config_.intraIsland;
-    return config_.interIslandCollective;
+    const std::uint32_t first = islandOf(devices.front());
+    bool spans = false;
+    for (DeviceId d : devices) {
+        if (islandOf(d) != first) {
+            spans = true;
+            break;
+        }
+    }
+    if (!spans)
+        return intra_links_[first];
+    if (uniform_links_)
+        return config_.interIslandCollective;
+
+    // Ring bottleneck: the lowest-bandwidth collective class among
+    // the island pairs the group spans.
+    std::vector<std::uint32_t> seen;
+    for (DeviceId d : devices) {
+        const std::uint32_t island = islandOf(d);
+        if (std::find(seen.begin(), seen.end(), island) == seen.end())
+            seen.push_back(island);
+    }
+    const LinkParams *worst = nullptr;
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        for (std::size_t j = i + 1; j < seen.size(); ++j) {
+            const LinkParams &link = collectiveLink(seen[i], seen[j]);
+            if (worst == nullptr || link.bandwidth < worst->bandwidth)
+                worst = &link;
+        }
+    }
+    return *worst;
 }
 
 } // namespace spindle

@@ -1,11 +1,29 @@
 /**
  * @file
- * Cluster topology with device islands (paper §3.5).
+ * Cluster topology as an explicit island graph (paper §3.5).
  *
  * A device island is a set of devices connected by high-bandwidth
  * interconnects (NVLink within a node); islands talk over the slower
  * inter-node fabric (InfiniBand). Spindle's device placement is built
- * around this two-tier structure.
+ * around this structure.
+ *
+ * Two ways to describe a cluster:
+ *  - the homogeneous shorthand (`numNodes` x `gpusPerNode`): islands
+ *    are equal-size contiguous id ranges, all links use the three
+ *    default classes — the paper's testbed;
+ *  - an explicit island graph (`ClusterConfig::islands`): islands of
+ *    individual sizes whose device-id membership is arbitrary
+ *    (non-contiguous, permuted), each optionally with its own
+ *    intra-island link class, plus per-island-pair overrides of the
+ *    point-to-point and collective inter-island classes
+ *    (`ClusterConfig::islandLinks`).
+ *
+ * Either way, device ids must form the dense range [0, numDevices):
+ * every per-device table in the planner and runtime (placement
+ * state, peak-memory vectors, the simulator's device array) indexes
+ * by id. Consumers never assume islands are contiguous id ranges —
+ * they ask `islandOf` / `withinOneIsland` / `linkBetween` /
+ * `islandDevices` instead.
  */
 
 #ifndef SPINDLE_HARDWARE_TOPOLOGY_H
@@ -22,9 +40,37 @@ struct LinkParams
     double latency = 0;   ///< seconds per message
 };
 
-/** Static description of a homogeneous two-tier GPU cluster. */
+/**
+ * One explicit device island: its member device ids (arbitrary —
+ * non-contiguous and permuted memberships are fine) and an optional
+ * intra-island link override. A bandwidth of 0 inherits
+ * ClusterConfig::intraIsland's bandwidth (latency-only overrides
+ * are allowed); an all-zero link inherits the class wholesale.
+ */
+struct IslandSpec
+{
+    DeviceSet devices;
+    LinkParams intra{0, 0};
+};
+
+/**
+ * Link-class override for one island pair. Unordered: (a, b) also
+ * covers (b, a). A bandwidth of 0 inherits the corresponding
+ * ClusterConfig default class's bandwidth (latency-only overrides
+ * are allowed); an all-zero link inherits that class wholesale.
+ */
+struct IslandLinkSpec
+{
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    LinkParams p2p{0, 0};        ///< point-to-point transfers
+    LinkParams collective{0, 0}; ///< rail-aggregated collectives
+};
+
+/** Static description of a GPU cluster (see file comment). */
 struct ClusterConfig
 {
+    /** Homogeneous shorthand, used when `islands` is empty. */
     std::uint32_t numNodes = 1;
     std::uint32_t gpusPerNode = 8;
     DeviceSpec device;
@@ -43,11 +89,24 @@ struct ClusterConfig
      * GPU, aggregating to ~400 GB/s per node pair.
      */
     LinkParams interIslandCollective{400 * kGiga, 10 * kMicro};
+
+    /**
+     * Explicit island graph. When non-empty it defines the cluster
+     * and the homogeneous shorthand above is ignored; the union of
+     * all island device ids must be exactly [0, total).
+     */
+    std::vector<IslandSpec> islands;
+
+    /** Per-island-pair link overrides (explicit graph or shorthand). */
+    std::vector<IslandLinkSpec> islandLinks;
 };
 
 /**
- * Frozen cluster topology. One island per node; devices are numbered
- * densely, island k owning ids [k*gpusPerNode, (k+1)*gpusPerNode).
+ * Frozen cluster topology: the island graph the planner queries.
+ * Validated exhaustively at construction (empty islands, duplicate
+ * or non-dense device ids, non-positive bandwidths and malformed
+ * overrides all fatal() with a pointed message) so downstream layers
+ * can index and divide without re-checking.
  */
 class ClusterTopology
 {
@@ -55,13 +114,23 @@ class ClusterTopology
     explicit ClusterTopology(ClusterConfig config);
 
     std::uint32_t numDevices() const { return num_devices_; }
-    std::uint32_t numIslands() const { return config_.numNodes; }
-    std::uint32_t islandSize() const { return config_.gpusPerNode; }
+    std::uint32_t numIslands() const
+    {
+        return static_cast<std::uint32_t>(islands_.size());
+    }
     const DeviceSpec &device() const { return config_.device; }
     const ClusterConfig &config() const { return config_; }
 
-    /** Island (node) index owning device @p dev. */
-    std::uint32_t islandOf(DeviceId dev) const;
+    /** Island index owning device @p dev. */
+    std::uint32_t islandOf(DeviceId dev) const
+    {
+        // Guard-then-panic: this accessor runs tens of millions of
+        // times inside placement scoring, so the message must not be
+        // built on the happy path.
+        if (dev >= num_devices_)
+            badDevice(dev);
+        return island_of_[dev];
+    }
 
     /** True iff both devices sit in the same island. */
     bool sameIsland(DeviceId a, DeviceId b) const;
@@ -69,28 +138,84 @@ class ClusterTopology
     /** True iff all devices of the (non-empty) set share one island. */
     bool withinOneIsland(const DeviceSet &devices) const;
 
-    /** All device ids of island @p island, ascending. */
-    DeviceSet islandDevices(std::uint32_t island) const;
+    /** Device ids of island @p island, ascending. */
+    const DeviceSet &islandDevices(std::uint32_t island) const;
+
+    /** Number of devices in island @p island. */
+    std::uint32_t islandSizeOf(std::uint32_t island) const;
+
+    /** Largest island size (bounds intra-island TP groups). */
+    std::uint32_t maxIslandSize() const { return max_island_size_; }
+
+    /** Smallest island size. */
+    std::uint32_t minIslandSize() const { return min_island_size_; }
 
     /** All device ids of the cluster, ascending. */
     DeviceSet allDevices() const;
 
+    /** Intra-island link class of island @p island. */
+    const LinkParams &intraLink(std::uint32_t island) const;
+
+    /** Point-to-point link class between two distinct islands. */
+    const LinkParams &interLink(std::uint32_t a, std::uint32_t b) const;
+
+    /** Collective link class between two distinct islands. */
+    const LinkParams &collectiveLink(std::uint32_t a,
+                                     std::uint32_t b) const;
+
+    /**
+     * True iff every island uses the default intra class and no
+     * island-pair override is configured — i.e. the three default
+     * link classes describe the whole fabric. Placement's
+     * class-indexed fast path requires this; non-uniform fabrics
+     * drop to exact per-pair scoring.
+     */
+    bool uniformLinks() const { return uniform_links_; }
+
     /**
      * Link class between two devices: same device -> on-device copy,
-     * same island -> NVLink, otherwise inter-island fabric.
+     * same island -> that island's intra class, otherwise the island
+     * pair's point-to-point class.
      */
     LinkParams linkBetween(DeviceId a, DeviceId b) const;
 
     /**
      * The slowest link class spanned by a device group: the
      * bottleneck of a ring collective over the group. Groups
-     * spanning islands use the rail-aggregated collective class.
+     * spanning islands are bottlenecked by the lowest-bandwidth
+     * collective class among the island pairs they span.
      */
     LinkParams groupLink(const DeviceSet &devices) const;
 
   private:
+    [[noreturn]] void badDevice(DeviceId dev) const;
+
+    void validateAndBuild();
+
     ClusterConfig config_;
-    std::uint32_t num_devices_;
+    std::uint32_t num_devices_ = 0;
+    std::uint32_t max_island_size_ = 0;
+    std::uint32_t min_island_size_ = 0;
+    bool uniform_links_ = true;
+
+    /** Member ids per island, ascending. */
+    std::vector<DeviceSet> islands_;
+
+    /** Dense device id -> island index lookup. */
+    std::vector<std::uint32_t> island_of_;
+
+    /** Resolved intra class per island (defaults applied). */
+    std::vector<LinkParams> intra_links_;
+
+    /** Resolved pair overrides, keyed (min(a,b) * numIslands + max). */
+    struct PairLinks
+    {
+        std::uint64_t key = 0;
+        LinkParams p2p;
+        LinkParams collective;
+    };
+    std::vector<PairLinks> pair_links_; ///< sorted by key
+    const PairLinks *findPair(std::uint32_t a, std::uint32_t b) const;
 };
 
 } // namespace spindle

@@ -37,6 +37,31 @@ struct SliceParam
 /** Number of link classes a (src set, device) pair can fall into. */
 constexpr int kNumLinkClasses = 3;
 
+/**
+ * Shard-level inter-island attribution of one flow: the flow's bytes
+ * land sharded across the destination devices, and a destination
+ * device whose island holds no source device must receive its shard
+ * over the inter-island fabric. Returns the fraction of destination
+ * devices in that situation (0 when the flow is free). Deliberately
+ * finer-grained than flowTime's best-pair pricing, which cannot see
+ * the difference between an island-aligned window and one that
+ * merely touches the source's island.
+ */
+double
+interIslandShardFraction(const ClusterTopology &topo,
+                         const DeviceSet &src, const DeviceSet &dst,
+                         std::vector<char> &island_scratch)
+{
+    island_scratch.assign(topo.numIslands(), 0);
+    for (DeviceId s : src)
+        island_scratch[topo.islandOf(s)] = 1;
+    std::size_t miss = 0;
+    for (DeviceId d : dst)
+        if (!island_scratch[topo.islandOf(d)])
+            ++miss;
+    return static_cast<double>(miss) / static_cast<double>(dst.size());
+}
+
 } // namespace
 
 /**
@@ -102,18 +127,43 @@ DevicePlacement::DevicePlacement(const ClusterTopology &topo,
 {
 }
 
+const WindowGenerator &
+DevicePlacement::generator() const
+{
+    if (options_.generator != nullptr)
+        return *options_.generator;
+    return builtinWindowGenerator(options_.windows);
+}
+
 PlacementResult
 DevicePlacement::place(const MetaGraph &graph, ExecutionPlan &plan) const
 {
     PlacementResult result;
-    if (tryPlace(graph, plan, /*memory_first=*/false, result))
+    std::vector<CommitRecord> log;
+    std::size_t fail_wave = 0;
+    if (tryPlace(graph, plan, /*memory_first=*/false, result, 0, nullptr,
+                 &log, &fail_wave))
         return result;
-    // Backtracking collapsed into a restart: redo everything with
-    // memory balance as the primary objective (§3.5 "alternative
-    // placements with sub-optimal communication costs").
+
+    // Backtracking collapsed into a restart with memory balance as
+    // the primary objective (§3.5 "alternative placements with
+    // sub-optimal communication costs"). Preferred: resume from the
+    // first infeasible wave, replaying the feasible prefix verbatim
+    // instead of re-scoring it.
+    if (options_.partialFallbackRestart && fail_wave > 0) {
+        PlacementResult partial;
+        partial.usedMemoryFallback = true;
+        partial.fallbackRestartWave = fail_wave;
+        if (tryPlace(graph, plan, /*memory_first=*/true, partial,
+                     fail_wave, &log, nullptr, nullptr))
+            return partial;
+    }
+
+    // Last resort: the historical full memory-first restart.
     result = {};
     result.usedMemoryFallback = true;
-    fatalIf(!tryPlace(graph, plan, /*memory_first=*/true, result),
+    fatalIf(!tryPlace(graph, plan, /*memory_first=*/true, result, 0,
+                      nullptr, nullptr, nullptr),
             "DevicePlacement: workload does not fit device memory even "
             "with memory-first placement");
     return result;
@@ -121,13 +171,17 @@ DevicePlacement::place(const MetaGraph &graph, ExecutionPlan &plan) const
 
 bool
 DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
-                          bool memory_first,
-                          PlacementResult &result) const
+                          bool memory_first, PlacementResult &result,
+                          std::size_t resume_wave,
+                          const std::vector<CommitRecord> *replay,
+                          std::vector<CommitRecord> *log,
+                          std::size_t *fail_wave) const
 {
     const std::uint32_t num_devices = plan.numDevices;
     const double capacity =
         topo_.device().memoryBytes * options_.memorySlack;
     const CollectiveModel &coll = hw_.collectives();
+    const WindowGenerator &window_gen = generator();
 
     Attempt state;
     state.init(num_devices);
@@ -143,19 +197,59 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
         return shard + opt;
     };
 
-    // The three link classes a (src set, candidate device) pair can
-    // use. CollectiveModel::flowTime maximizes bandwidth over all
-    // (src, dst) pairs, so the sweep must (a) track, per candidate
-    // device, *every* class it has a pair in — a device sharing an
-    // island with one source device still has inter-island pairs to
-    // the others — and (b) probe classes in bandwidth order, not
-    // class-index order (a config may rank its fabrics differently
-    // from the defaults). Two classes configured to the exact same
-    // bandwidth but different latency make flowTime's winner depend
-    // on its pair iteration order, which class-level bookkeeping
-    // cannot reproduce; such (pathological) configs drop to scoring
-    // every window with flowTime directly, keeping the bit-identical
-    // contract unconditional.
+    // Partial-restart replay: recommit the feasible prefix (device
+    // choices and their logged comm) without re-scoring it. The
+    // records replayed are exactly the commits the failed pass made
+    // for waves before resume_wave, in commit order, so the attempt
+    // state ends up bit-identical to that pass's state at the start
+    // of the first infeasible wave.
+    if (resume_wave > 0) {
+        panicIf(replay == nullptr, "tryPlace: resume without replay log");
+        for (const CommitRecord &rec : *replay) {
+            if (rec.wave >= resume_wave)
+                continue;
+            WaveEntry &e = plan.waves[rec.wave].entries[rec.entry];
+            const MetaOp &m = graph.metaOp(e.metaOp);
+            const ParallelConfig cfg =
+                hw_.bestConfig(memberDesc(m), e.n);
+            const double act_share =
+                mem_.activationBytesPerDevice(m, e.numOps, cfg);
+            for (DeviceId d : e.devices) {
+                state.activations[d] += act_share;
+                for (std::int64_t i = 0; i < e.numOps; ++i) {
+                    const OperatorDesc &op =
+                        graph.base().op(m.ops[e.opBegin + i]);
+                    const std::int64_t key = paramDedupKey(op);
+                    const double share = param_share(op, cfg);
+                    auto [it, inserted] =
+                        state.params[d].emplace(key, share);
+                    if (!inserted && share > it->second)
+                        it->second = share;
+                }
+                state.markDirty(d);
+            }
+            state.lastSlice[e.metaOp] = e.devices;
+            result.estimatedCommSeconds += rec.comm;
+            result.interIslandCommSeconds += rec.interIsland;
+        }
+    }
+
+    // The three *default* link classes a (src set, candidate device)
+    // pair can use. CollectiveModel::flowTime maximizes bandwidth
+    // over all (src, dst) pairs, so the sweep must (a) track, per
+    // candidate device, *every* class it has a pair in — a device
+    // sharing an island with one source device still has
+    // inter-island pairs to the others — and (b) probe classes in
+    // bandwidth order, not class-index order (a config may rank its
+    // fabrics differently from the defaults). Two classes configured
+    // to the exact same bandwidth but different latency make
+    // flowTime's winner depend on its pair iteration order, which
+    // class-level bookkeeping cannot reproduce; such (pathological)
+    // configs — and any topology whose islands override the default
+    // classes (uniformLinks() false), where three classes cannot
+    // describe the fabric at all — drop to scoring every window with
+    // flowTime directly, keeping the bit-identical contract
+    // unconditional.
     const LinkParams link_class[kNumLinkClasses] = {
         {topo_.device().copyBandwidth, 0.0}, // overlapping device
         topo_.config().intraIsland,          // same island
@@ -167,22 +261,32 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                          return link_class[a].bandwidth >
                                 link_class[b].bandwidth;
                      });
+    int rank_of_class[kNumLinkClasses];
+    for (int r = 0; r < kNumLinkClasses; ++r)
+        rank_of_class[class_by_bw[r]] = r;
     const bool tied_class_bandwidths =
         link_class[0].bandwidth == link_class[1].bandwidth ||
         link_class[0].bandwidth == link_class[2].bandwidth ||
         link_class[1].bandwidth == link_class[2].bandwidth;
+    const bool exact_comm = tied_class_bandwidths || !topo_.uniformLinks();
 
     std::uint32_t seq_cursor = 0; // Sequential strategy cursor
 
     // Scratch buffers reused across entries (sized per wave).
-    std::vector<double> cand_total;      // per free pos: total if placed
-    std::vector<SliceParam> sig;         // slice param signature
-    std::vector<std::int32_t> sig_row;   // sig index -> residency row
-    std::vector<std::uint32_t> res_pref; // residency prefix counts
+    std::vector<double> cand_total;       // per free pos: total if placed
+    std::vector<std::uint32_t> pos_island; // per free pos: island index
+    std::vector<SliceParam> sig;          // slice param signature
+    std::vector<std::int32_t> sig_row;    // sig index -> residency row
+    std::vector<char> res_flag;           // residency flags, rows x F
+    std::vector<std::uint32_t> res_pref;  // per-band residency prefixes
+    std::vector<std::uint32_t> chg_pref;  // per-band island changes
     std::vector<std::uint32_t> island_src_count; // src devs per island
-    DeviceSet win_buf; // window scratch for the tied-bandwidth path
+    CandidateWindows cand_windows;        // generator output
+    DeviceSet win_buf; // window scratch for the exact-comm path
+    std::vector<char> island_scratch; // inter-island attribution
 
-    for (Wave &wave : plan.waves) {
+    for (std::size_t wi = resume_wave; wi < plan.waves.size(); ++wi) {
+        Wave &wave = plan.waves[wi];
         DeviceSet free = topo_.allDevices();
         free.resize(std::min<std::size_t>(free.size(), num_devices));
 
@@ -265,7 +369,9 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
 
             // Intra-island preference: a TP group spanning islands
             // pays the real collective slowdown. Window-independent,
-            // hoisted out of the scoring loop.
+            // hoisted out of the scoring loop. Charged at the
+            // *default* link classes (the same reference the paper's
+            // heuristic uses) even on non-uniform fabrics.
             double island_penalty = 0;
             if (cfg.tp > 1) {
                 const double shard = m.activationBytes / cfg.dp;
@@ -283,7 +389,10 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
             DeviceSet best_win;
 
             if (options_.strategy == PlacementStrategy::Sequential) {
-                // Next consecutive devices, wrapping; no awareness.
+                // Next consecutive device ids, wrapping; no
+                // awareness, and — by design — no dependence on the
+                // island structure, so the baseline keeps its
+                // semantics under any renumbering of the cluster.
                 DeviceSet win;
                 for (std::uint32_t k = 0; k < e.n; ++k)
                     win.push_back((seq_cursor + k) % num_devices);
@@ -337,16 +446,22 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                 best_comm = comm;
                 best_win = std::move(win);
             } else {
-                // Candidate windows: the contiguous runs of the free
-                // list. All window scores derive from per-device
-                // quantities computed once per entry; the window
-                // sweep combines them with prefix/extremum queries
-                // that reproduce the former full rescan bit for bit.
+                // Candidate windows come from the configured
+                // generator: bands (every length-n contiguous
+                // subsequence of an ordered position sequence) and
+                // explicit extras. All window scores derive from
+                // per-device quantities computed once per entry; the
+                // band sweeps combine them with prefix/extremum
+                // queries that reproduce a full rescan bit for bit.
                 const std::size_t F = free.size();
-                const std::size_t W = F - e.n + 1;
+                const std::uint32_t n = e.n;
 
-                // (a) Per-device total if this slice lands on it.
+                window_gen.generate({topo_, free, n}, cand_windows);
+
+                // (a) Per-device total if this slice lands on it,
+                // and the device's island.
                 cand_total.resize(F);
+                pos_island.resize(F);
                 for (std::size_t pos = 0; pos < F; ++pos) {
                     const DeviceId d = free[pos];
                     double add = act_share;
@@ -358,85 +473,74 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                             add += sp.share - it->second;
                     }
                     cand_total[pos] = state.deviceTotal(d) + add;
+                    pos_island[pos] = topo_.islandOf(d);
                 }
 
-                // (b) Per-inflow link-class machinery: class of each
-                // free device w.r.t. the source set, prefix counts
-                // per class, the per-class flow time, and the window
-                // that equals the source set (zero-cost flow).
+                // (b) Per-inflow link-class machinery (uniform-fabric
+                // fast path): the class of each free device w.r.t.
+                // the source set and the per-class flow time.
                 struct InflowCtx
                 {
                     double flowByClass[kNumLinkClasses];
-                    // class prefix counts, kNumLinkClasses rows of
-                    // F + 1 entries each
+                    std::vector<std::uint8_t> cls; ///< per free pos
+                    // per-band class prefix counts and the band
+                    // window equal to the source set (zero-cost)
                     std::vector<std::uint32_t> pref;
                     std::ptrdiff_t eq_window = -1;
                 };
                 std::vector<InflowCtx> inflow_ctx(inflows.size());
-                for (std::size_t k = 0; k < inflows.size(); ++k) {
-                    const auto &[bytes, src_ptr] = inflows[k];
-                    const DeviceSet &src = *src_ptr;
-                    InflowCtx &ctx = inflow_ctx[k];
+                if (!exact_comm) {
+                    for (std::size_t k = 0; k < inflows.size(); ++k) {
+                        const auto &[bytes, src_ptr] = inflows[k];
+                        const DeviceSet &src = *src_ptr;
+                        InflowCtx &ctx = inflow_ctx[k];
 
-                    const double streams = static_cast<double>(
-                        std::min<std::size_t>(src.size(), e.n));
-                    for (int c = 0; c < kNumLinkClasses; ++c)
-                        ctx.flowByClass[c] =
-                            bytes / streams /
-                                link_class[c].bandwidth +
-                            link_class[c].latency;
-
-                    island_src_count.assign(topo_.numIslands(), 0);
-                    for (DeviceId s : src)
-                        ++island_src_count[topo_.islandOf(s)];
-                    const auto src_size =
-                        static_cast<std::uint32_t>(src.size());
-
-                    // A device's class is the fastest one it has any
-                    // pair in: copy needs the device itself in src,
-                    // intra another src device in its island, inter
-                    // a src device in a different island.
-                    ctx.pref.assign(
-                        kNumLinkClasses * (F + 1), 0);
-                    for (std::size_t pos = 0; pos < F; ++pos) {
-                        const DeviceId d = free[pos];
-                        const bool in_src = std::binary_search(
-                            src.begin(), src.end(), d);
-                        const std::uint32_t same_island =
-                            island_src_count[topo_.islandOf(d)];
-                        const bool avail[kNumLinkClasses] = {
-                            in_src,
-                            same_island > (in_src ? 1u : 0u),
-                            src_size > same_island,
-                        };
-                        int cls = class_by_bw[kNumLinkClasses - 1];
-                        for (int r = 0; r < kNumLinkClasses; ++r) {
-                            if (avail[class_by_bw[r]]) {
-                                cls = class_by_bw[r];
-                                break;
-                            }
-                        }
+                        const double streams = static_cast<double>(
+                            std::min<std::size_t>(src.size(), n));
                         for (int c = 0; c < kNumLinkClasses; ++c)
-                            ctx.pref[c * (F + 1) + pos + 1] =
-                                ctx.pref[c * (F + 1) + pos] +
-                                (cls == c ? 1u : 0u);
-                    }
+                            ctx.flowByClass[c] =
+                                bytes / streams /
+                                    link_class[c].bandwidth +
+                                link_class[c].latency;
 
-                    if (src.size() == e.n) {
-                        auto at = std::lower_bound(
-                            free.begin(), free.end(), src.front());
-                        const std::size_t p = static_cast<std::size_t>(
-                            at - free.begin());
-                        if (p + e.n <= F &&
-                            std::equal(src.begin(), src.end(),
-                                       free.begin() + p))
-                            ctx.eq_window =
-                                static_cast<std::ptrdiff_t>(p);
+                        island_src_count.assign(topo_.numIslands(), 0);
+                        for (DeviceId s : src)
+                            ++island_src_count[topo_.islandOf(s)];
+                        const auto src_size =
+                            static_cast<std::uint32_t>(src.size());
+
+                        // A device's class is the fastest one it has
+                        // any pair in: copy needs the device itself
+                        // in src, intra another src device in its
+                        // island, inter a src device in a different
+                        // island.
+                        ctx.cls.resize(F);
+                        for (std::size_t pos = 0; pos < F; ++pos) {
+                            const DeviceId d = free[pos];
+                            const bool in_src = std::binary_search(
+                                src.begin(), src.end(), d);
+                            const std::uint32_t same_island =
+                                island_src_count[pos_island[pos]];
+                            const bool avail[kNumLinkClasses] = {
+                                in_src,
+                                same_island > (in_src ? 1u : 0u),
+                                src_size > same_island,
+                            };
+                            int cls = class_by_bw[kNumLinkClasses - 1];
+                            for (int r = 0; r < kNumLinkClasses; ++r) {
+                                if (avail[class_by_bw[r]]) {
+                                    cls = class_by_bw[r];
+                                    break;
+                                }
+                            }
+                            ctx.cls[pos] =
+                                static_cast<std::uint8_t>(cls);
+                        }
                     }
                 }
 
-                // (c) Residency prefix counts per distinct parameter
-                // key carried by the slice (affinity scoring).
+                // (c) Residency flags per distinct parameter key
+                // carried by the slice (affinity scoring).
                 sig_row.assign(sig.size(), -1);
                 std::unordered_map<std::int64_t, std::int32_t> row_of;
                 for (std::size_t i = 0; i < sig.size(); ++i) {
@@ -450,115 +554,25 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                     sig_row[i] = it->second;
                 }
                 const std::size_t rows = row_of.size();
-                res_pref.assign(rows * (F + 1), 0);
+                res_flag.assign(rows * F, 0);
                 for (const auto &[key, row] : row_of) {
                     const std::size_t base =
-                        static_cast<std::size_t>(row) * (F + 1);
+                        static_cast<std::size_t>(row) * F;
                     for (std::size_t pos = 0; pos < F; ++pos)
-                        res_pref[base + pos + 1] =
-                            res_pref[base + pos] +
-                            (state.params[free[pos]].count(key) ? 1u
-                                                                : 0u);
+                        res_flag[base + pos] =
+                            state.params[free[pos]].count(key) ? 1 : 0;
                 }
 
-                // (d) Sweep the windows. The memory extremum uses a
-                // monotonic deque (sliding-window maximum over the
-                // per-device candidate totals).
-                std::size_t best_w = W;
-                std::vector<std::size_t> deque_pos;
-                std::size_t head = 0;
-                for (std::size_t pos = 0; pos < F; ++pos) {
-                    while (deque_pos.size() > head &&
-                           cand_total[deque_pos.back()] <=
-                               cand_total[pos])
-                        deque_pos.pop_back();
-                    deque_pos.push_back(pos);
-                    if (pos + 1 < e.n)
-                        continue; // window not yet full
-                    const std::size_t w = pos + 1 - e.n;
-                    if (deque_pos[head] < w)
-                        ++head;
-                    const double max_total =
-                        cand_total[deque_pos[head]];
+                std::vector<std::uint32_t> best_pos; // free positions
+                bool found = false;
 
-                    // Memory feasibility and resulting peak
-                    // fraction. Division by a positive constant is
-                    // monotone, so dividing the window maximum
-                    // equals the former per-device quotient maximum.
-                    if (max_total > capacity)
-                        continue;
+                // Evaluate one window given its peak memory load and
+                // a comm value; shared by the band sweep and the
+                // explicit extras.
+                auto consider = [&](double max_total, double comm,
+                                    auto &&materialize) {
                     const double peak_frac =
                         max_total / topo_.device().memoryBytes;
-
-                    // Inter-wave communication, accumulated in the
-                    // same source order as before.
-                    double comm = 0;
-                    if (tied_class_bandwidths && !inflows.empty()) {
-                        // Exact fallback (see link_class comment):
-                        // equal-bandwidth classes are resolved by
-                        // flowTime's own pair order.
-                        win_buf.assign(free.begin() + w,
-                                       free.begin() + w + e.n);
-                        for (const auto &[bytes, src] : inflows)
-                            comm +=
-                                coll.flowTime(bytes, *src, win_buf);
-                    } else {
-                        for (std::size_t k = 0; k < inflows.size();
-                             ++k) {
-                            const InflowCtx &ctx = inflow_ctx[k];
-                            if (static_cast<std::ptrdiff_t>(w) ==
-                                ctx.eq_window)
-                                continue; // data already resident
-                            if (inflows[k].first <= 0)
-                                continue;
-                            // Fastest link class present in the
-                            // window (classes partition the devices,
-                            // so the probe always finds one).
-                            int cls =
-                                class_by_bw[kNumLinkClasses - 1];
-                            for (int r = 0; r < kNumLinkClasses;
-                                 ++r) {
-                                const int c = class_by_bw[r];
-                                if (ctx.pref[c * (F + 1) + w + e.n] >
-                                    ctx.pref[c * (F + 1) + w]) {
-                                    cls = c;
-                                    break;
-                                }
-                            }
-                            comm += ctx.flowByClass[cls];
-                        }
-                    }
-
-                    // Parameter affinity (§3.5): reward windows
-                    // whose devices already store this slice's
-                    // parameter sets; placing elsewhere would grow
-                    // the corresponding gradient-sync groups by
-                    // roughly one ring pass of the non-resident
-                    // bytes.
-                    double non_resident_bytes = 0;
-                    for (std::size_t i = 0; i < sig.size(); ++i) {
-                        const std::int32_t row = sig_row[i];
-                        if (row < 0)
-                            continue;
-                        const std::size_t base =
-                            static_cast<std::size_t>(row) * (F + 1);
-                        if (res_pref[base + w + e.n] ==
-                            res_pref[base + w])
-                            non_resident_bytes += sig[i].bytes;
-                    }
-                    comm += options_.paramAffinityWeight * 2.0 *
-                            non_resident_bytes /
-                            topo_.config()
-                                .interIslandCollective.bandwidth;
-
-                    // Devices ascend and islands are contiguous id
-                    // ranges, so a window spans one island iff its
-                    // endpoints share it.
-                    if (cfg.tp > 1 &&
-                        topo_.islandOf(free[w]) !=
-                            topo_.islandOf(free[pos]))
-                        comm += island_penalty;
-
                     const double mem_score =
                         options_.memoryWeight * peak_frac;
                     double primary, secondary;
@@ -574,14 +588,304 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                          secondary < best_secondary)) {
                         best_primary = primary;
                         best_secondary = secondary;
-                        best_w = w;
                         best_comm = comm;
+                        materialize(best_pos);
+                        found = true;
+                    }
+                };
+
+                // (d) Sweep each band. The memory extremum uses a
+                // monotonic deque (sliding-window maximum over the
+                // per-device candidate totals along the band).
+                std::vector<std::size_t> deque_pos;
+                for (const auto &band : cand_windows.bands) {
+                    const std::size_t B = band.size();
+                    if (B < n)
+                        continue;
+
+                    // Island-change prefix: a window holds within
+                    // one island iff no adjacent pair inside it
+                    // changes islands (exact under any numbering).
+                    chg_pref.resize(B);
+                    chg_pref[0] = 0;
+                    for (std::size_t i = 1; i < B; ++i)
+                        chg_pref[i] =
+                            chg_pref[i - 1] +
+                            (pos_island[band[i]] !=
+                                     pos_island[band[i - 1]]
+                                 ? 1u
+                                 : 0u);
+
+                    // Residency prefixes along the band.
+                    res_pref.assign(rows * (B + 1), 0);
+                    for (std::size_t row = 0; row < rows; ++row) {
+                        const std::size_t base = row * (B + 1);
+                        const std::size_t fbase = row * F;
+                        for (std::size_t i = 0; i < B; ++i)
+                            res_pref[base + i + 1] =
+                                res_pref[base + i] +
+                                res_flag[fbase + band[i]];
+                    }
+
+                    // Link-class prefixes and the source-equal
+                    // window along the band.
+                    if (!exact_comm) {
+                        for (std::size_t k = 0; k < inflows.size();
+                             ++k) {
+                            InflowCtx &ctx = inflow_ctx[k];
+                            ctx.pref.assign(
+                                kNumLinkClasses * (B + 1), 0);
+                            for (std::size_t i = 0; i < B; ++i) {
+                                const int cls = ctx.cls[band[i]];
+                                for (int c = 0; c < kNumLinkClasses;
+                                     ++c)
+                                    ctx.pref[c * (B + 1) + i + 1] =
+                                        ctx.pref[c * (B + 1) + i] +
+                                        (cls == c ? 1u : 0u);
+                            }
+
+                            ctx.eq_window = -1;
+                            const DeviceSet &src = *inflows[k].second;
+                            if (src.size() == n) {
+                                // Devices ascend along a band, so
+                                // binary-search the band for the
+                                // source's first device.
+                                std::size_t lo = 0, hi = B;
+                                while (lo < hi) {
+                                    const std::size_t mid =
+                                        (lo + hi) / 2;
+                                    if (free[band[mid]] < src.front())
+                                        lo = mid + 1;
+                                    else
+                                        hi = mid;
+                                }
+                                if (lo + n <= B) {
+                                    bool equal = true;
+                                    for (std::uint32_t i = 0; i < n;
+                                         ++i) {
+                                        if (free[band[lo + i]] !=
+                                            src[i]) {
+                                            equal = false;
+                                            break;
+                                        }
+                                    }
+                                    if (equal)
+                                        ctx.eq_window =
+                                            static_cast<
+                                                std::ptrdiff_t>(lo);
+                                }
+                            }
+                        }
+                    }
+
+                    deque_pos.clear();
+                    std::size_t head = 0;
+                    for (std::size_t i = 0; i < B; ++i) {
+                        while (deque_pos.size() > head &&
+                               cand_total[band[deque_pos.back()]] <=
+                                   cand_total[band[i]])
+                            deque_pos.pop_back();
+                        deque_pos.push_back(i);
+                        if (i + 1 < n)
+                            continue; // window not yet full
+                        const std::size_t w = i + 1 - n;
+                        if (deque_pos[head] < w)
+                            ++head;
+                        const double max_total =
+                            cand_total[band[deque_pos[head]]];
+
+                        // Memory feasibility. Division by a positive
+                        // constant is monotone, so dividing the
+                        // window maximum equals the former
+                        // per-device quotient maximum.
+                        if (max_total > capacity)
+                            continue;
+
+                        // Inter-wave communication, accumulated in
+                        // the same source order as always.
+                        double comm = 0;
+                        if (exact_comm && !inflows.empty()) {
+                            // Exact fallback (see link_class
+                            // comment).
+                            win_buf.resize(n);
+                            for (std::uint32_t j = 0; j < n; ++j)
+                                win_buf[j] = free[band[w + j]];
+                            for (const auto &[bytes, src] : inflows)
+                                comm += coll.flowTime(bytes, *src,
+                                                      win_buf);
+                        } else {
+                            for (std::size_t k = 0;
+                                 k < inflows.size(); ++k) {
+                                const InflowCtx &ctx = inflow_ctx[k];
+                                if (static_cast<std::ptrdiff_t>(w) ==
+                                    ctx.eq_window)
+                                    continue; // data already resident
+                                if (inflows[k].first <= 0)
+                                    continue;
+                                // Fastest link class present in the
+                                // window (classes partition the
+                                // devices, so the probe always finds
+                                // one).
+                                int cls =
+                                    class_by_bw[kNumLinkClasses - 1];
+                                for (int r = 0; r < kNumLinkClasses;
+                                     ++r) {
+                                    const int c = class_by_bw[r];
+                                    if (ctx.pref[c * (B + 1) + w +
+                                                 n] >
+                                        ctx.pref[c * (B + 1) + w]) {
+                                        cls = c;
+                                        break;
+                                    }
+                                }
+                                comm += ctx.flowByClass[cls];
+                            }
+                        }
+
+                        // Parameter affinity (§3.5): reward windows
+                        // whose devices already store this slice's
+                        // parameter sets; placing elsewhere would
+                        // grow the corresponding gradient-sync
+                        // groups by roughly one ring pass of the
+                        // non-resident bytes.
+                        double non_resident_bytes = 0;
+                        for (std::size_t s = 0; s < sig.size(); ++s) {
+                            const std::int32_t row = sig_row[s];
+                            if (row < 0)
+                                continue;
+                            const std::size_t base =
+                                static_cast<std::size_t>(row) *
+                                (B + 1);
+                            if (res_pref[base + w + n] ==
+                                res_pref[base + w])
+                                non_resident_bytes += sig[s].bytes;
+                        }
+                        comm += options_.paramAffinityWeight * 2.0 *
+                                non_resident_bytes /
+                                topo_.config()
+                                    .interIslandCollective.bandwidth;
+
+                        if (cfg.tp > 1 &&
+                            chg_pref[w + n - 1] != chg_pref[w])
+                            comm += island_penalty;
+
+                        consider(max_total, comm,
+                                 [&](std::vector<std::uint32_t> &out) {
+                                     out.assign(band.begin() +
+                                                    static_cast<
+                                                        std::ptrdiff_t>(
+                                                        w),
+                                                band.begin() +
+                                                    static_cast<
+                                                        std::ptrdiff_t>(
+                                                        w + n));
+                                 });
                     }
                 }
-                if (best_w == W)
+
+                // (e) Explicit windows (cross-island unions etc.).
+                for (const auto &win_pos : cand_windows.extras) {
+                    panicIf(win_pos.size() != n,
+                            "tryPlace: generator emitted a window of "
+                            "the wrong size");
+                    double max_total = 0;
+                    for (std::uint32_t p : win_pos)
+                        max_total =
+                            std::max(max_total, cand_total[p]);
+                    if (max_total > capacity)
+                        continue;
+
+                    double comm = 0;
+                    if (exact_comm && !inflows.empty()) {
+                        win_buf.resize(n);
+                        for (std::uint32_t j = 0; j < n; ++j)
+                            win_buf[j] = free[win_pos[j]];
+                        for (const auto &[bytes, src] : inflows)
+                            comm +=
+                                coll.flowTime(bytes, *src, win_buf);
+                    } else {
+                        for (std::size_t k = 0; k < inflows.size();
+                             ++k) {
+                            const InflowCtx &ctx = inflow_ctx[k];
+                            const DeviceSet &src = *inflows[k].second;
+                            if (src.size() == n) {
+                                bool equal = true;
+                                for (std::uint32_t j = 0; j < n;
+                                     ++j) {
+                                    if (free[win_pos[j]] != src[j]) {
+                                        equal = false;
+                                        break;
+                                    }
+                                }
+                                if (equal)
+                                    continue; // data already resident
+                            }
+                            if (inflows[k].first <= 0)
+                                continue;
+                            int best_rank = kNumLinkClasses - 1;
+                            for (std::uint32_t p : win_pos) {
+                                const int r =
+                                    rank_of_class[ctx.cls[p]];
+                                if (r < best_rank)
+                                    best_rank = r;
+                                if (best_rank == 0)
+                                    break;
+                            }
+                            comm +=
+                                ctx.flowByClass[class_by_bw[best_rank]];
+                        }
+                    }
+
+                    double non_resident_bytes = 0;
+                    for (std::size_t s = 0; s < sig.size(); ++s) {
+                        const std::int32_t row = sig_row[s];
+                        if (row < 0)
+                            continue;
+                        const std::size_t fbase =
+                            static_cast<std::size_t>(row) * F;
+                        bool resident = false;
+                        for (std::uint32_t p : win_pos) {
+                            if (res_flag[fbase + p]) {
+                                resident = true;
+                                break;
+                            }
+                        }
+                        if (!resident)
+                            non_resident_bytes += sig[s].bytes;
+                    }
+                    comm += options_.paramAffinityWeight * 2.0 *
+                            non_resident_bytes /
+                            topo_.config()
+                                .interIslandCollective.bandwidth;
+
+                    if (cfg.tp > 1) {
+                        const std::uint32_t first =
+                            pos_island[win_pos.front()];
+                        bool spans = false;
+                        for (std::uint32_t p : win_pos) {
+                            if (pos_island[p] != first) {
+                                spans = true;
+                                break;
+                            }
+                        }
+                        if (spans)
+                            comm += island_penalty;
+                    }
+
+                    consider(max_total, comm,
+                             [&](std::vector<std::uint32_t> &out) {
+                                 out = win_pos;
+                             });
+                }
+
+                if (!found) {
+                    if (fail_wave != nullptr)
+                        *fail_wave = wi;
                     return false; // nothing fits: trigger fallback
-                best_win.assign(free.begin() + best_w,
-                                free.begin() + best_w + e.n);
+                }
+                best_win.resize(n);
+                for (std::uint32_t j = 0; j < n; ++j)
+                    best_win[j] = free[best_pos[j]];
             }
 
             // Commit the chosen window.
@@ -595,17 +899,45 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                 }
                 state.markDirty(d);
             }
+
+            // Attribute the committed flows to intra- vs
+            // inter-island fabric, shard by shard (see
+            // interIslandShardFraction).
+            double entry_inter = 0;
+            for (const auto &[bytes, src] : inflows) {
+                const double t = coll.flowTime(bytes, *src, best_win);
+                if (t > 0)
+                    entry_inter +=
+                        t * interIslandShardFraction(
+                                topo_, *src, best_win,
+                                island_scratch);
+            }
+            if (cfg.tp > 1 && !topo_.withinOneIsland(best_win))
+                entry_inter += island_penalty;
+            result.interIslandCommSeconds += entry_inter;
+
+            if (log != nullptr)
+                log->push_back({static_cast<std::uint32_t>(wi),
+                                static_cast<std::uint32_t>(idx),
+                                best_comm, entry_inter});
+
             e.devices = best_win;
             state.lastSlice[e.metaOp] = std::move(best_win);
             result.estimatedCommSeconds += best_comm;
             if (options_.strategy != PlacementStrategy::Sequential) {
-                // The committed window is a contiguous run of the
-                // free list; erasing it preserves order exactly as
-                // the former set_difference did.
+                // Remove the committed devices from the free list
+                // (single compaction pass; general windows need not
+                // be contiguous runs of it).
                 const DeviceSet &win = state.lastSlice[e.metaOp];
-                auto at = std::lower_bound(free.begin(), free.end(),
-                                           win.front());
-                free.erase(at, at + static_cast<std::ptrdiff_t>(e.n));
+                std::size_t out = 0, take = 0;
+                for (std::size_t pos = 0; pos < free.size(); ++pos) {
+                    if (take < win.size() && free[pos] == win[take]) {
+                        ++take;
+                        continue;
+                    }
+                    free[out++] = free[pos];
+                }
+                free.resize(out);
             }
         }
     }

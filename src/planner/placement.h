@@ -13,12 +13,27 @@
  *  - per-device memory is tracked (parameters deduplicated by
  *    ParamKey, so parameter-sharing MetaOps landing on the same
  *    device store them once) and balanced; an entry that would
- *    exceed capacity triggers a restart of the whole placement with
+ *    exceed capacity triggers a restart of the placement with
  *    memory-first scoring — the constrained-depth backtracking of
- *    the paper collapsed into a two-phase search.
+ *    the paper collapsed into a two-phase search. By default the
+ *    restart resumes from the first infeasible wave (committed
+ *    earlier waves are replayed, not re-scored), keeping the
+ *    fallback cheap at 512+ GPU scale; a full restart remains the
+ *    last resort.
+ *
+ * Candidate generation is pluggable (see window_generator.h): the
+ * placer scores whatever windows the configured WindowGenerator
+ * emits, using incremental per-band state (link-class / residency /
+ * island-change prefix counts and a sliding-window maximum over
+ * per-device loads) so scoring stays O(1) per window after an
+ * O(free-list) setup per entry. `ContiguousRuns` reproduces the
+ * historical placer bit for bit (planner_equivalence_test);
+ * `IslandAware` decouples window shape from device numbering.
  *
  * A Sequential strategy (each entry takes the next consecutive
- * devices, no awareness) is provided for the Fig. 10 ablation.
+ * device ids, no topology awareness — by design independent of the
+ * island structure and of any renumbering) is provided for the
+ * Fig. 10 ablation.
  */
 
 #ifndef SPINDLE_PLANNER_PLACEMENT_H
@@ -27,6 +42,7 @@
 #include <vector>
 
 #include "planner/execution_plan.h"
+#include "planner/window_generator.h"
 #include "runtime/memory_model.h"
 
 namespace spindle {
@@ -42,6 +58,28 @@ enum class PlacementStrategy : std::uint8_t
 struct PlacementOptions
 {
     PlacementStrategy strategy = PlacementStrategy::Spindle;
+
+    /**
+     * Candidate-window generation policy for the Spindle strategy.
+     * ContiguousRuns is the historical default; IslandAware emits
+     * per-island runs plus deliberate cross-island unions and is the
+     * right choice on heterogeneous or permuted-numbering clusters.
+     */
+    WindowPolicy windows = WindowPolicy::ContiguousRuns;
+
+    /**
+     * Custom window generator (non-owning; must outlive placement).
+     * Overrides `windows` when set.
+     */
+    const WindowGenerator *generator = nullptr;
+
+    /**
+     * Restart the memory-first fallback from the first infeasible
+     * wave (replaying already-committed waves) instead of from wave
+     * 0. Falls back to the historical full restart automatically if
+     * the partial restart still cannot fit.
+     */
+    bool partialFallbackRestart = true;
 
     /** Usable fraction of device HBM before an entry is rejected. */
     double memorySlack = 0.92;
@@ -69,8 +107,24 @@ struct PlacementResult
     /** Estimated total inter-wave transmission seconds. */
     double estimatedCommSeconds = 0;
 
+    /**
+     * Estimated seconds of comm crossing the inter-island fabric,
+     * attributed shard by shard: each flow's seconds scaled by the
+     * fraction of destination devices whose island holds no source
+     * device, plus the intra-island preference penalties of TP
+     * groups that straddle. Deliberately finer-grained than the
+     * best-pair flowTime pricing of estimatedCommSeconds, which
+     * cannot see the difference between an island-aligned window
+     * and one that merely touches the source's island.
+     */
+    double interIslandCommSeconds = 0;
+
     /** True when the memory-first fallback pass was needed. */
     bool usedMemoryFallback = false;
+
+    /** Wave index the fallback pass restarted from (0 = full
+     *  restart; meaningful only when usedMemoryFallback). */
+    std::size_t fallbackRestartWave = 0;
 };
 
 /**
@@ -92,8 +146,32 @@ class DevicePlacement
   private:
     struct Attempt;
 
+    /** One committed entry of a successful prefix, for replay. */
+    struct CommitRecord
+    {
+        std::uint32_t wave = 0;
+        std::uint32_t entry = 0;
+        double comm = 0;        ///< scored comm charged to the entry
+        double interIsland = 0; ///< inter-island share of the above
+    };
+
+    /**
+     * One placement pass. Waves before @p resume_wave are replayed
+     * from @p replay (state committed, no scoring); waves from
+     * @p resume_wave on are scored (memory-first when
+     * @p memory_first). On failure, the index of the first
+     * infeasible wave lands in @p fail_wave and committed records
+     * (all passes log into @p log when non-null) describe the
+     * feasible prefix.
+     */
     bool tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
-                  bool memory_first, PlacementResult &result) const;
+                  bool memory_first, PlacementResult &result,
+                  std::size_t resume_wave,
+                  const std::vector<CommitRecord> *replay,
+                  std::vector<CommitRecord> *log,
+                  std::size_t *fail_wave) const;
+
+    const WindowGenerator &generator() const;
 
     const ClusterTopology &topo_;
     const HardwareModel &hw_;

@@ -1,0 +1,161 @@
+#include "planner/window_generator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace spindle {
+
+void
+ContiguousRunsGenerator::generate(const WindowGenContext &ctx,
+                                  CandidateWindows &out) const
+{
+    out.clear();
+    panicIf(ctx.n == 0 || ctx.n > ctx.free.size(),
+            "ContiguousRuns: entry size exceeds free devices");
+    std::vector<std::uint32_t> band(ctx.free.size());
+    std::iota(band.begin(), band.end(), 0u);
+    out.bands.push_back(std::move(band));
+}
+
+namespace {
+
+/** Merge the first @p take_a of @p a with the first @p take_b of
+ *  @p b into one ascending position list. */
+std::vector<std::uint32_t>
+mergedPrefix(const std::vector<std::uint32_t> &a, std::size_t take_a,
+             const std::vector<std::uint32_t> &b, std::size_t take_b)
+{
+    std::vector<std::uint32_t> win;
+    win.reserve(take_a + take_b);
+    std::merge(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(take_a),
+               b.begin(), b.begin() + static_cast<std::ptrdiff_t>(take_b),
+               std::back_inserter(win));
+    return win;
+}
+
+} // namespace
+
+void
+IslandAwareGenerator::generate(const WindowGenContext &ctx,
+                               CandidateWindows &out) const
+{
+    out.clear();
+    const std::size_t F = ctx.free.size();
+    const std::uint32_t n = ctx.n;
+    panicIf(n == 0 || n > F,
+            "IslandAware: entry size exceeds free devices");
+
+    // Free positions per island, island-id order. Positions ascend
+    // within each island because the free list ascends.
+    std::vector<std::vector<std::uint32_t>> isl(ctx.topo.numIslands());
+    for (std::size_t pos = 0; pos < F; ++pos)
+        isl[ctx.topo.islandOf(ctx.free[pos])].push_back(
+            static_cast<std::uint32_t>(pos));
+
+    // 1. Per-island bands: sliding runs that never leave an island,
+    //    whatever the device numbering looks like.
+    std::size_t largest = 0;
+    for (const auto &positions : isl) {
+        largest = std::max(largest, positions.size());
+        if (positions.size() >= n)
+            out.bands.push_back(positions);
+    }
+
+    // 2. Deliberate cross-island unions for entries at least one of
+    //    the pair cannot host alone: per unordered island pair, up
+    //    to three splits (lean on the first island, balance, lean on
+    //    the second), each taking the lowest-id free devices of its
+    //    island. Unordered iteration keeps the (i, j) and (j, i)
+    //    splits from being emitted — and scored — twice.
+    for (std::size_t i = 0; i + 1 < isl.size() && n >= 2; ++i) {
+        const std::size_t ci = isl[i].size();
+        if (ci == 0)
+            continue;
+        for (std::size_t j = i + 1; j < isl.size(); ++j) {
+            const std::size_t cj = isl[j].size();
+            if (cj == 0 || ci + cj < n)
+                continue;
+            if (ci >= n && cj >= n)
+                continue; // both host alone: their bands cover it
+            // take_i ranges over [max(1, n - cj), min(ci, n - 1)].
+            const std::size_t lo =
+                n > cj ? static_cast<std::size_t>(n - cj) : 1;
+            const std::size_t hi =
+                std::min(ci, static_cast<std::size_t>(n - 1));
+            if (lo > hi)
+                continue;
+            const std::size_t takes[3] = {
+                hi,                                     // i-heavy
+                std::clamp<std::size_t>(n / 2, lo, hi), // balanced
+                lo,                                     // j-heavy
+            };
+            std::size_t prev = isl.size() + n; // never a valid take
+            for (std::size_t take_i : takes) {
+                if (take_i == prev)
+                    continue; // dedupe equal splits
+                prev = take_i;
+                out.extras.push_back(
+                    mergedPrefix(isl[i], take_i, isl[j], n - take_i));
+            }
+        }
+    }
+
+    // 3. Greedy catch-alls when the entry outgrows every island:
+    //    one variant per non-empty starting island, each filled up
+    //    from the remaining islands in descending free-count order
+    //    (ties by island id). Several variants keep placement — and
+    //    in particular the memory-first fallback — from hinging on
+    //    a single candidate whose devices happen to be loaded.
+    if (largest < n) {
+        std::vector<std::size_t> order;
+        for (std::size_t k = 0; k < isl.size(); ++k)
+            if (!isl[k].empty())
+                order.push_back(k);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return isl[a].size() > isl[b].size();
+                         });
+        std::vector<std::vector<std::uint32_t>> greedy;
+        for (std::size_t start : order) {
+            std::vector<std::uint32_t> win;
+            win.reserve(n);
+            auto take_from = [&](std::size_t k) {
+                if (win.size() >= n)
+                    return;
+                const std::size_t take = std::min<std::size_t>(
+                    isl[k].size(), n - win.size());
+                win.insert(win.end(), isl[k].begin(),
+                           isl[k].begin() +
+                               static_cast<std::ptrdiff_t>(take));
+            };
+            take_from(start);
+            for (std::size_t k : order)
+                if (k != start)
+                    take_from(k);
+            std::sort(win.begin(), win.end());
+            greedy.push_back(std::move(win));
+        }
+        // Different starts can coincide; emit each window once.
+        std::sort(greedy.begin(), greedy.end());
+        greedy.erase(std::unique(greedy.begin(), greedy.end()),
+                     greedy.end());
+        for (auto &win : greedy)
+            out.extras.push_back(std::move(win));
+    }
+}
+
+const WindowGenerator &
+builtinWindowGenerator(WindowPolicy policy)
+{
+    static const ContiguousRunsGenerator contiguous;
+    static const IslandAwareGenerator island_aware;
+    switch (policy) {
+      case WindowPolicy::ContiguousRuns: return contiguous;
+      case WindowPolicy::IslandAware: return island_aware;
+    }
+    panic("builtinWindowGenerator: unknown policy");
+}
+
+} // namespace spindle

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Pluggable placement-window generation (paper §3.5).
+ *
+ * Device placement scores *candidate windows* — device sets an entry
+ * could land on. What those candidates are used to be welded into
+ * the placer's scoring loop (every contiguous run of the free-device
+ * list), which coupled window shape to device numbering: on a
+ * cluster whose ids interleave islands, every "contiguous" window
+ * straddled the fabric. This layer makes candidate generation a
+ * strategy object the placer consumes.
+ *
+ * A generator emits two kinds of candidates over the (ascending)
+ * free-device list:
+ *
+ *  - **bands** — ordered sequences of free-list positions; every
+ *    length-n contiguous subsequence of a band is a candidate
+ *    window. Bands are what keeps the incremental scoring state of
+ *    the placer alive: per-band prefix counts (link classes,
+ *    parameter residency, island changes) and a sliding-window
+ *    maximum over per-device memory loads score each window in O(1)
+ *    after an O(band) setup.
+ *  - **extras** — individual explicit windows (each an ascending
+ *    position list of exactly n entries), for deliberate shapes
+ *    that are not runs of any band, e.g. cross-island unions.
+ *
+ * Provided strategies:
+ *  - `ContiguousRunsGenerator` — one band covering the whole free
+ *    list: exactly the historical candidate set, proven bit-identical
+ *    to the pre-refactor placer by planner_equivalence_test.
+ *  - `IslandAwareGenerator` — one band per island (runs never cross
+ *    an island by accident, regardless of device numbering) plus
+ *    deliberate cross-island unions for entries that outgrow any
+ *    single island or want to straddle on purpose.
+ */
+
+#ifndef SPINDLE_PLANNER_WINDOW_GENERATOR_H
+#define SPINDLE_PLANNER_WINDOW_GENERATOR_H
+
+#include <vector>
+
+#include "hardware/topology.h"
+
+namespace spindle {
+
+/** Everything a generator may consult for one wave entry. */
+struct WindowGenContext
+{
+    const ClusterTopology &topo;
+    const DeviceSet &free; ///< free device ids, ascending
+    std::uint32_t n = 0;   ///< devices the entry needs (<= free.size())
+};
+
+/**
+ * Candidate windows for one entry. Positions index into
+ * WindowGenContext::free; all position sequences ascend, so every
+ * realized window is automatically a canonical DeviceSet.
+ */
+struct CandidateWindows
+{
+    /** Ascending position sequences; each length-n contiguous
+     *  subsequence is a candidate (see file comment). Ascending
+     *  order is a contract: it keeps realized windows canonical and
+     *  lets the placer binary-search a band by device id. */
+    std::vector<std::vector<std::uint32_t>> bands;
+
+    /** Explicit windows: ascending positions, exactly n each. */
+    std::vector<std::vector<std::uint32_t>> extras;
+
+    void
+    clear()
+    {
+        bands.clear();
+        extras.clear();
+    }
+};
+
+/** Window-generation strategy interface. */
+class WindowGenerator
+{
+  public:
+    virtual ~WindowGenerator() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Emit the candidate windows for one entry into @p out
+     * (cleared first). Must emit at least one candidate of size
+     * ctx.n whenever ctx.n <= ctx.free.size().
+     */
+    virtual void generate(const WindowGenContext &ctx,
+                          CandidateWindows &out) const = 0;
+};
+
+/** The historical candidate set: all runs of the free list. */
+class ContiguousRunsGenerator final : public WindowGenerator
+{
+  public:
+    const char *name() const override { return "ContiguousRuns"; }
+    void generate(const WindowGenContext &ctx,
+                  CandidateWindows &out) const override;
+};
+
+/** Per-island runs plus deliberate cross-island unions. */
+class IslandAwareGenerator final : public WindowGenerator
+{
+  public:
+    const char *name() const override { return "IslandAware"; }
+    void generate(const WindowGenContext &ctx,
+                  CandidateWindows &out) const override;
+};
+
+/** Built-in strategy selector (PlacementOptions::windows). */
+enum class WindowPolicy : std::uint8_t
+{
+    ContiguousRuns, ///< historical behaviour, numbering-coupled
+    IslandAware,    ///< island-graph aware (heterogeneous / permuted)
+};
+
+/** Instantiate the built-in generator for @p policy. */
+const WindowGenerator &builtinWindowGenerator(WindowPolicy policy);
+
+} // namespace spindle
+
+#endif // SPINDLE_PLANNER_WINDOW_GENERATOR_H

@@ -149,6 +149,25 @@ Engine::runDynamic(const MetaGraph &graph, const ExecutionPlan &plan,
     }
 
     result.peakMemoryBytes = peakMemoryPerDevice(graph, plan, hw_, mem_);
+
+    // Runtime memory validation: a placed plan promising more bytes
+    // than a device's HBM would OOM on real hardware. The planner's
+    // placement never commits such a plan, but hand-built and
+    // baseline plans (whole-cluster replication) can; surface the
+    // worst offender once instead of failing the simulation.
+    const double hbm = hw_.topology().device().memoryBytes;
+    std::size_t worst = result.peakMemoryBytes.size();
+    for (std::size_t d = 0; d < result.peakMemoryBytes.size(); ++d) {
+        if (result.peakMemoryBytes[d] > hbm &&
+            (worst == result.peakMemoryBytes.size() ||
+             result.peakMemoryBytes[d] > result.peakMemoryBytes[worst]))
+            worst = d;
+    }
+    if (worst != result.peakMemoryBytes.size())
+        warn(strCat("Engine: placed plan oversubscribes device ", worst,
+                    " (", result.peakMemoryBytes[worst] / GiB,
+                    " GiB peak vs ", hbm / GiB, " GiB HBM)"));
+
     result.timeline = sim.timeline();
     return result;
 }

@@ -55,6 +55,197 @@ TEST(Topology, WithinOneIsland)
     EXPECT_FALSE(topo.withinOneIsland({7, 8}));
 }
 
+TEST(Topology, ExplicitIslandGraph)
+{
+    // Heterogeneous sizes with permuted, non-contiguous membership:
+    // island 0 owns the even ids plus 9, island 1 the rest.
+    ClusterConfig cfg;
+    cfg.islands.resize(2);
+    cfg.islands[0].devices = {0, 2, 4, 6, 8, 9};
+    cfg.islands[1].devices = {1, 3, 5, 7};
+    ClusterTopology topo(cfg);
+
+    EXPECT_EQ(topo.numDevices(), 10u);
+    EXPECT_EQ(topo.numIslands(), 2u);
+    EXPECT_EQ(topo.islandOf(4), 0u);
+    EXPECT_EQ(topo.islandOf(9), 0u);
+    EXPECT_EQ(topo.islandOf(5), 1u);
+    EXPECT_EQ(topo.islandSizeOf(0), 6u);
+    EXPECT_EQ(topo.islandSizeOf(1), 4u);
+    EXPECT_EQ(topo.maxIslandSize(), 6u);
+    EXPECT_EQ(topo.minIslandSize(), 4u);
+    EXPECT_EQ(topo.islandDevices(0), (DeviceSet{0, 2, 4, 6, 8, 9}));
+    EXPECT_TRUE(topo.sameIsland(2, 9));
+    EXPECT_FALSE(topo.sameIsland(2, 3));
+    EXPECT_TRUE(topo.withinOneIsland({1, 3, 7}));
+    EXPECT_FALSE(topo.withinOneIsland({0, 1}));
+    EXPECT_TRUE(topo.uniformLinks());
+}
+
+TEST(Topology, PerIslandAndPerPairLinkOverrides)
+{
+    ClusterConfig cfg;
+    cfg.islands.resize(3);
+    cfg.islands[0].devices = {0, 1};
+    cfg.islands[1].devices = {2, 3};
+    cfg.islands[1].intra = {400 * kGiga, 1 * kMicro}; // faster NVLink
+    cfg.islands[2].devices = {4, 5};
+    cfg.islandLinks.push_back(
+        {0, 2, {25 * kGiga, 20 * kMicro}, {100 * kGiga, 20 * kMicro}});
+    ClusterTopology topo(cfg);
+
+    EXPECT_FALSE(topo.uniformLinks());
+    // Island 1's own intra class; island 0 inherits the default.
+    EXPECT_DOUBLE_EQ(topo.linkBetween(2, 3).bandwidth, 400 * kGiga);
+    EXPECT_DOUBLE_EQ(topo.linkBetween(0, 1).bandwidth,
+                     cfg.intraIsland.bandwidth);
+    // Pair (0, 2) overridden both ways; pair (0, 1) inherits.
+    EXPECT_DOUBLE_EQ(topo.linkBetween(0, 4).bandwidth, 25 * kGiga);
+    EXPECT_DOUBLE_EQ(topo.linkBetween(5, 1).bandwidth, 25 * kGiga);
+    EXPECT_DOUBLE_EQ(topo.linkBetween(0, 2).bandwidth,
+                     cfg.interIsland.bandwidth);
+    EXPECT_DOUBLE_EQ(topo.interLink(0, 2).bandwidth, 25 * kGiga);
+    EXPECT_DOUBLE_EQ(topo.collectiveLink(2, 0).bandwidth, 100 * kGiga);
+    // Group collectives bottleneck on the slowest spanned pair class.
+    EXPECT_DOUBLE_EQ(topo.groupLink({0, 4}).bandwidth, 100 * kGiga);
+    EXPECT_DOUBLE_EQ(topo.groupLink({0, 2}).bandwidth,
+                     cfg.interIslandCollective.bandwidth);
+    EXPECT_DOUBLE_EQ(topo.groupLink({0, 2, 4}).bandwidth, 100 * kGiga);
+    // Intra groups keep their island's class.
+    EXPECT_DOUBLE_EQ(topo.groupLink({2, 3}).bandwidth, 400 * kGiga);
+}
+
+TEST(TopologyValidation, RejectsMalformedIslandSpecs)
+{
+    const auto dies = [](ClusterConfig cfg, const char *pattern) {
+        EXPECT_EXIT({ ClusterTopology topo(std::move(cfg)); },
+                    ::testing::ExitedWithCode(1), pattern);
+    };
+
+    // Zero-size island.
+    {
+        ClusterConfig cfg;
+        cfg.islands.resize(2);
+        cfg.islands[0].devices = {0, 1};
+        dies(cfg, "no devices");
+    }
+    // Duplicate device id within an island.
+    {
+        ClusterConfig cfg;
+        cfg.islands.resize(1);
+        cfg.islands[0].devices = {0, 1, 1};
+        dies(cfg, "twice");
+    }
+    // Duplicate device id across islands.
+    {
+        ClusterConfig cfg;
+        cfg.islands.resize(2);
+        cfg.islands[0].devices = {0, 1};
+        cfg.islands[1].devices = {1, 2};
+        dies(cfg, "belongs to islands");
+    }
+    // Non-dense ids (id 3 with only 3 devices).
+    {
+        ClusterConfig cfg;
+        cfg.islands.resize(1);
+        cfg.islands[0].devices = {0, 1, 3};
+        dies(cfg, "dense");
+    }
+    // Empty homogeneous shorthand.
+    {
+        ClusterConfig cfg;
+        cfg.gpusPerNode = 0;
+        dies(cfg, "empty cluster");
+    }
+}
+
+TEST(TopologyValidation, RejectsZeroBandwidths)
+{
+    const auto dies = [](ClusterConfig cfg, const char *pattern) {
+        EXPECT_EXIT({ ClusterTopology topo(std::move(cfg)); },
+                    ::testing::ExitedWithCode(1), pattern);
+    };
+
+    {
+        ClusterConfig cfg;
+        cfg.intraIsland.bandwidth = 0;
+        dies(cfg, "intraIsland bandwidth");
+    }
+    {
+        ClusterConfig cfg;
+        cfg.interIsland.bandwidth = -1;
+        dies(cfg, "interIsland bandwidth");
+    }
+    {
+        ClusterConfig cfg;
+        cfg.interIslandCollective.bandwidth = 0;
+        dies(cfg, "interIslandCollective bandwidth");
+    }
+    {
+        ClusterConfig cfg;
+        cfg.device.copyBandwidth = 0;
+        dies(cfg, "copyBandwidth");
+    }
+    // Negative override values are rejected outright.
+    {
+        ClusterConfig cfg;
+        cfg.islands.resize(1);
+        cfg.islands[0].devices = {0, 1};
+        cfg.islands[0].intra = {-1, 0};
+        dies(cfg, "island intra bandwidth");
+    }
+    {
+        ClusterConfig cfg;
+        cfg.islands.resize(1);
+        cfg.islands[0].devices = {0, 1};
+        cfg.islands[0].intra = {200 * kGiga, -1 * kMicro};
+        dies(cfg, "island intra latency");
+    }
+}
+
+TEST(TopologyValidation, LatencyOnlyOverrideInheritsBandwidth)
+{
+    // Bandwidth 0 with a latency inherits the default class's
+    // bandwidth and overrides only the latency.
+    ClusterConfig cfg;
+    cfg.islands.resize(1);
+    cfg.islands[0].devices = {0, 1};
+    cfg.islands[0].intra = {0, 5 * kMicro};
+    ClusterTopology topo(cfg);
+    EXPECT_FALSE(topo.uniformLinks());
+    EXPECT_DOUBLE_EQ(topo.intraLink(0).bandwidth,
+                     cfg.intraIsland.bandwidth);
+    EXPECT_DOUBLE_EQ(topo.intraLink(0).latency, 5 * kMicro);
+}
+
+TEST(TopologyValidation, RejectsMalformedIslandLinks)
+{
+    const auto dies = [](ClusterConfig cfg, const char *pattern) {
+        EXPECT_EXIT({ ClusterTopology topo(std::move(cfg)); },
+                    ::testing::ExitedWithCode(1), pattern);
+    };
+
+    ClusterConfig base;
+    base.numNodes = 2;
+
+    {
+        ClusterConfig cfg = base;
+        cfg.islandLinks.push_back({0, 5, {}, {}});
+        dies(cfg, "only");
+    }
+    {
+        ClusterConfig cfg = base;
+        cfg.islandLinks.push_back({1, 1, {}, {}});
+        dies(cfg, "not a pair");
+    }
+    {
+        ClusterConfig cfg = base;
+        cfg.islandLinks.push_back({0, 1, {}, {}});
+        cfg.islandLinks.push_back({1, 0, {}, {}});
+        dies(cfg, "duplicate");
+    }
+}
+
 TEST(Topology, LinkClasses)
 {
     ClusterTopology topo = smallCluster(2);

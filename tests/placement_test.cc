@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 #include "planner/planner.h"
 #include "test_util.h"
 
@@ -188,6 +190,168 @@ TEST(Placement, MemoryFirstFallbackFlagAndValidity)
             for (DeviceId d : e.devices)
                 EXPECT_LT(d, 16u);
         }
+    }
+}
+
+TEST(Placement, PartialFallbackRestartMatchesFullOnSeedLadder)
+{
+    // On the seed fallback scenario the first infeasible wave is
+    // wave 0, so the partial restart degenerates to the historical
+    // full restart; the two must produce byte-identical placements.
+    ComputationGraph g = buildMultitaskClip({.numTasks = 4});
+    MetaGraph meta = contractGraph(g);
+
+    ClusterConfig cfg;
+    cfg.numNodes = 2;
+    cfg.gpusPerNode = 8;
+    ClusterTopology roomy(cfg);
+    HardwareModel hw_roomy(roomy);
+    PlannerOutput baseline =
+        planWith(meta, hw_roomy, PlacementStrategy::Spindle);
+    double peak = 0;
+    for (double b : baseline.placement.peakBytes)
+        peak = std::max(peak, b);
+
+    bool exercised = false;
+    for (double frac : {0.999, 0.95, 0.9, 0.85, 0.8, 0.75}) {
+        cfg.device.memoryBytes =
+            peak * frac / PlacementOptions{}.memorySlack;
+        ClusterTopology tight(cfg);
+        HardwareModel hw(tight);
+
+        PlannerOptions partial_opt, full_opt;
+        partial_opt.placement.partialFallbackRestart = true;
+        full_opt.placement.partialFallbackRestart = false;
+        MetaGraph fresh_a = contractGraph(g);
+        MetaGraph fresh_b = contractGraph(g);
+        PlannerOutput a = ExecutionPlanner(hw, partial_opt).plan(fresh_a);
+        PlannerOutput b = ExecutionPlanner(hw, full_opt).plan(fresh_b);
+
+        EXPECT_EQ(a.placement.usedMemoryFallback,
+                  b.placement.usedMemoryFallback);
+        ASSERT_EQ(a.plan.waves.size(), b.plan.waves.size());
+        for (std::size_t i = 0; i < a.plan.waves.size(); ++i) {
+            ASSERT_EQ(a.plan.waves[i].entries.size(),
+                      b.plan.waves[i].entries.size());
+            for (std::size_t j = 0; j < a.plan.waves[i].entries.size();
+                 ++j)
+                EXPECT_EQ(a.plan.waves[i].entries[j].devices,
+                          b.plan.waves[i].entries[j].devices);
+        }
+        ASSERT_EQ(a.placement.peakBytes.size(),
+                  b.placement.peakBytes.size());
+        for (std::size_t d = 0; d < a.placement.peakBytes.size(); ++d)
+            EXPECT_DOUBLE_EQ(a.placement.peakBytes[d],
+                             b.placement.peakBytes[d]);
+        if (a.placement.usedMemoryFallback) {
+            EXPECT_EQ(a.placement.fallbackRestartWave, 0u);
+            exercised = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(exercised)
+        << "pressure ladder never forced the memory-first pass";
+}
+
+TEST(Placement, PartialFallbackRestartFromLaterWave)
+{
+    // QWen-VAL under mild pressure first becomes infeasible several
+    // waves in: the partial restart must resume there, keep the
+    // comm-optimal prefix (estimated comm no worse than the full
+    // restart's), and still fit the shrunken capacity.
+    ComputationGraph g = buildQwenVal({});
+    MetaGraph meta = contractGraph(g);
+
+    ClusterConfig cfg;
+    cfg.numNodes = 2;
+    cfg.gpusPerNode = 8;
+    ClusterTopology roomy(cfg);
+    HardwareModel hw_roomy(roomy);
+    PlannerOutput baseline =
+        planWith(meta, hw_roomy, PlacementStrategy::Spindle);
+    double peak = 0;
+    for (double b : baseline.placement.peakBytes)
+        peak = std::max(peak, b);
+
+    cfg.device.memoryBytes =
+        peak * 0.999 / PlacementOptions{}.memorySlack;
+    ClusterTopology tight(cfg);
+    HardwareModel hw(tight);
+
+    PlannerOptions partial_opt, full_opt;
+    partial_opt.placement.partialFallbackRestart = true;
+    full_opt.placement.partialFallbackRestart = false;
+    MetaGraph fresh_a = contractGraph(g);
+    MetaGraph fresh_b = contractGraph(g);
+    PlannerOutput a = ExecutionPlanner(hw, partial_opt).plan(fresh_a);
+    PlannerOutput b = ExecutionPlanner(hw, full_opt).plan(fresh_b);
+
+    ASSERT_TRUE(a.placement.usedMemoryFallback);
+    ASSERT_TRUE(b.placement.usedMemoryFallback);
+    EXPECT_GT(a.placement.fallbackRestartWave, 0u);
+    EXPECT_EQ(b.placement.fallbackRestartWave, 0u);
+
+    // Both fit; the partial restart's kept prefix may only improve
+    // the comm estimate.
+    for (double bytes : a.placement.peakBytes)
+        EXPECT_LE(bytes, cfg.device.memoryBytes * (1 + 1e-9));
+    EXPECT_LE(a.placement.estimatedCommSeconds,
+              b.placement.estimatedCommSeconds);
+    MetaGraph fresh_v = contractGraph(g);
+    a.plan.validate(fresh_v);
+}
+
+namespace {
+
+/** Test generator: exactly one candidate — the last n free devices. */
+class SuffixWindowOnly final : public WindowGenerator
+{
+  public:
+    const char *name() const override { return "SuffixWindowOnly"; }
+
+    void
+    generate(const WindowGenContext &ctx,
+             CandidateWindows &out) const override
+    {
+        out.clear();
+        std::vector<std::uint32_t> win(ctx.n);
+        const std::size_t first = ctx.free.size() - ctx.n;
+        for (std::uint32_t i = 0; i < ctx.n; ++i)
+            win[i] = static_cast<std::uint32_t>(first + i);
+        out.extras.push_back(std::move(win));
+    }
+};
+
+} // namespace
+
+TEST(Placement, CustomWindowGeneratorIsConsumed)
+{
+    // A custom generator plugged through PlacementOptions fully
+    // determines the candidate set: offering only the
+    // highest-free-devices window forces every wave to occupy the
+    // top of the id space.
+    ComputationGraph g = testutil::fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(2);
+    HardwareModel hw(topo);
+
+    SuffixWindowOnly suffix_only;
+    PlannerOptions options;
+    options.placement.generator = &suffix_only;
+    PlannerOutput out = ExecutionPlanner(hw, options).plan(meta);
+    out.plan.validate(meta);
+    for (const Wave &w : out.plan.waves) {
+        DeviceSet used;
+        std::uint32_t total = 0;
+        for (const WaveEntry &e : w.entries) {
+            used = unionOf(used, e.devices);
+            total += e.n;
+        }
+        // The union of the wave's windows is the top `total` ids.
+        DeviceSet expect(total);
+        std::iota(expect.begin(), expect.end(),
+                  topo.numDevices() - total);
+        EXPECT_EQ(used, expect);
     }
 }
 

@@ -588,14 +588,12 @@ expectPlacementsIdentical(const PlacementResult &ref,
             << "device " << d;
 }
 
+/** Reference vs optimized on an explicit cluster config. */
 void
-expectEquivalent(const ComputationGraph &graph, std::uint32_t num_nodes,
-                 PlannerOptions options = {},
-                 ClusterConfig cluster = {})
+expectEquivalentOn(const ComputationGraph &graph, ClusterConfig cluster,
+                   PlannerOptions options = {})
 {
-    cluster.numNodes = num_nodes;
-    cluster.gpusPerNode = 8;
-    ClusterTopology topo(cluster);
+    ClusterTopology topo(std::move(cluster));
     HardwareModel hw(topo);
     MetaGraph meta = contractGraph(graph);
 
@@ -605,6 +603,16 @@ expectEquivalent(const ComputationGraph &graph, std::uint32_t num_nodes,
 
     expectPlansIdentical(ref.plan, opt.plan);
     expectPlacementsIdentical(ref.placement, opt.placement);
+}
+
+void
+expectEquivalent(const ComputationGraph &graph, std::uint32_t num_nodes,
+                 PlannerOptions options = {},
+                 ClusterConfig cluster = {})
+{
+    cluster.numNodes = num_nodes;
+    cluster.gpusPerNode = 8;
+    expectEquivalentOn(graph, std::move(cluster), options);
 }
 
 // ===================================================================
@@ -731,6 +739,156 @@ TEST(PlannerEquivalence, NoisyEstimator)
 }
 
 // ===================================================================
+// Island-graph topologies (explicit islands, permuted numbering,
+// heterogeneous sizes, per-pair overrides)
+// ===================================================================
+
+/** Islands striding the id space: device d belongs to island d % k. */
+ClusterConfig
+stripedCluster(std::uint32_t num_islands, std::uint32_t island_size)
+{
+    ClusterConfig cfg;
+    cfg.islands.resize(num_islands);
+    for (std::uint32_t d = 0; d < num_islands * island_size; ++d)
+        cfg.islands[d % num_islands].devices.push_back(d);
+    return cfg;
+}
+
+/** Contiguous islands of the given (possibly mixed) sizes. */
+ClusterConfig
+heteroCluster(const std::vector<std::uint32_t> &sizes)
+{
+    ClusterConfig cfg;
+    std::uint32_t next = 0;
+    for (std::uint32_t s : sizes) {
+        IslandSpec island;
+        for (std::uint32_t i = 0; i < s; ++i)
+            island.devices.push_back(next++);
+        cfg.islands.push_back(std::move(island));
+    }
+    return cfg;
+}
+
+TEST(PlannerEquivalence, ExplicitIslandsMatchShorthand)
+{
+    // An explicit island graph identical to the 2 x 8 shorthand must
+    // plan byte-identically to it (and to the frozen reference).
+    ClusterConfig shorthand;
+    shorthand.numNodes = 2;
+    shorthand.gpusPerNode = 8;
+    ClusterConfig explicit_cfg = heteroCluster({8, 8});
+
+    ComputationGraph g = buildMultitaskClip({.numTasks = 4});
+    MetaGraph meta_a = contractGraph(g);
+    MetaGraph meta_b = contractGraph(g);
+
+    ClusterTopology topo_a(shorthand);
+    ClusterTopology topo_b(explicit_cfg);
+    HardwareModel hw_a(topo_a), hw_b(topo_b);
+    PlannerOutput a = ExecutionPlanner(hw_a).plan(meta_a);
+    PlannerOutput b = ExecutionPlanner(hw_b).plan(meta_b);
+    expectPlansIdentical(a.plan, b.plan);
+    expectPlacementsIdentical(a.placement, b.placement);
+
+    expectEquivalentOn(g, explicit_cfg);
+}
+
+TEST(PlannerEquivalence, PermutedDeviceNumbering)
+{
+    // Interleaved island membership: contiguous free-list runs
+    // straddle islands constantly, exercising the island-change
+    // prefix and the per-position link classes of the banded sweep
+    // against the reference's brute-force rescan.
+    expectEquivalentOn(buildMultitaskClip({.numTasks = 4}),
+                       stripedCluster(2, 8));
+    expectEquivalentOn(buildMultitaskClip({.numTasks = 10}),
+                       stripedCluster(4, 8));
+    expectEquivalentOn(buildOfasys({.numTasks = 7}),
+                       stripedCluster(4, 8));
+}
+
+TEST(PlannerEquivalence, HeterogeneousIslandSizes)
+{
+    expectEquivalentOn(buildMultitaskClip({.numTasks = 4}),
+                       heteroCluster({6, 10}));
+    expectEquivalentOn(buildMultitaskClip({.numTasks = 10}),
+                       heteroCluster({12, 4, 12, 4}));
+    expectEquivalentOn(buildQwenVal({}), heteroCluster({6, 10}));
+}
+
+TEST(PlannerEquivalence, PerPairLinkOverrides)
+{
+    // Non-uniform fabric: three classes cannot describe it, so the
+    // placer must take its exact flowTime path and still match the
+    // reference bit for bit.
+    ClusterConfig cfg = heteroCluster({8, 8, 8, 8});
+    cfg.islands[1].intra = {400 * kGiga, 1 * kMicro};
+    cfg.islandLinks.push_back(
+        {0, 3, {25 * kGiga, 20 * kMicro}, {200 * kGiga, 20 * kMicro}});
+    cfg.islandLinks.push_back({1, 2, {100 * kGiga, 5 * kMicro}, {}});
+    expectEquivalentOn(buildMultitaskClip({.numTasks = 10}), cfg);
+    expectEquivalentOn(buildOfasys({.numTasks = 7}), cfg);
+}
+
+// ===================================================================
+// IslandAware window generation
+// ===================================================================
+
+TEST(PlannerEquivalence, IslandAwareLowersInterIslandComm)
+{
+    // On mixed-size islands the contiguous-runs windows fragment
+    // across island boundaries; island-aware generation must
+    // strictly lower the estimated inter-island comm seconds (and
+    // here also the total estimate) on seed workloads.
+    for (const ComputationGraph &g :
+         {buildOfasys({.numTasks = 4}), buildQwenVal({})}) {
+        ClusterTopology topo(heteroCluster({6, 10}));
+        HardwareModel hw(topo);
+        MetaGraph meta_runs = contractGraph(g);
+        MetaGraph meta_isl = contractGraph(g);
+
+        PlannerOptions runs_opt;
+        runs_opt.placement.windows = WindowPolicy::ContiguousRuns;
+        PlannerOptions isl_opt;
+        isl_opt.placement.windows = WindowPolicy::IslandAware;
+
+        PlannerOutput runs =
+            ExecutionPlanner(hw, runs_opt).plan(meta_runs);
+        PlannerOutput isl =
+            ExecutionPlanner(hw, isl_opt).plan(meta_isl);
+
+        EXPECT_LT(isl.placement.interIslandCommSeconds,
+                  runs.placement.interIslandCommSeconds);
+        EXPECT_LE(isl.placement.estimatedCommSeconds,
+                  runs.placement.estimatedCommSeconds);
+    }
+}
+
+TEST(PlannerEquivalence, IslandAwareFirstWaveStaysIntraIsland)
+{
+    // With every island able to host every first-wave entry, the
+    // island-aware generator emits no cross-island candidates, so
+    // wave-0 windows never straddle — independent of numbering.
+    for (ClusterConfig cfg :
+         {stripedCluster(2, 8), heteroCluster({8, 8})}) {
+        ClusterTopology topo(cfg);
+        HardwareModel hw(topo);
+        ComputationGraph g = buildMultitaskClip({.numTasks = 4});
+        MetaGraph meta = contractGraph(g);
+        PlannerOptions options;
+        options.placement.windows = WindowPolicy::IslandAware;
+        PlannerOutput out = ExecutionPlanner(hw, options).plan(meta);
+        ASSERT_FALSE(out.plan.waves.empty());
+        for (const WaveEntry &e : out.plan.waves.front().entries) {
+            if (e.n <= topo.minIslandSize()) {
+                EXPECT_TRUE(topo.withinOneIsland(e.devices))
+                    << deviceSetStr(e.devices);
+            }
+        }
+    }
+}
+
+// ===================================================================
 // Memory-first fallback pass
 // ===================================================================
 
@@ -764,6 +922,10 @@ TEST(PlannerEquivalence, MemoryFirstFallbackPass)
         MetaGraph fresh = contractGraph(g);
 
         PlannerOptions options;
+        // The frozen reference restarts the fallback from wave 0;
+        // pin that semantic here (the partial-restart behaviour has
+        // its own equivalence coverage in placement_test).
+        options.placement.partialFallbackRestart = false;
         PlannerOutput ref = reference::plan(hw, options, fresh);
         ExecutionPlanner planner(hw, options);
         PlannerOutput opt = planner.plan(fresh);
