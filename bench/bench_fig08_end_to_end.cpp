@@ -62,5 +62,61 @@ main()
     }
 
     table.printAligned(std::cout);
+
+    // Exposed-sync delta of the collective-algorithm selector on the
+    // paper's homogeneous clusters (Spindle plan, strict barrier):
+    // Auto may only match or beat the flat ring. Records merge into
+    // BENCH_collectives.json next to bench_collectives' topologies.
+    std::cout << "\n=== Exposed sync: FlatRing vs Auto collectives "
+                 "===\n";
+    Table sync_table({"workload", "cluster", "flat_sync_ms",
+                      "auto_sync_ms", "delta_ms"});
+    BenchJsonWriter json;
+    if (!json.loadFile("BENCH_collectives.json"))
+        std::cerr << "warning: malformed lines in existing "
+                     "BENCH_collectives.json were dropped\n";
+    struct Headline
+    {
+        std::string name;
+        ComputationGraph graph;
+        std::uint32_t nodes;
+    };
+    const std::vector<Headline> headline = []() {
+        std::vector<Headline> v;
+        v.push_back({"Multitask-CLIP/10T",
+                     buildMultitaskClip({.numTasks = 10}), 4});
+        v.push_back({"OFASys/7T", buildOfasys({.numTasks = 7}), 4});
+        v.push_back({"QWen-VAL-9B/3T", buildQwenVal({}), 8});
+        return v;
+    }();
+    for (const auto &[name, graph, nodes] : headline) {
+        ClusterTopology topo = makeCluster(nodes);
+        HardwareModel hw(topo);
+        MetaGraph meta = contractGraph(graph);
+        SpindleSystem sys(hw);
+
+        EngineOptions options;
+        options.collective = CollectiveKind::FlatRing;
+        sys.setEngineOptions(options);
+        const double flat_sync =
+            sys.runIteration(meta).breakdown.sync;
+        options.collective = CollectiveKind::Auto;
+        sys.setEngineOptions(options);
+        const double auto_sync =
+            sys.runIteration(meta).breakdown.sync;
+
+        sync_table.addRow({name, clusterLabel(nodes),
+                           Table::fmt(toMs(flat_sync), 3),
+                           Table::fmt(toMs(auto_sync), 3),
+                           Table::fmt(toMs(flat_sync - auto_sync), 3)});
+        json.record(strCat("fig08/", name, "/", clusterLabel(nodes)),
+                    {{"gpus", double(nodes * 8)},
+                     {"flat_sync_s", flat_sync},
+                     {"auto_sync_s", auto_sync},
+                     {"sync_delta_s", flat_sync - auto_sync}});
+    }
+    sync_table.printAligned(std::cout);
+    if (!json.writeFile("BENCH_collectives.json"))
+        std::cerr << "failed to write BENCH_collectives.json\n";
     return 0;
 }

@@ -10,7 +10,7 @@
  * 256-GPU points in the low milliseconds. Results are also written
  * as BENCH_planner.json (path overridable via SPINDLE_BENCH_JSON)
  * for trajectory tracking and the CI perf smoke job — see
- * scripts/check_planner_regression.py.
+ * scripts/check_bench_regression.py (planner mode).
  */
 
 #include <benchmark/benchmark.h>

@@ -8,6 +8,7 @@
 #ifndef SPINDLE_BENCH_BENCH_UTIL_H
 #define SPINDLE_BENCH_BENCH_UTIL_H
 
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -76,6 +77,73 @@ class BenchJsonWriter
         return static_cast<bool>(out);
     }
 
+    /**
+     * Merge the records of a file previously written by writeFile()
+     * into this writer (same-name records are overwritten by later
+     * record() calls). Lets several bench binaries contribute to one
+     * artifact — e.g. bench_collectives and bench_fig08_end_to_end
+     * both emitting exposed-sync deltas into BENCH_collectives.json.
+     * Only parses the writer's own flat record shape; returns false
+     * (leaving this writer untouched by the bad line) on anything
+     * else. A missing file is not an error.
+     */
+    bool
+    loadFile(const std::string &path)
+    {
+        std::ifstream in(path);
+        if (!in)
+            return true; // nothing to merge
+        bool ok = true;
+        std::string line;
+        while (std::getline(in, line)) {
+            const std::size_t name_key = line.find("{\"name\": \"");
+            if (name_key == std::string::npos)
+                continue; // array brackets / blank lines
+            std::size_t pos = name_key + 10;
+            const std::size_t name_end = line.find('"', pos);
+            if (name_end == std::string::npos) {
+                ok = false;
+                continue;
+            }
+            const std::string name = line.substr(pos, name_end - pos);
+            std::vector<std::pair<std::string, double>> fields;
+            bool line_ok = true;
+            pos = name_end + 1;
+            while (true) {
+                const std::size_t key_begin = line.find('"', pos);
+                if (key_begin == std::string::npos)
+                    break;
+                const std::size_t key_end =
+                    line.find('"', key_begin + 1);
+                const std::size_t colon =
+                    key_end == std::string::npos
+                        ? std::string::npos
+                        : line.find(':', key_end);
+                if (colon == std::string::npos) {
+                    line_ok = false;
+                    break;
+                }
+                const char *start = line.c_str() + colon + 1;
+                char *end = nullptr;
+                const double value = std::strtod(start, &end);
+                if (end == start) {
+                    line_ok = false;
+                    break;
+                }
+                fields.emplace_back(
+                    line.substr(key_begin + 1,
+                                key_end - key_begin - 1),
+                    value);
+                pos = static_cast<std::size_t>(end - line.c_str());
+            }
+            if (line_ok)
+                record(name, std::move(fields));
+            else
+                ok = false; // reject the whole line, merge nothing
+        }
+        return ok;
+    }
+
   private:
     std::vector<std::pair<
         std::string, std::vector<std::pair<std::string, double>>>>
@@ -93,13 +161,15 @@ makeCluster(std::uint32_t num_nodes)
 }
 
 /**
- * Heterogeneous variant with the same GPU count: node pairs fused
- * into 12-GPU + 4-GPU islands (a big NVLink domain next to a small
- * one), odd trailing node kept at 8. Exercises mixed island sizes in
- * the planner sweeps.
+ * Heterogeneous island layout with the same GPU count as num_nodes
+ * standard nodes: node pairs fused into 12-GPU + 4-GPU islands (a
+ * big NVLink domain next to a small one), odd trailing node kept at
+ * 8. The config is exposed so benches can override link classes
+ * (bench_collectives' rail-constrained fabric) while benchmarking
+ * the exact island shape the planner sweeps use.
  */
-inline ClusterTopology
-makeHeteroCluster(std::uint32_t num_nodes)
+inline ClusterConfig
+heteroClusterConfig(std::uint32_t num_nodes)
 {
     ClusterConfig cfg;
     std::uint32_t next = 0;
@@ -115,7 +185,14 @@ makeHeteroCluster(std::uint32_t num_nodes)
     }
     if (num_nodes % 2 != 0)
         add_island(8);
-    return ClusterTopology(cfg);
+    return cfg;
+}
+
+/** Mixed 12/4-island cluster with default link classes. */
+inline ClusterTopology
+makeHeteroCluster(std::uint32_t num_nodes)
+{
+    return ClusterTopology(heteroClusterConfig(num_nodes));
 }
 
 /** Label like "1Node(8GPUs)". */

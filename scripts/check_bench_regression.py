@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""CI perf smoke: fail when a benchmark artifact regresses.
+
+Two modes, selected by the first argument:
+
+planner — compare a fresh BENCH_planner.json (written by
+bench_planner_scaling) against the checked-in budget file
+bench/baseline_planner.json:
+
+  * every 64-GPU record must stay within REGRESSION_FACTOR x its
+    budgeted plan_seconds (the paper's headline scale point);
+  * every 256-GPU record must additionally stay within the factor on
+    each budgeted *per-phase* wall-clock (estimation / allocation /
+    scheduling / placement seconds), so a regression confined to one
+    phase cannot hide inside a healthy total at the largest scale.
+
+collectives — compare a fresh BENCH_collectives.json (written by
+bench_collectives) against bench/baseline_collectives.json. The
+simulator is deterministic, so these are value gates, not wall-clock
+gates:
+
+  * every baseline record must be present;
+  * Auto's exposed sync may never exceed FlatRing's (the per-call
+    selector must stay a lower envelope);
+  * Auto's exposed sync must stay within the factor of its budget;
+  * where the budget records a positive flat-vs-Auto delta (the
+    hierarchical win on mixed-size island fabrics), the current
+    delta must not shrink below budget / factor — the runtime reward
+    of island-aware placement cannot silently vanish.
+
+Wall-clock budgets are deliberately generous (several times a warm
+local run) so shared CI runners do not flap. Other scale points are
+reported informationally.
+
+Usage: check_bench_regression.py {planner|collectives} CURRENT_JSON
+       BASELINE_JSON [FACTOR]
+"""
+
+import json
+import sys
+
+REGRESSION_FACTOR = 2.0
+
+PHASE_FIELDS = (
+    "estimation_seconds",
+    "allocation_seconds",
+    "scheduling_seconds",
+    "placement_seconds",
+)
+
+
+def load_records(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {rec["name"]: rec for rec in data}
+
+
+def check_planner(current, baseline, factor):
+    failures = []
+    for name, base in sorted(baseline.items()):
+        gate = base.get("gpus") == 64
+        phase_gate = base.get("gpus") == 256 and any(
+            f in base for f in PHASE_FIELDS
+        )
+        cur = current.get(name)
+        if cur is None:
+            # Only gate points are mandatory; other scale points are
+            # informational (a trimmed sweep should not fail CI).
+            if gate or phase_gate:
+                failures.append(f"{name}: missing from current run")
+            else:
+                print(f"warn  {name:<24} missing from current run")
+            continue
+        budget = base["plan_seconds"]
+        actual = cur["plan_seconds"]
+        ratio = actual / budget if budget > 0 else float("inf")
+        status = "OK" if ratio <= factor else ("FAIL" if gate else "warn")
+        print(
+            f"{status:>4}  {name:<24} plan={actual * 1e3:8.3f} ms"
+            f"  budget={budget * 1e3:8.3f} ms  ratio={ratio:5.2f}x"
+            + ("  [gate]" if gate else "")
+        )
+        if gate and ratio > factor:
+            failures.append(
+                f"{name}: {actual:.6f}s > {factor:.1f}x budget "
+                f"{budget:.6f}s"
+            )
+
+        if not phase_gate:
+            continue
+        for field in PHASE_FIELDS:
+            if field not in base:
+                continue
+            phase_budget = base[field]
+            phase_actual = cur.get(field)
+            if phase_actual is None:
+                failures.append(f"{name}: {field} missing")
+                continue
+            phase_ratio = (
+                phase_actual / phase_budget
+                if phase_budget > 0
+                else float("inf")
+            )
+            phase_status = "OK" if phase_ratio <= factor else "FAIL"
+            phase = field.removesuffix("_seconds")
+            print(
+                f"{phase_status:>4}  {name:<24} {phase:>10}="
+                f"{phase_actual * 1e3:8.3f} ms"
+                f"  budget={phase_budget * 1e3:8.3f} ms"
+                f"  ratio={phase_ratio:5.2f}x  [gate-256]"
+            )
+            if phase_ratio > factor:
+                failures.append(
+                    f"{name} {phase}: {phase_actual:.6f}s > "
+                    f"{factor:.1f}x budget {phase_budget:.6f}s"
+                )
+    return failures
+
+
+def check_collectives(current, baseline, factor):
+    failures = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        flat = cur.get("flat_sync_s")
+        auto = cur.get("auto_sync_s")
+        delta = cur.get("sync_delta_s")
+        if flat is None or auto is None or delta is None:
+            failures.append(f"{name}: sync fields missing")
+            continue
+
+        problems = []
+        # The Auto selector is a lower envelope of the algorithms.
+        if auto > flat + 1e-12:
+            problems.append(
+                f"Auto sync {auto:.6f}s exceeds FlatRing {flat:.6f}s"
+            )
+        # Exposed sync must not regress against the budget.
+        budget_auto = base["auto_sync_s"]
+        if budget_auto > 0 and auto > factor * budget_auto:
+            problems.append(
+                f"Auto sync {auto:.6f}s > {factor:.1f}x budget "
+                f"{budget_auto:.6f}s"
+            )
+        # The hierarchical win must not silently vanish.
+        budget_delta = base.get("sync_delta_s", 0.0)
+        if budget_delta > 0 and delta < budget_delta / factor:
+            problems.append(
+                f"sync delta {delta:.6f}s < budget "
+                f"{budget_delta:.6f}s / {factor:.1f}"
+            )
+
+        status = "FAIL" if problems else "OK"
+        print(
+            f"{status:>4}  {name:<44} auto={auto * 1e3:8.3f} ms"
+            f"  flat={flat * 1e3:8.3f} ms"
+            f"  delta={delta * 1e3:8.3f} ms"
+        )
+        for p in problems:
+            failures.append(f"{name}: {p}")
+    return failures
+
+
+def main(argv):
+    if len(argv) not in (4, 5) or argv[1] not in (
+        "planner",
+        "collectives",
+    ):
+        print(__doc__)
+        return 2
+    mode = argv[1]
+    current = load_records(argv[2])
+    baseline = load_records(argv[3])
+    factor = float(argv[4]) if len(argv) == 5 else REGRESSION_FACTOR
+
+    if mode == "planner":
+        failures = check_planner(current, baseline, factor)
+    else:
+        failures = check_collectives(current, baseline, factor)
+
+    # Current-only records carry no budget and are therefore ungated;
+    # say so rather than silently skipping them.
+    for name in sorted(set(current) - set(baseline)):
+        print(f"warn  {name:<44} not in baseline (ungated)")
+
+    if failures:
+        print(f"\n{mode} bench regression detected:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\n{mode} bench within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -69,8 +69,9 @@ class System
      */
     SystemResult runIteration(const MetaGraph &graph) const;
 
-    /** Engine tunables (e.g. the dispatch policy) used by every
-     *  subsequent runIteration(). */
+    /** Engine tunables — e.g. the dispatch policy or the collective
+     *  algorithm selector (EngineOptions::collective) — used by
+     *  every subsequent runIteration(). */
     void setEngineOptions(const EngineOptions &options)
     {
         engine_options_ = options;

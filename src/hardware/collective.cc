@@ -6,10 +6,65 @@
 
 namespace spindle {
 
-CollectiveModel::CollectiveModel(const ClusterTopology &topo)
-    : topo_(topo)
+const char *
+collectiveKindName(CollectiveKind kind)
 {
+    switch (kind) {
+    case CollectiveKind::FlatRing:
+        return "FlatRing";
+    case CollectiveKind::Hierarchical:
+        return "Hierarchical";
+    case CollectiveKind::Auto:
+        return "Auto";
+    }
+    panic("collectiveKindName: bad kind");
 }
+
+GroupDecomposition
+decomposeByIsland(const ClusterTopology &topo, const DeviceSet &group)
+{
+    GroupDecomposition out;
+    // Bucket members by island. Groups are canonical (ascending), so
+    // each bucket's devices come out ascending and the first member
+    // appended to a bucket is its lowest id — the elected leader.
+    for (DeviceId d : group) {
+        const std::uint32_t island = topo.islandOf(d);
+        auto it = std::find_if(out.islands.begin(), out.islands.end(),
+                               [island](const IslandGroup &g) {
+                                   return g.island == island;
+                               });
+        if (it == out.islands.end()) {
+            out.islands.push_back({island, {d}, d});
+        } else {
+            it->devices.push_back(d);
+        }
+    }
+    std::sort(out.islands.begin(), out.islands.end(),
+              [](const IslandGroup &a, const IslandGroup &b) {
+                  return a.island < b.island;
+              });
+    out.leaders.reserve(out.islands.size());
+    for (const IslandGroup &g : out.islands)
+        out.leaders.push_back(g.leader);
+    canonicalize(out.leaders);
+    return out;
+}
+
+double
+CollectiveSchedule::seconds() const
+{
+    double total = 0;
+    for (const auto &stage : stages) {
+        double slowest = 0;
+        for (const CollectiveStep &step : stage)
+            slowest = std::max(slowest, step.seconds);
+        total += slowest;
+    }
+    return total;
+}
+
+// ---------------------------------------------------------------------
+// Stateless ring formulas.
 
 double
 CollectiveModel::ringAllReduce(double bytes, std::uint32_t group_size,
@@ -34,6 +89,226 @@ CollectiveModel::ringAllGather(double bytes, std::uint32_t group_size,
 }
 
 double
+CollectiveModel::ringReduceScatter(double bytes, std::uint32_t group_size,
+                                   const LinkParams &link)
+{
+    // Same (g-1)-step alpha-beta shape as the all-gather: each rank
+    // forwards its running partial once around the ring and ends up
+    // owning 1/g of the fully reduced vector.
+    return ringAllGather(bytes, group_size, link);
+}
+
+namespace {
+
+/** The historical single-ring model over groupLink's bottleneck. */
+class FlatRingAlgorithm final : public CollectiveAlgorithm
+{
+  public:
+    using CollectiveAlgorithm::CollectiveAlgorithm;
+
+    CollectiveKind kind() const override
+    {
+        return CollectiveKind::FlatRing;
+    }
+
+    double
+    allReduce(double bytes, const DeviceSet &group,
+              const GroupDecomposition &) const override
+    {
+        if (group.size() <= 1)
+            return 0.0;
+        return CollectiveModel::ringAllReduce(
+            bytes, static_cast<std::uint32_t>(group.size()),
+            topo_.groupLink(group));
+    }
+
+    double
+    allGather(double bytes, const DeviceSet &group,
+              const GroupDecomposition &) const override
+    {
+        if (group.size() <= 1)
+            return 0.0;
+        return CollectiveModel::ringAllGather(
+            bytes, static_cast<std::uint32_t>(group.size()),
+            topo_.groupLink(group));
+    }
+
+    CollectiveSchedule
+    allReduceSchedule(double bytes, const DeviceSet &group,
+                      const GroupDecomposition &decomp,
+                      const std::string &label) const override
+    {
+        CollectiveSchedule sched;
+        sched.stages.push_back(
+            {{group, allReduce(bytes, group, decomp), label}});
+        return sched;
+    }
+};
+
+/**
+ * Three-phase island-aware schedule: ring reduce-scatter within each
+ * island (intra class), ring all-reduce across per-island leaders
+ * (bottleneck inter-island collective class), ring all-gather back
+ * within each island. Single-island groups degenerate exactly to
+ * the flat ring (identical formula over the identical link class).
+ */
+class HierarchicalAlgorithm final : public CollectiveAlgorithm
+{
+  public:
+    using CollectiveAlgorithm::CollectiveAlgorithm;
+
+    CollectiveKind kind() const override
+    {
+        return CollectiveKind::Hierarchical;
+    }
+
+    /**
+     * Bottleneck collective class among the island pairs the group
+     * spans — the same bottleneck rule ClusterTopology::groupLink
+     * applies, so per-island-pair overrides are respected.
+     */
+    LinkParams
+    interBottleneck(const GroupDecomposition &decomp) const
+    {
+        if (topo_.uniformLinks())
+            return topo_.config().interIslandCollective;
+        const LinkParams *worst = nullptr;
+        for (std::size_t i = 0; i < decomp.islands.size(); ++i) {
+            for (std::size_t j = i + 1; j < decomp.islands.size(); ++j) {
+                const LinkParams &link = topo_.collectiveLink(
+                    decomp.islands[i].island, decomp.islands[j].island);
+                if (worst == nullptr ||
+                    link.bandwidth < worst->bandwidth)
+                    worst = &link;
+            }
+        }
+        panicIf(worst == nullptr, "interBottleneck: single island");
+        return *worst;
+    }
+
+    double
+    allReduce(double bytes, const DeviceSet &group,
+              const GroupDecomposition &decomp) const override
+    {
+        if (group.size() <= 1)
+            return 0.0;
+        if (!decomp.spansIslands())
+            return CollectiveModel::ringAllReduce(
+                bytes, static_cast<std::uint32_t>(group.size()),
+                topo_.groupLink(group));
+        double rs_max = 0, ag_max = 0;
+        for (const IslandGroup &g : decomp.islands) {
+            const LinkParams &intra = topo_.intraLink(g.island);
+            rs_max = std::max(rs_max, CollectiveModel::ringReduceScatter(
+                                          bytes, g.size(), intra));
+            ag_max = std::max(ag_max, CollectiveModel::ringAllGather(
+                                          bytes, g.size(), intra));
+        }
+        const double inter = CollectiveModel::ringAllReduce(
+            bytes, decomp.numIslands(), interBottleneck(decomp));
+        return rs_max + inter + ag_max;
+    }
+
+    double
+    allGather(double bytes, const DeviceSet &group,
+              const GroupDecomposition &decomp) const override
+    {
+        if (group.size() <= 1)
+            return 0.0;
+        if (!decomp.spansIslands())
+            return CollectiveModel::ringAllGather(
+                bytes, static_cast<std::uint32_t>(group.size()),
+                topo_.groupLink(group));
+        // Leaders all-gather across islands, then every island
+        // broadcasts inward via its intra all-gather.
+        double ag_max = 0;
+        for (const IslandGroup &g : decomp.islands)
+            ag_max = std::max(ag_max,
+                              CollectiveModel::ringAllGather(
+                                  bytes, g.size(),
+                                  topo_.intraLink(g.island)));
+        return CollectiveModel::ringAllGather(
+                   bytes, decomp.numIslands(), interBottleneck(decomp)) +
+               ag_max;
+    }
+
+    CollectiveSchedule
+    allReduceSchedule(double bytes, const DeviceSet &group,
+                      const GroupDecomposition &decomp,
+                      const std::string &label) const override
+    {
+        CollectiveSchedule sched;
+        if (group.size() <= 1)
+            return sched;
+        if (!decomp.spansIslands()) {
+            // Exact flat-ring degeneration, single step included.
+            sched.stages.push_back(
+                {{group, allReduce(bytes, group, decomp), label}});
+            return sched;
+        }
+
+        std::vector<CollectiveStep> rs, ag;
+        for (const IslandGroup &g : decomp.islands) {
+            if (g.size() <= 1)
+                continue; // singleton island slices have no intra phase
+            const LinkParams &intra = topo_.intraLink(g.island);
+            rs.push_back({g.devices,
+                          CollectiveModel::ringReduceScatter(
+                              bytes, g.size(), intra),
+                          label + "_rs"});
+            ag.push_back({g.devices,
+                          CollectiveModel::ringAllGather(bytes, g.size(),
+                                                         intra),
+                          label + "_ag"});
+        }
+        if (!rs.empty())
+            sched.stages.push_back(std::move(rs));
+        sched.stages.push_back({{decomp.leaders,
+                                 CollectiveModel::ringAllReduce(
+                                     bytes, decomp.numIslands(),
+                                     interBottleneck(decomp)),
+                                 label + "_xr"}});
+        if (!ag.empty())
+            sched.stages.push_back(std::move(ag));
+        return sched;
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// CollectiveModel.
+
+CollectiveModel::CollectiveModel(const ClusterTopology &topo)
+    : topo_(topo), flat_(std::make_unique<FlatRingAlgorithm>(topo)),
+      hierarchical_(std::make_unique<HierarchicalAlgorithm>(topo))
+{
+}
+
+CollectiveModel::~CollectiveModel() = default;
+
+const CollectiveAlgorithm &
+CollectiveModel::algorithm(CollectiveKind kind) const
+{
+    switch (kind) {
+    case CollectiveKind::FlatRing:
+        return *flat_;
+    case CollectiveKind::Hierarchical:
+        return *hierarchical_;
+    case CollectiveKind::Auto:
+        break;
+    }
+    panic("CollectiveModel::algorithm: Auto has no fixed algorithm; "
+          "resolve it per call with resolveAuto()");
+}
+
+GroupDecomposition
+CollectiveModel::decompose(const DeviceSet &group) const
+{
+    return decomposeByIsland(topo_, group);
+}
+
+double
 CollectiveModel::allReduceTime(double bytes, const DeviceSet &group) const
 {
     if (group.size() <= 1)
@@ -49,6 +324,92 @@ CollectiveModel::allGatherTime(double bytes, const DeviceSet &group) const
         return 0.0;
     return ringAllGather(bytes, static_cast<std::uint32_t>(group.size()),
                          topo_.groupLink(group));
+}
+
+double
+CollectiveModel::allReduceTime(double bytes, const DeviceSet &group,
+                               CollectiveKind kind,
+                               const GroupDecomposition *decomp) const
+{
+    if (group.size() <= 1)
+        return 0.0;
+    GroupDecomposition local;
+    if (decomp == nullptr) {
+        local = decompose(group);
+        decomp = &local;
+    }
+    if (kind == CollectiveKind::Auto)
+        kind = resolveAuto(bytes, group, kind, decomp);
+    return algorithm(kind).allReduce(bytes, group, *decomp);
+}
+
+double
+CollectiveModel::allGatherTime(double bytes, const DeviceSet &group,
+                               CollectiveKind kind,
+                               const GroupDecomposition *decomp) const
+{
+    if (group.size() <= 1)
+        return 0.0;
+    GroupDecomposition local;
+    if (decomp == nullptr) {
+        local = decompose(group);
+        decomp = &local;
+    }
+    if (kind == CollectiveKind::Auto) {
+        const double flat = flat_->allGather(bytes, group, *decomp);
+        const double hier =
+            hierarchical_->allGather(bytes, group, *decomp);
+        return std::min(flat, hier);
+    }
+    return algorithm(kind).allGather(bytes, group, *decomp);
+}
+
+CollectiveKind
+CollectiveModel::resolveAuto(double bytes, const DeviceSet &group,
+                             CollectiveKind kind,
+                             const GroupDecomposition *decomp) const
+{
+    if (kind != CollectiveKind::Auto)
+        return kind;
+    if (group.size() <= 1)
+        return CollectiveKind::FlatRing;
+    GroupDecomposition local;
+    if (decomp == nullptr) {
+        local = decompose(group);
+        decomp = &local;
+    }
+    const double flat = flat_->allReduce(bytes, group, *decomp);
+    const double hier = hierarchical_->allReduce(bytes, group, *decomp);
+    return hier < flat ? CollectiveKind::Hierarchical
+                       : CollectiveKind::FlatRing;
+}
+
+CollectiveSchedule
+CollectiveModel::allReduceSchedule(double bytes, const DeviceSet &group,
+                                   CollectiveKind kind,
+                                   const std::string &label,
+                                   const GroupDecomposition *decomp) const
+{
+    CollectiveSchedule empty;
+    if (group.size() <= 1)
+        return empty;
+    GroupDecomposition local;
+    if (decomp == nullptr) {
+        local = decompose(group);
+        decomp = &local;
+    }
+    kind = resolveAuto(bytes, group, kind, decomp);
+    return algorithm(kind).allReduceSchedule(bytes, group, *decomp,
+                                             label);
+}
+
+double
+CollectiveModel::tpAllReduceTime(double bytes, std::uint32_t tp) const
+{
+    // TP collectives stay within one island (placement enforces the
+    // preference), so they are charged at the default intra-island
+    // class — where flat and hierarchical rings coincide.
+    return ringAllReduce(bytes, tp, topo_.config().intraIsland);
 }
 
 double

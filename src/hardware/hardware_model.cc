@@ -164,12 +164,14 @@ HardwareModel::passTime(double flops, double act_bytes,
         per_dev / (topo_.device().peakFlops * efficiency(per_dev));
 
     // Megatron-style TP: two all-reduces of the (per-replica share
-    // of the) activation per pass, within one island.
+    // of the) activation per pass, priced by the collective oracle's
+    // within-island charge — where every algorithm (flat ring,
+    // hierarchical) degenerates to the same intra-island ring, so
+    // the estimator/planner and the runtime cannot disagree.
     double comm = 0.0;
     if (cfg.tp > 1) {
         const double shard_bytes = act_bytes / cfg.dp;
-        comm = 2.0 * CollectiveModel::ringAllReduce(
-            shard_bytes, cfg.tp, topo_.config().intraIsland);
+        comm = 2.0 * coll_.tpAllReduceTime(shard_bytes, cfg.tp);
     }
     return params_.kernelLaunch + compute + comm;
 }

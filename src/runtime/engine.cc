@@ -38,7 +38,7 @@ struct PlanExecution
                   const EngineOptions &options,
                   const DispatchPolicy &policy)
         : trans(sim, hw.collectives(), graph, plan),
-          pool(ParameterGroupPool::build(graph, plan)),
+          pool(ParameterGroupPool::build(graph, plan, &hw.topology())),
           dispatcher(sim, hw, graph, plan, options, trans, policy),
           syncer(sim, hw.collectives(), pool, options)
     {

@@ -87,6 +87,16 @@ struct EngineOptions
 
     /** Admission-order policy of the event-driven dispatcher. */
     DispatchPolicyKind dispatch = DispatchPolicyKind::StrictBarrier;
+
+    /**
+     * Collective algorithm for group-wise parameter sync. FlatRing
+     * (default) keeps the legacy single-ring schedule bit for bit;
+     * Hierarchical splits each cross-island group into intra-island
+     * reduce-scatter / leader-ring / intra-island all-gather phases
+     * dispatched as separate simulator reservations; Auto picks the
+     * cheaper algorithm per group.
+     */
+    CollectiveKind collective = CollectiveKind::FlatRing;
 };
 
 /** One task (graph + placed plan) arriving mid-iteration. */

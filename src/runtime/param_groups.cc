@@ -8,7 +8,8 @@ namespace spindle {
 
 ParameterGroupPool
 ParameterGroupPool::build(const MetaGraph &graph,
-                          const ExecutionPlan &plan)
+                          const ExecutionPlan &plan,
+                          const ClusterTopology *topo)
 {
     // Parameter identity: shared keys map to themselves, private
     // operator parameters get a unique negative id.
@@ -79,6 +80,13 @@ ParameterGroupPool::build(const MetaGraph &graph,
         }
         if (!folded)
             fused.push_back(std::move(g));
+    }
+
+    if (topo != nullptr) {
+        for (ParamGroup &g : fused) {
+            g.decomp = decomposeByIsland(*topo, g.devices);
+            g.has_decomp = true;
+        }
     }
 
     ParameterGroupPool out;

@@ -16,6 +16,7 @@
 #include <map>
 #include <vector>
 
+#include "hardware/collective.h"
 #include "planner/execution_plan.h"
 
 namespace spindle {
@@ -28,6 +29,20 @@ struct ParamGroup
 
     /** Number of distinct parameter sets managed by this group. */
     std::uint32_t numParams = 0;
+
+    /**
+     * Island decomposition of `devices`, cached at pool build when a
+     * topology was supplied (the group set is frozen for the whole
+     * training run, so the runtime's per-iteration collective
+     * scheduling must not re-derive it). Null without a topology.
+     */
+    const GroupDecomposition *decomposition() const
+    {
+        return has_decomp ? &decomp : nullptr;
+    }
+
+    GroupDecomposition decomp;
+    bool has_decomp = false;
 };
 
 /**
@@ -39,10 +54,13 @@ class ParameterGroupPool
     /**
      * Scan a placed plan: for every parameter set (shared ParamKey
      * or per-operator private parameters), the group is the union of
-     * the devices of every wave entry hosting it.
+     * the devices of every wave entry hosting it. When @p topo is
+     * given, each fused group's island decomposition is computed
+     * once and cached on the group.
      */
     static ParameterGroupPool build(const MetaGraph &graph,
-                                    const ExecutionPlan &plan);
+                                    const ExecutionPlan &plan,
+                                    const ClusterTopology *topo = nullptr);
 
     const std::vector<ParamGroup> &groups() const { return groups_; }
 

@@ -16,27 +16,64 @@ SyncExecutor::execute(double fwd_end, double bwd_end, bool overlap)
 {
     const double bwd_span = bwd_end - fwd_end;
     double sync_end = bwd_end;
+    // Slowest group's whole (analytic) collective: the base of the
+    // unoverlappable-tail floor under the overlap policy.
+    double whole_max = 0;
     for (const ParamGroup &g : pool_.groups()) {
         if (g.devices.size() < 2)
             continue;
-        const double dur = coll_.allReduceTime(g.bytes, g.devices);
+        const CollectiveSchedule sched = coll_.allReduceSchedule(
+            g.bytes, g.devices, options_.collective, "param_sync",
+            g.decomposition());
+        whole_max = std::max(whole_max, sched.seconds());
         // Strict: every group waits for the global backward barrier.
         // Overlap: the group starts at its own devices' free time —
         // as soon as its own backward predecessors finished.
-        const double earliest = overlap ? 0.0 : bwd_end;
-        const double end = sim_.occupy(g.devices, earliest, dur,
-                                       ExecKind::Sync, 0, -1,
-                                       "param_sync");
-        sync_end = std::max(sync_end, end);
+        // Stages are barriers within the group: a stage starts when
+        // every step of the previous stage ended; steps of one stage
+        // touch disjoint devices (distinct islands) and overlap.
+        double stage_start = overlap ? 0.0 : bwd_end;
+        for (const auto &stage : sched.stages) {
+            double stage_end = stage_start;
+            for (const CollectiveStep &step : stage) {
+                const double end =
+                    sim_.occupy(step.devices, stage_start, step.seconds,
+                                ExecKind::Sync, 0, -1, step.label);
+                stage_end = std::max(stage_end, end);
+            }
+            stage_start = stage_end;
+        }
+        sync_end = std::max(sync_end, stage_start);
     }
 
     // Bucketed all-reduce hides part of the exposed cost under the
     // backward compute (syncOverlapFraction), down to the
     // unoverlappable tail (minSyncFraction).
     const double sync_raw = sync_end - bwd_end;
-    const double sync_eff = std::clamp(
-        sync_raw - options_.syncOverlapFraction * bwd_span,
-        options_.minSyncFraction * sync_raw, sync_raw);
+    double sync_eff;
+    if (!overlap) {
+        // Historical strict-barrier charge, frozen bit for bit: all
+        // groups start at the barrier, so the whole collective makespan
+        // is the exposed tail and the floor is a fraction of it.
+        sync_eff = std::clamp(
+            sync_raw - options_.syncOverlapFraction * bwd_span,
+            options_.minSyncFraction * sync_raw, sync_raw);
+    } else {
+        // The event schedule already hid part of the slowest group's
+        // collective under backward compute (early release). Charge
+        // order: that hidden share consumes the bucketed credit first,
+        // only the remainder may reduce the residual tail, and the
+        // unoverlappable floor is minSyncFraction of the *whole*
+        // slowest all-reduce — not of the residual tail (charging the
+        // bucket against the whole collective once more undercharged
+        // the clamped exposed sync).
+        const double hidden = std::max(0.0, whole_max - sync_raw);
+        const double credit = std::max(
+            0.0, options_.syncOverlapFraction * bwd_span - hidden);
+        sync_eff = std::min(
+            sync_raw, std::max(options_.minSyncFraction * whole_max,
+                               sync_raw - credit));
+    }
 
     SyncStats stats;
     stats.exposedSync = sync_eff;

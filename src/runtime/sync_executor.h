@@ -8,6 +8,26 @@
  * under the overlap policy each group starts as soon as its own
  * devices finish their backward work, so sync hides under the
  * compute of slower groups.
+ *
+ * Each group's all-reduce is scheduled through the collective
+ * algorithm selected in EngineOptions::collective. The flat ring is
+ * one reservation of the whole group (legacy, bit-reproducible);
+ * the hierarchical algorithm dispatches its phases as *separate*
+ * simulator reservations — intra-island reduce-scatter steps of
+ * disjoint islands overlap each other, the cross-island leader ring
+ * is the only reservation spanning islands, and the closing
+ * intra-island all-gathers overlap again — so non-leader devices
+ * are free for other work during the inter-island phase.
+ *
+ * Exposed-cost accounting: the bucketed all-reduce model hides
+ * syncOverlapFraction of the backward span, down to the
+ * unoverlappable minSyncFraction tail. Under the strict barrier the
+ * historical formula is kept bit for bit. Under the overlap policy
+ * the event schedule itself already hid part of the slowest group's
+ * collective (groups start at their own devices' free time), so the
+ * bucketed credit is charged only against what the schedule did NOT
+ * hide, and the unoverlappable floor is a fraction of the slowest
+ * group's whole all-reduce — not of the residual tail.
  */
 
 #ifndef SPINDLE_RUNTIME_SYNC_EXECUTOR_H
@@ -32,8 +52,10 @@ struct SyncStats
 
 /**
  * Executes the group-wise parameter synchronization on the
- * simulator and models bucketed all-reduce overlap with backward
- * compute (EngineOptions::syncOverlapFraction / minSyncFraction).
+ * simulator: schedules each group's collective phases
+ * (EngineOptions::collective) and models bucketed all-reduce overlap
+ * with backward compute (EngineOptions::syncOverlapFraction /
+ * minSyncFraction; see the file comment for the charge order).
  */
 class SyncExecutor
 {

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Closed-form unit tests for the collective-algorithm layer:
+ * FlatRing vs Hierarchical pricing, topology-driven island
+ * decomposition of arbitrary device groups (leader election,
+ * partial and permuted membership), per-island-pair override links,
+ * Auto's per-call selection, and the phase schedules the runtime
+ * executes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace spindle {
+namespace {
+
+using testutil::smallCluster;
+
+/**
+ * Two 4-GPU islands with round link numbers: intra 400 B/s + 0.5 s,
+ * inter-collective 100 B/s + 2 s — hand-computable phase times.
+ */
+ClusterTopology
+twoIslandTopo()
+{
+    ClusterConfig cfg;
+    cfg.islands.resize(2);
+    for (std::uint32_t d = 0; d < 4; ++d)
+        cfg.islands[0].devices.push_back(d);
+    for (std::uint32_t d = 4; d < 8; ++d)
+        cfg.islands[1].devices.push_back(d);
+    cfg.intraIsland = {400.0, 0.5};
+    cfg.interIslandCollective = {100.0, 2.0};
+    return ClusterTopology(cfg);
+}
+
+/** Three islands with permuted, non-contiguous memberships. */
+ClusterTopology
+permutedTopo()
+{
+    ClusterConfig cfg;
+    cfg.islands.resize(3);
+    cfg.islands[0].devices = {0, 3, 5};
+    cfg.islands[1].devices = {1, 4};
+    cfg.islands[2].devices = {2, 6, 7};
+    return ClusterTopology(cfg);
+}
+
+TEST(Collective, TrivialGroupsAreFree)
+{
+    ClusterTopology topo = smallCluster(2);
+    CollectiveModel coll(topo);
+    const DeviceSet lone = {3};
+    const DeviceSet pair = {0, 9};
+    for (CollectiveKind kind :
+         {CollectiveKind::FlatRing, CollectiveKind::Hierarchical,
+          CollectiveKind::Auto}) {
+        EXPECT_EQ(coll.allReduceTime(1e6, lone, kind), 0.0);
+        EXPECT_EQ(coll.allGatherTime(1e6, lone, kind), 0.0);
+        EXPECT_EQ(coll.allReduceTime(0.0, pair, kind), 0.0);
+        EXPECT_TRUE(
+            coll.allReduceSchedule(1e6, lone, kind, "x").stages.empty());
+    }
+}
+
+TEST(Collective, SingleIslandGroupDegeneratesExactlyToFlatRing)
+{
+    ClusterTopology topo = smallCluster(2);
+    CollectiveModel coll(topo);
+    for (const DeviceSet &group :
+         {DeviceSet{0, 1, 2, 3, 4, 5, 6, 7}, DeviceSet{9, 11, 14},
+          DeviceSet{2, 5}}) {
+        const double flat = coll.allReduceTime(4e8, group);
+        // Bitwise equality: identical formula over the identical
+        // link class, not merely a close value.
+        EXPECT_EQ(flat, coll.allReduceTime(4e8, group,
+                                           CollectiveKind::FlatRing));
+        EXPECT_EQ(flat, coll.allReduceTime(4e8, group,
+                                           CollectiveKind::Hierarchical));
+        EXPECT_EQ(flat,
+                  coll.allReduceTime(4e8, group, CollectiveKind::Auto));
+        EXPECT_EQ(coll.resolveAuto(4e8, group, CollectiveKind::Auto),
+                  CollectiveKind::FlatRing);
+
+        // The hierarchical schedule is the flat single step as well.
+        const CollectiveSchedule sched = coll.allReduceSchedule(
+            4e8, group, CollectiveKind::Hierarchical, "param_sync");
+        ASSERT_EQ(sched.stages.size(), 1u);
+        ASSERT_EQ(sched.stages[0].size(), 1u);
+        EXPECT_EQ(sched.stages[0][0].devices, group);
+        EXPECT_EQ(sched.stages[0][0].seconds, flat);
+        EXPECT_EQ(sched.stages[0][0].label, "param_sync");
+    }
+}
+
+TEST(Collective, HierarchicalClosedForm)
+{
+    ClusterTopology topo = twoIslandTopo();
+    CollectiveModel coll(topo);
+    const DeviceSet all = {0, 1, 2, 3, 4, 5, 6, 7};
+    const double bytes = 1200;
+
+    // Intra phases: (4-1)/4 * 1200/400 + 3 * 0.5 = 2.25 + 1.5.
+    const double intra_phase = 3.75;
+    // Leader ring, k = 2: 2 * 1/2 * 1200/100 + 2 * 1 * 2 = 12 + 4.
+    const double inter = 16.0;
+    EXPECT_DOUBLE_EQ(
+        coll.allReduceTime(bytes, all, CollectiveKind::Hierarchical),
+        intra_phase + inter + intra_phase);
+
+    // Flat ring over the spanning bottleneck (the inter-collective
+    // class): 2 * 7/8 * 1200/100 + 14 * 2 = 21 + 28.
+    EXPECT_DOUBLE_EQ(
+        coll.allReduceTime(bytes, all, CollectiveKind::FlatRing), 49.0);
+
+    // All-gather: leaders (1/2 * 1200/100 + 2 = 8), then intra 3.75.
+    EXPECT_DOUBLE_EQ(
+        coll.allGatherTime(bytes, all, CollectiveKind::Hierarchical),
+        8.0 + intra_phase);
+    EXPECT_DOUBLE_EQ(
+        coll.allGatherTime(bytes, all, CollectiveKind::FlatRing), 24.5);
+}
+
+TEST(Collective, DecompositionHandlesPartialAndPermutedMembership)
+{
+    ClusterTopology topo = permutedTopo();
+    const DeviceSet group = {3, 4, 5, 6};
+    const GroupDecomposition d = decomposeByIsland(topo, group);
+
+    ASSERT_EQ(d.islands.size(), 3u);
+    EXPECT_EQ(d.islands[0].island, 0u);
+    EXPECT_EQ(d.islands[0].devices, (DeviceSet{3, 5}));
+    EXPECT_EQ(d.islands[0].leader, 3u);
+    EXPECT_EQ(d.islands[1].island, 1u);
+    EXPECT_EQ(d.islands[1].devices, (DeviceSet{4}));
+    EXPECT_EQ(d.islands[1].leader, 4u);
+    EXPECT_EQ(d.islands[2].island, 2u);
+    EXPECT_EQ(d.islands[2].devices, (DeviceSet{6}));
+    EXPECT_EQ(d.islands[2].leader, 6u);
+    EXPECT_EQ(d.leaders, (DeviceSet{3, 4, 6}));
+    EXPECT_TRUE(d.spansIslands());
+
+    // A cached decomposition prices identically to an on-the-fly one.
+    CollectiveModel coll(topo);
+    for (CollectiveKind kind :
+         {CollectiveKind::FlatRing, CollectiveKind::Hierarchical,
+          CollectiveKind::Auto}) {
+        EXPECT_EQ(coll.allReduceTime(5e7, group, kind),
+                  coll.allReduceTime(5e7, group, kind, &d));
+    }
+}
+
+TEST(Collective, PerIslandPairOverrideLinksRespected)
+{
+    // Three 2-GPU islands; the (0, 2) collective link is half the
+    // default bandwidth.
+    ClusterConfig cfg;
+    cfg.islands.resize(3);
+    cfg.islands[0].devices = {0, 1};
+    cfg.islands[1].devices = {2, 3};
+    cfg.islands[2].devices = {4, 5};
+    cfg.intraIsland = {400.0, 0.0};
+    cfg.interIslandCollective = {100.0, 1.0};
+    cfg.islandLinks.push_back(
+        {0, 2, /*p2p=*/{0, 0}, /*collective=*/{50.0, 1.0}});
+    ClusterTopology topo(cfg);
+    CollectiveModel coll(topo);
+
+    const double bytes = 800;
+    // Group spanning islands 0 and 1: default class. Intra phases:
+    // 1/2 * 800/400 = 1; leader ring: 2 * 1/2 * 800/100 + 2 = 10.
+    const DeviceSet g01 = {0, 1, 2, 3};
+    EXPECT_DOUBLE_EQ(
+        coll.allReduceTime(bytes, g01, CollectiveKind::Hierarchical),
+        1.0 + 10.0 + 1.0);
+
+    // Group spanning islands 0 and 2: the overridden 50 B/s class
+    // bottlenecks the leader ring: 2 * 1/2 * 800/50 + 2 = 18.
+    const DeviceSet g02 = {0, 1, 4, 5};
+    EXPECT_DOUBLE_EQ(
+        coll.allReduceTime(bytes, g02, CollectiveKind::Hierarchical),
+        1.0 + 18.0 + 1.0);
+
+    // A group spanning all three islands bottlenecks on the worst
+    // spanned pair — the override again.
+    const DeviceSet g012 = {0, 1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(
+        coll.allReduceTime(bytes, g012, CollectiveKind::Hierarchical),
+        1.0 + (2.0 * 2.0 / 3.0 * bytes / 50.0 + 2.0 * 2.0 * 1.0) + 1.0);
+}
+
+TEST(Collective, AutoPicksTheCheaperAlgorithmPerCall)
+{
+    // Paper-default fabric: the inter-island collective class is
+    // rail-aggregated (400 GB/s) and *faster* than NVLink's 200
+    // GB/s, so large transfers favour the flat ring while small,
+    // latency-dominated ones favour the hierarchical schedule's
+    // shorter rings.
+    ClusterTopology topo = smallCluster(2);
+    CollectiveModel coll(topo);
+    const DeviceSet all = topo.allDevices();
+
+    const double big = 1 * GiB;
+    const double small = 1e6;
+    for (double bytes : {big, small}) {
+        const double flat =
+            coll.allReduceTime(bytes, all, CollectiveKind::FlatRing);
+        const double hier = coll.allReduceTime(
+            bytes, all, CollectiveKind::Hierarchical);
+        EXPECT_EQ(coll.allReduceTime(bytes, all, CollectiveKind::Auto),
+                  std::min(flat, hier));
+    }
+    EXPECT_EQ(coll.resolveAuto(big, all, CollectiveKind::Auto),
+              CollectiveKind::FlatRing);
+    EXPECT_EQ(coll.resolveAuto(small, all, CollectiveKind::Auto),
+              CollectiveKind::Hierarchical);
+}
+
+TEST(Collective, HierarchicalScheduleShape)
+{
+    ClusterTopology topo = twoIslandTopo();
+    CollectiveModel coll(topo);
+
+    // Partial group: 3 devices in island 0, 1 in island 1. The
+    // singleton island slice has no intra phase.
+    const DeviceSet group = {0, 2, 3, 6};
+    const CollectiveSchedule sched = coll.allReduceSchedule(
+        900, group, CollectiveKind::Hierarchical, "param_sync");
+    ASSERT_EQ(sched.stages.size(), 3u);
+    ASSERT_EQ(sched.stages[0].size(), 1u); // reduce-scatter: island 0
+    EXPECT_EQ(sched.stages[0][0].devices, (DeviceSet{0, 2, 3}));
+    EXPECT_EQ(sched.stages[0][0].label, "param_sync_rs");
+    ASSERT_EQ(sched.stages[1].size(), 1u); // leader ring
+    EXPECT_EQ(sched.stages[1][0].devices, (DeviceSet{0, 6}));
+    EXPECT_EQ(sched.stages[1][0].label, "param_sync_xr");
+    ASSERT_EQ(sched.stages[2].size(), 1u); // all-gather: island 0
+    EXPECT_EQ(sched.stages[2][0].devices, (DeviceSet{0, 2, 3}));
+    EXPECT_EQ(sched.stages[2][0].label, "param_sync_ag");
+
+    // The schedule's analytic total is the algorithm's price.
+    EXPECT_EQ(sched.seconds(),
+              coll.allReduceTime(900, group,
+                                 CollectiveKind::Hierarchical));
+
+    // One device per island: only the leader ring remains, and the
+    // hierarchical price collapses to the flat ring's.
+    const DeviceSet leaders_only = {1, 5};
+    const CollectiveSchedule xr_only = coll.allReduceSchedule(
+        900, leaders_only, CollectiveKind::Hierarchical, "param_sync");
+    ASSERT_EQ(xr_only.stages.size(), 1u);
+    ASSERT_EQ(xr_only.stages[0].size(), 1u);
+    EXPECT_EQ(xr_only.stages[0][0].devices, leaders_only);
+    EXPECT_EQ(coll.allReduceTime(900, leaders_only,
+                                 CollectiveKind::Hierarchical),
+              coll.allReduceTime(900, leaders_only,
+                                 CollectiveKind::FlatRing));
+}
+
+TEST(Collective, TpPricingIsAlgorithmInvariant)
+{
+    // The Megatron-TP charge the estimator/planner consume is the
+    // within-island ring, where every algorithm coincides.
+    ClusterTopology topo = smallCluster(2);
+    CollectiveModel coll(topo);
+    EXPECT_EQ(coll.tpAllReduceTime(3e7, 4),
+              CollectiveModel::ringAllReduce(
+                  3e7, 4, topo.config().intraIsland));
+    const DeviceSet tp_group = {8, 9, 10, 11};
+    for (CollectiveKind kind :
+         {CollectiveKind::Hierarchical, CollectiveKind::Auto}) {
+        EXPECT_EQ(coll.allReduceTime(3e7, tp_group, kind),
+                  coll.allReduceTime(3e7, tp_group,
+                                     CollectiveKind::FlatRing));
+    }
+}
+
+TEST(Collective, ReduceScatterSharesTheAllGatherShape)
+{
+    const LinkParams link{200.0, 0.25};
+    EXPECT_EQ(CollectiveModel::ringReduceScatter(1000, 5, link),
+              CollectiveModel::ringAllGather(1000, 5, link));
+    EXPECT_EQ(CollectiveModel::ringReduceScatter(1000, 1, link), 0.0);
+}
+
+} // namespace
+} // namespace spindle

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
 #include <random>
 #include <set>
 
@@ -176,6 +178,205 @@ TEST_P(RandomWorkload, AllSystemsAgreeOnWorkloadCoverage)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkload,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+// ---------------------------------------------------------------------
+// Collective-algorithm properties over randomized island graphs.
+
+/** A random explicit island graph: 1..5 islands of 1..6 devices,
+ *  device ids globally shuffled (permuted, non-contiguous
+ *  memberships), occasionally with per-pair collective overrides. */
+ClusterConfig
+randomIslandConfig(std::mt19937_64 &rng)
+{
+    auto pick = [&](int lo, int hi) {
+        return std::uniform_int_distribution<int>(lo, hi)(rng);
+    };
+    const int num_islands = pick(1, 5);
+    std::vector<std::uint32_t> sizes;
+    std::uint32_t total = 0;
+    for (int k = 0; k < num_islands; ++k) {
+        sizes.push_back(static_cast<std::uint32_t>(pick(1, 6)));
+        total += sizes.back();
+    }
+    std::vector<DeviceId> ids(total);
+    std::iota(ids.begin(), ids.end(), 0u);
+    std::shuffle(ids.begin(), ids.end(), rng);
+
+    ClusterConfig cfg;
+    cfg.islands.resize(num_islands);
+    std::size_t cursor = 0;
+    for (int k = 0; k < num_islands; ++k)
+        for (std::uint32_t j = 0; j < sizes[k]; ++j)
+            cfg.islands[k].devices.push_back(ids[cursor++]);
+
+    // Sometimes degrade one island pair's collective class.
+    if (num_islands >= 2 && pick(0, 1) == 0) {
+        const std::uint32_t a =
+            static_cast<std::uint32_t>(pick(0, num_islands - 1));
+        std::uint32_t b =
+            static_cast<std::uint32_t>(pick(0, num_islands - 2));
+        if (b >= a)
+            ++b;
+        cfg.islandLinks.push_back(
+            {a, b, /*p2p=*/{0, 0},
+             /*collective=*/{double(pick(10, 100)) * kGiga,
+                             double(pick(1, 40)) * kMicro}});
+    }
+    return cfg;
+}
+
+/** A random non-trivial subset of the cluster's devices. */
+DeviceSet
+randomGroup(std::mt19937_64 &rng, std::uint32_t num_devices)
+{
+    auto pick = [&](int lo, int hi) {
+        return std::uniform_int_distribution<int>(lo, hi)(rng);
+    };
+    DeviceSet all(num_devices);
+    std::iota(all.begin(), all.end(), 0u);
+    std::shuffle(all.begin(), all.end(), rng);
+    const std::uint32_t size = static_cast<std::uint32_t>(
+        pick(2, static_cast<int>(num_devices)));
+    all.resize(size);
+    canonicalize(all);
+    return all;
+}
+
+class RandomIslandGraph : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomIslandGraph, AutoIsNeverSlowerThanFlatRing)
+{
+    std::mt19937_64 rng(GetParam() * 7919 + 17);
+    ClusterTopology topo(randomIslandConfig(rng));
+    if (topo.numDevices() < 2)
+        return;
+    CollectiveModel coll(topo);
+    for (int trial = 0; trial < 8; ++trial) {
+        const DeviceSet group = randomGroup(rng, topo.numDevices());
+        const double bytes =
+            std::uniform_real_distribution<double>(1.0, 4e9)(rng);
+        const double flat =
+            coll.allReduceTime(bytes, group, CollectiveKind::FlatRing);
+        const double hier = coll.allReduceTime(
+            bytes, group, CollectiveKind::Hierarchical);
+        const double aut =
+            coll.allReduceTime(bytes, group, CollectiveKind::Auto);
+        EXPECT_LE(aut, flat);
+        EXPECT_EQ(aut, std::min(flat, hier));
+        // The winner's schedule prices exactly like the oracle.
+        EXPECT_EQ(coll.allReduceSchedule(bytes, group,
+                                         CollectiveKind::Auto, "s")
+                      .seconds(),
+                  aut);
+    }
+}
+
+TEST_P(RandomIslandGraph, AllReduceTimeIsMonotoneInBytes)
+{
+    std::mt19937_64 rng(GetParam() * 104729 + 3);
+    ClusterTopology topo(randomIslandConfig(rng));
+    if (topo.numDevices() < 2)
+        return;
+    CollectiveModel coll(topo);
+    for (int trial = 0; trial < 4; ++trial) {
+        const DeviceSet group = randomGroup(rng, topo.numDevices());
+        double bytes = 1.0;
+        for (CollectiveKind kind :
+             {CollectiveKind::FlatRing, CollectiveKind::Hierarchical,
+              CollectiveKind::Auto}) {
+            double prev = -1.0;
+            for (int step = 0; step < 12; ++step) {
+                const double t =
+                    coll.allReduceTime(bytes, group, kind);
+                EXPECT_GE(t, prev)
+                    << collectiveKindName(kind) << " at " << bytes;
+                prev = t;
+                bytes *= 4.0;
+            }
+            bytes = 1.0;
+        }
+    }
+}
+
+TEST_P(RandomIslandGraph, HierarchicalIsInvariantUnderRenumbering)
+{
+    // Island-structure-preserving renumberings (the renumbering_test
+    // machinery's striping relabel) must not change any collective
+    // price: the time depends on the island graph, not on device
+    // numbering.
+    std::mt19937_64 rng(GetParam() * 15485863 + 11);
+    auto pick = [&](int lo, int hi) {
+        return std::uniform_int_distribution<int>(lo, hi)(rng);
+    };
+    const std::uint32_t islands = static_cast<std::uint32_t>(pick(1, 4));
+    const std::uint32_t size = static_cast<std::uint32_t>(pick(2, 6));
+    testutil::StripeRelabel pi{islands, size};
+    ClusterTopology contiguous(
+        testutil::contiguousIslandConfig(islands, size));
+    ClusterTopology striped(
+        testutil::stripedIslandConfig(islands, size));
+    CollectiveModel coll_a(contiguous);
+    CollectiveModel coll_b(striped);
+
+    for (int trial = 0; trial < 8; ++trial) {
+        const DeviceSet group =
+            randomGroup(rng, contiguous.numDevices());
+        const DeviceSet image = pi.image(group);
+        const double bytes =
+            std::uniform_real_distribution<double>(1.0, 4e9)(rng);
+        for (CollectiveKind kind :
+             {CollectiveKind::FlatRing, CollectiveKind::Hierarchical,
+              CollectiveKind::Auto}) {
+            EXPECT_DOUBLE_EQ(coll_a.allReduceTime(bytes, group, kind),
+                             coll_b.allReduceTime(bytes, image, kind))
+                << collectiveKindName(kind);
+            EXPECT_DOUBLE_EQ(coll_a.allGatherTime(bytes, group, kind),
+                             coll_b.allGatherTime(bytes, image, kind))
+                << collectiveKindName(kind);
+        }
+        // The decompositions are each other's pi-image.
+        const GroupDecomposition da = decomposeByIsland(contiguous,
+                                                        group);
+        const GroupDecomposition db = decomposeByIsland(striped, image);
+        ASSERT_EQ(da.islands.size(), db.islands.size());
+        for (std::size_t k = 0; k < da.islands.size(); ++k) {
+            EXPECT_EQ(pi.image(da.islands[k].devices),
+                      db.islands[k].devices);
+        }
+    }
+}
+
+TEST_P(RandomIslandGraph, DecompositionPartitionsTheGroup)
+{
+    std::mt19937_64 rng(GetParam() * 6700417 + 29);
+    ClusterTopology topo(randomIslandConfig(rng));
+    if (topo.numDevices() < 2)
+        return;
+    for (int trial = 0; trial < 8; ++trial) {
+        const DeviceSet group = randomGroup(rng, topo.numDevices());
+        const GroupDecomposition d = decomposeByIsland(topo, group);
+        DeviceSet reunion;
+        std::uint32_t prev_island = 0;
+        bool first = true;
+        for (const IslandGroup &g : d.islands) {
+            EXPECT_FALSE(g.devices.empty());
+            EXPECT_TRUE(first || g.island > prev_island);
+            prev_island = g.island;
+            first = false;
+            EXPECT_EQ(g.leader, g.devices.front());
+            for (DeviceId dev : g.devices)
+                EXPECT_EQ(topo.islandOf(dev), g.island);
+            reunion = unionOf(reunion, g.devices);
+        }
+        EXPECT_EQ(reunion, group);
+        EXPECT_EQ(d.leaders.size(), d.islands.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomIslandGraph,
                          ::testing::Range<std::uint64_t>(0, 16));
 
 } // namespace

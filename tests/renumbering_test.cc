@@ -18,56 +18,19 @@
 namespace spindle {
 namespace {
 
-/**
- * The striping relabel pi(d) = (d % size) * islands + d / size:
- * contiguous island k (ids [k*size, (k+1)*size)) becomes the striped
- * island k ({k, k + islands, k + 2*islands, ...}). Island order and
- * the relative id order inside each island are both preserved, so
- * pi is an isomorphism of the island graph.
- */
-struct StripeRelabel
-{
-    std::uint32_t islands;
-    std::uint32_t size;
-
-    DeviceId
-    operator()(DeviceId d) const
-    {
-        return (d % size) * islands + d / size;
-    }
-
-    DeviceSet
-    image(const DeviceSet &devices) const
-    {
-        DeviceSet out;
-        out.reserve(devices.size());
-        for (DeviceId d : devices)
-            out.push_back((*this)(d));
-        canonicalize(out);
-        return out;
-    }
-};
+using testutil::StripeRelabel;
 
 /** Contiguous 2 x 8 cluster and its striped relabeling. */
 ClusterConfig
 contiguousConfig()
 {
-    ClusterConfig cfg;
-    cfg.numNodes = 2;
-    cfg.gpusPerNode = 8;
-    return cfg;
+    return testutil::contiguousIslandConfig(2, 8);
 }
 
 ClusterConfig
 stripedConfig()
 {
-    StripeRelabel pi{2, 8};
-    ClusterConfig cfg;
-    cfg.islands.resize(2);
-    for (std::uint32_t k = 0; k < 2; ++k)
-        for (std::uint32_t j = 0; j < 8; ++j)
-            cfg.islands[k].devices.push_back(pi(k * 8 + j));
-    return cfg;
+    return testutil::stripedIslandConfig(2, 8);
 }
 
 PlannerOutput

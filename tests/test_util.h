@@ -60,6 +60,60 @@ fig3Workload(std::int64_t batch = 32)
     return b.build();
 }
 
+/**
+ * The striping relabel pi(d) = (d % size) * islands + d / size:
+ * contiguous island k (ids [k*size, (k+1)*size)) becomes the striped
+ * island k ({k, k + islands, k + 2*islands, ...}). Island order and
+ * the relative id order inside each island are both preserved, so
+ * pi is an isomorphism of the island graph — the renumbering and
+ * collective-invariance tests both build on it.
+ */
+struct StripeRelabel
+{
+    std::uint32_t islands;
+    std::uint32_t size;
+
+    DeviceId
+    operator()(DeviceId d) const
+    {
+        return (d % size) * islands + d / size;
+    }
+
+    DeviceSet
+    image(const DeviceSet &devices) const
+    {
+        DeviceSet out;
+        out.reserve(devices.size());
+        for (DeviceId d : devices)
+            out.push_back((*this)(d));
+        canonicalize(out);
+        return out;
+    }
+};
+
+/** Homogeneous islands x size cluster with contiguous id islands. */
+inline ClusterConfig
+contiguousIslandConfig(std::uint32_t islands = 2, std::uint32_t size = 8)
+{
+    ClusterConfig cfg;
+    cfg.numNodes = islands;
+    cfg.gpusPerNode = size;
+    return cfg;
+}
+
+/** The StripeRelabel image of contiguousIslandConfig(). */
+inline ClusterConfig
+stripedIslandConfig(std::uint32_t islands = 2, std::uint32_t size = 8)
+{
+    StripeRelabel pi{islands, size};
+    ClusterConfig cfg;
+    cfg.islands.resize(islands);
+    for (std::uint32_t k = 0; k < islands; ++k)
+        for (std::uint32_t j = 0; j < size; ++j)
+            cfg.islands[k].devices.push_back(pi(k * size + j));
+    return cfg;
+}
+
 /** One bare operator description for low-level hardware tests. */
 inline OperatorDesc
 plainOp(std::int64_t batch = 32, std::int64_t seq = 128,
