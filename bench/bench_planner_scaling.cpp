@@ -7,15 +7,23 @@
  *
  * The paper claims planning completes "within 3 seconds" at 64 GPUs;
  * the incremental placement scoring and memoized cost model keep the
- * 256-GPU points in the low milliseconds. Results are also written
- * as BENCH_planner.json (path overridable via SPINDLE_BENCH_JSON)
- * for trajectory tracking and the CI perf smoke job — see
- * scripts/check_bench_regression.py (planner mode).
+ * 256-GPU points in the low milliseconds, and the thread-pool
+ * planner core scales the dominant placement sweep across cores. The
+ * sweep therefore carries a `threads` dimension at the largest scale
+ * (serial / 2 / 8 planner threads at 256 GPUs; plans are
+ * byte-identical across thread counts, so only wall-clock moves).
+ * Results are written as BENCH_planner.json (path overridable via
+ * SPINDLE_BENCH_JSON) for trajectory tracking and the CI perf smoke
+ * job — see scripts/check_bench_regression.py (planner mode for the
+ * wall-clock budgets, planner-threads mode for the parallel-vs-serial
+ * speedup floor; each record carries hw_threads so the speedup gate
+ * can skip runners without parallel hardware).
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <thread>
 
 #include "bench_util.h"
 
@@ -46,6 +54,7 @@ void
 planAtScale(benchmark::State &state, const WorkloadCase &wl)
 {
     const auto nodes = static_cast<std::uint32_t>(state.range(0));
+    const auto threads = static_cast<std::uint32_t>(state.range(1));
     ClusterTopology topo =
         wl.hetero ? makeHeteroCluster(nodes) : makeCluster(nodes);
     HardwareModel hw(topo);
@@ -57,6 +66,7 @@ planAtScale(benchmark::State &state, const WorkloadCase &wl)
     options.memory.zeroShardParams = wl.zeroShardParams;
     if (wl.hetero)
         options.placement.windows = WindowPolicy::IslandAware;
+    options.threads = threads;
     ExecutionPlanner planner(hw, options);
 
     // Keep the *fastest* iteration: the CI gate compares these
@@ -76,15 +86,26 @@ planAtScale(benchmark::State &state, const WorkloadCase &wl)
 
     const std::uint32_t gpus = nodes * 8;
     state.counters["gpus"] = gpus;
+    state.counters["threads"] = threads;
     state.counters["plan_seconds"] = best.planningSeconds;
     state.counters["estimation_seconds"] = best.phaseSeconds.estimation;
     state.counters["allocation_seconds"] = best.phaseSeconds.allocation;
     state.counters["scheduling_seconds"] = best.phaseSeconds.scheduling;
     state.counters["placement_seconds"] = best.phaseSeconds.placement;
 
+    // Serial records keep their historical names (budget
+    // continuity); threaded records append the threads dimension.
+    const std::string rec_name =
+        threads == 1
+            ? strCat(wl.name, "/gpus=", gpus)
+            : strCat(wl.name, "/gpus=", gpus, "/threads=", threads);
+    const auto hw_threads = static_cast<double>(
+        std::thread::hardware_concurrency());
     jsonLog().record(
-        strCat(wl.name, "/gpus=", gpus),
+        rec_name,
         {{"gpus", static_cast<double>(gpus)},
+         {"threads", static_cast<double>(threads)},
+         {"hw_threads", hw_threads},
          {"plan_seconds", best.planningSeconds},
          {"estimation_seconds", best.phaseSeconds.estimation},
          {"allocation_seconds", best.phaseSeconds.allocation},
@@ -107,21 +128,26 @@ const WorkloadCase clip10_hetero{"CLIP-10-hetero",
 
 } // namespace
 
-// 8..256 GPUs. QWen-VAL 70B needs >= 64 GPUs to fit 80 GB devices
-// even with ZeRO-3 sharding, so its sweep starts there. The hetero
-// case plans the same GPU counts over mixed 12/4-GPU islands with
-// island-aware window generation.
+// 8..256 GPUs serially, plus the threads dimension at 256 GPUs
+// (args are {nodes, planner threads}). QWen-VAL 70B needs >= 64 GPUs
+// to fit 80 GB devices even with ZeRO-3 sharding, so its sweep
+// starts there. The hetero case plans the same GPU counts over mixed
+// 12/4-GPU islands with island-aware window generation.
 BENCHMARK_CAPTURE(planAtScale, CLIP_10Tasks, clip10)
-    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1})
+    ->Args({16, 1})->Args({32, 1})->Args({32, 2})->Args({32, 8})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(planAtScale, OFASys_7Tasks, ofa7)
-    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1})
+    ->Args({16, 1})->Args({32, 1})->Args({32, 2})->Args({32, 8})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(planAtScale, QWenVAL_70B, qwen70)
-    ->Arg(8)->Arg(16)->Arg(32)
+    ->Args({8, 1})->Args({16, 1})->Args({32, 1})
+    ->Args({32, 2})->Args({32, 4})->Args({32, 8})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(planAtScale, CLIP_10Tasks_hetero, clip10_hetero)
-    ->Arg(2)->Arg(8)->Arg(16)->Arg(32)
+    ->Args({2, 1})->Args({8, 1})->Args({16, 1})->Args({32, 1})
+    ->Args({32, 2})->Args({32, 8})
     ->Unit(benchmark::kMillisecond);
 
 int

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI perf smoke: fail when a benchmark artifact regresses.
 
-Two modes, selected by the first argument:
+Three modes, selected by the first argument:
 
 planner — compare a fresh BENCH_planner.json (written by
 bench_planner_scaling) against the checked-in budget file
@@ -13,6 +13,22 @@ bench/baseline_planner.json:
     each budgeted *per-phase* wall-clock (estimation / allocation /
     scheduling / placement seconds), so a regression confined to one
     phase cannot hide inside a healthy total at the largest scale.
+
+planner-threads — gate the parallel planner's speedup at the largest
+scale. For every baseline record carrying "min_speedup" (the
+".../gpus=256/threads=8" points), the current run's serial record
+(same name minus the /threads suffix) is divided by its parallel
+record; the ratio must reach the floor. Records carry the runner's
+hw_threads, and a record is only gated when the runner has at least
+as many hardware threads as the record runs planner threads (and
+never below 4): an oversubscribed or serial machine cannot
+demonstrate a speedup, so those points are reported and skipped
+rather than failed. The gate cannot silently evaporate: a current
+record missing hw_threads or the serial/parallel pair fails, and a
+baseline with no min_speedup record at all fails. Floors are
+per-record: the placement-dominated QWenVAL-70B point carries the
+headline 2x floor at 8 threads, plus a 1.5x floor at 4 threads that
+stock 4-vCPU CI runners evaluate.
 
 collectives — compare a fresh BENCH_collectives.json (written by
 bench_collectives) against bench/baseline_collectives.json. The
@@ -32,8 +48,8 @@ Wall-clock budgets are deliberately generous (several times a warm
 local run) so shared CI runners do not flap. Other scale points are
 reported informationally.
 
-Usage: check_bench_regression.py {planner|collectives} CURRENT_JSON
-       BASELINE_JSON [FACTOR]
+Usage: check_bench_regression.py {planner|planner-threads|collectives}
+       CURRENT_JSON BASELINE_JSON [FACTOR]
 """
 
 import json
@@ -117,6 +133,74 @@ def check_planner(current, baseline, factor):
     return failures
 
 
+MIN_HW_THREADS_FOR_SPEEDUP = 4
+
+
+def check_planner_threads(current, baseline):
+    failures = []
+    gated = 0
+    for name, base in sorted(baseline.items()):
+        floor = base.get("min_speedup")
+        if floor is None:
+            continue
+        gated += 1
+        serial_name = name.split("/threads=")[0]
+        cur = current.get(name)
+        serial = current.get(serial_name)
+        if cur is None or serial is None:
+            failures.append(
+                f"{name}: parallel or serial record missing from "
+                f"current run"
+            )
+            continue
+        hw_raw = cur.get("hw_threads")
+        if hw_raw is None:
+            # Missing field != small machine: treating it as 0 would
+            # silently skip every gate on a capable runner.
+            failures.append(
+                f"{name}: hw_threads missing from current record "
+                f"(stale BENCH_planner.json or bench regression?)"
+            )
+            continue
+        hw = int(hw_raw)
+        # A record's floor is only meaningful when every worker lane
+        # has real hardware under it: gating an 8-thread run on a
+        # 4-vCPU shared runner would flap on noisy neighbors, the
+        # exact failure mode the padded wall-clock budgets avoid.
+        needed = max(
+            int(base.get("threads", 0)), MIN_HW_THREADS_FOR_SPEEDUP
+        )
+        if hw < needed:
+            print(
+                f"skip  {name:<36} runner has {hw} hardware threads "
+                f"(< {needed}); this speedup gate needs parallel "
+                f"hardware for every lane"
+            )
+            continue
+        parallel_s = cur["plan_seconds"]
+        serial_s = serial["plan_seconds"]
+        speedup = (
+            serial_s / parallel_s if parallel_s > 0 else float("inf")
+        )
+        ok = speedup >= floor
+        status = "OK" if ok else "FAIL"
+        print(
+            f"{status:>4}  {name:<36} serial={serial_s * 1e3:8.3f} ms"
+            f"  parallel={parallel_s * 1e3:8.3f} ms"
+            f"  speedup={speedup:5.2f}x  floor={floor:.1f}x"
+        )
+        if not ok:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x < floor {floor:.1f}x"
+            )
+    if gated == 0:
+        failures.append(
+            "planner-threads: no baseline record carries min_speedup; "
+            "the speedup gate is not wired up"
+        )
+    return failures
+
+
 def check_collectives(current, baseline, factor):
     failures = []
     for name, base in sorted(baseline.items()):
@@ -166,6 +250,7 @@ def check_collectives(current, baseline, factor):
 def main(argv):
     if len(argv) not in (4, 5) or argv[1] not in (
         "planner",
+        "planner-threads",
         "collectives",
     ):
         print(__doc__)
@@ -177,6 +262,8 @@ def main(argv):
 
     if mode == "planner":
         failures = check_planner(current, baseline, factor)
+    elif mode == "planner-threads":
+        failures = check_planner_threads(current, baseline)
     else:
         failures = check_collectives(current, baseline, factor)
 

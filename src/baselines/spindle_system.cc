@@ -19,8 +19,19 @@ SpindleSystem::name() const
 ExecutionPlan
 SpindleSystem::buildPlan(const MetaGraph &graph) const
 {
-    ExecutionPlanner planner(hw_, options_);
-    return planner.plan(graph).plan;
+    PlannerOptions options = options_;
+    // EngineOptions::plannerThreads is the system-level override
+    // (like the collective selector); unset defers to the planner
+    // options this system was constructed with.
+    if (engine_options_.plannerThreads.has_value())
+        options.threads = *engine_options_.plannerThreads;
+    // The planner (and its worker pool) is cached across builds —
+    // runDynamic-style replans must not pay thread spawn/join per
+    // plan. Only the threads knob can change between calls.
+    if (planner_ == nullptr ||
+        planner_->options().threads != options.threads)
+        planner_ = std::make_unique<ExecutionPlanner>(hw_, options);
+    return planner_->plan(graph).plan;
 }
 
 SpindleSystem

@@ -7,12 +7,23 @@
 #ifndef SPINDLE_BASELINES_SPINDLE_SYSTEM_H
 #define SPINDLE_BASELINES_SPINDLE_SYSTEM_H
 
+#include <memory>
+
 #include "baselines/system.h"
 #include "planner/planner.h"
 
 namespace spindle {
 
-/** The full Spindle planner + runtime as a System. */
+/**
+ * The full Spindle planner + runtime as a System.
+ *
+ * buildPlan() caches the planner (and its worker pool) across
+ * calls, so concurrent buildPlan() on one instance is not supported
+ * — matching ExecutionPlanner::plan(), which was never itself
+ * thread-safe. Parallelism belongs *inside* a plan
+ * (EngineOptions::plannerThreads), not across planners sharing an
+ * instance.
+ */
 class SpindleSystem : public System
 {
   public:
@@ -27,6 +38,10 @@ class SpindleSystem : public System
 
   private:
     PlannerOptions options_;
+
+    /** Cached planner (owns the worker pool); rebuilt only when the
+     *  effective thread count changes (see buildPlan). */
+    mutable std::unique_ptr<ExecutionPlanner> planner_;
 };
 
 /** Convenience: Spindle with the Fig. 10 sequential-placement

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Planner thread-pool substrate: a small, work-stealing-free pool of
+ * persistent workers plus chunked `parallelFor`/`parallelReduce`
+ * helpers.
+ *
+ * Design goals, in order:
+ *
+ *  1. **Determinism.** Work is split into chunks whose boundaries
+ *     depend only on (begin, end, grain) — never on the number of
+ *     threads or on scheduling. Chunks are handed out through a
+ *     single atomic cursor (no stealing, no per-thread queues), and
+ *     `parallelReduce` merges per-chunk results *in chunk order*, so
+ *     a reduction whose merge operator is deterministic yields the
+ *     same answer at any thread count — including 1, where every
+ *     helper degenerates to a plain loop on the calling thread.
+ *     Callers that reduce over floating-point scores must make the
+ *     merge order-free themselves (the planner embeds a global
+ *     candidate ordinal in its score tuples for exactly this).
+ *
+ *  2. **Low dispatch latency.** The planner issues a few small
+ *     parallel regions per placed wave entry, so a dispatch costs
+ *     must stay in the low microseconds. Workers spin briefly on the
+ *     job generation counter before sleeping on the condition
+ *     variable, which keeps back-to-back regions (the common planner
+ *     pattern) on the fast path.
+ *
+ * Tasks must not throw: planner error paths are fatal()/panic(),
+ * which terminate the process. The calling thread always participates
+ * in chunk execution, so a pool of `threads() == k` runs a region on
+ * at most k lanes (k - 1 workers + the caller).
+ */
+
+#ifndef SPINDLE_COMMON_THREAD_POOL_H
+#define SPINDLE_COMMON_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spindle {
+
+/** Hard cap on planner threads (see resolveThreadCount). */
+constexpr std::uint32_t kMaxPlannerThreads = 256;
+
+/**
+ * Resolve a user-facing thread-count knob: 0 means auto
+ * (hardware_concurrency, at least 1); values above
+ * kMaxPlannerThreads warn and clamp. The result is always >= 1.
+ */
+std::uint32_t resolveThreadCount(std::uint32_t requested);
+
+/**
+ * Fixed-size pool of persistent workers (see file comment).
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads total lanes including the caller; clamped
+     *  below 1 to 1. threads == 1 creates no workers at all. */
+    explicit ThreadPool(std::uint32_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total execution lanes (workers + calling thread). */
+    std::uint32_t threads() const { return threads_; }
+
+    /**
+     * Run @p fn over the chunk grid of [begin, end) with the given
+     * grain: fn(chunk_index, chunk_begin, chunk_end) for every chunk
+     * [begin + c * grain, min(begin + (c+1) * grain, end)). Blocks
+     * until every chunk has finished. Chunk boundaries depend only
+     * on the arguments, not on the pool size.
+     */
+    void run(std::size_t begin, std::size_t end, std::size_t grain,
+             const std::function<void(std::size_t, std::size_t,
+                                      std::size_t)> &fn);
+
+    /** Element-wise parallel for: fn(i) for every i in [begin, end). */
+    template <typename Fn>
+    void
+    parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                Fn &&fn)
+    {
+        run(begin, end, grain,
+            [&fn](std::size_t, std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i)
+                    fn(i);
+            });
+    }
+
+    /**
+     * Chunked parallel reduction: @p map fills one default-initialized
+     * accumulator per chunk (map(acc, chunk_begin, chunk_end)); the
+     * accumulators are then folded left-to-right *in chunk order*
+     * with merge(total, acc). Deterministic whenever map and merge
+     * are (see the determinism note in the file comment).
+     */
+    template <typename Acc, typename Map, typename Merge>
+    Acc
+    parallelReduce(std::size_t begin, std::size_t end, std::size_t grain,
+                   Map &&map, Merge &&merge)
+    {
+        const std::size_t total = end > begin ? end - begin : 0;
+        const std::size_t g = grain == 0 ? 1 : grain;
+        const std::size_t chunks = total == 0 ? 0 : (total + g - 1) / g;
+        std::vector<Acc> partial(chunks);
+        run(begin, end, g,
+            [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                map(partial[c], lo, hi);
+            });
+        Acc out{};
+        for (Acc &p : partial)
+            merge(out, p);
+        return out;
+    }
+
+  private:
+    struct Job
+    {
+        const std::function<void(std::size_t, std::size_t, std::size_t)>
+            *fn = nullptr;
+        std::size_t begin = 0;
+        std::size_t end = 0;
+        std::size_t grain = 1;
+        std::size_t num_chunks = 0;
+    };
+
+    void workerLoop();
+
+    /** Execute chunks of the current job until the cursor runs dry;
+     *  returns the number of chunks this thread completed. */
+    std::size_t drainChunks(const Job &job);
+
+    std::uint32_t threads_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_done_;
+    Job job_;
+
+    /** Bumped (under mu_) for every new job; workers key off it. */
+    std::atomic<std::uint64_t> job_gen_{0};
+    std::atomic<bool> stop_{false};
+
+    /** Next chunk index of the current job. */
+    std::atomic<std::size_t> next_chunk_{0};
+    /** Chunks of the current job that have finished executing. */
+    std::atomic<std::size_t> chunks_done_{0};
+    /** Workers currently holding a copy of job_ (see run()). */
+    std::atomic<std::size_t> active_workers_{0};
+    /** Guards against concurrent / nested run() calls. */
+    bool running_ = false;
+};
+
+/**
+ * Shared serial/parallel dispatch guard: run fn(i) for every i in
+ * [begin, end) on the pool when one exists with workers and the
+ * caller's work estimate says a dispatch pays off (@p parallel);
+ * otherwise inline on the calling thread. Both paths visit every
+ * index; results must not depend on which path ran (the planner's
+ * regions guarantee that with indexed writes or ordinal merges).
+ */
+template <typename Fn>
+void
+maybeParallelFor(ThreadPool *pool, bool parallel, std::size_t begin,
+                 std::size_t end, std::size_t grain, Fn &&fn)
+{
+    if (pool != nullptr && pool->threads() > 1 && parallel &&
+        end > begin + 1) {
+        pool->parallelFor(begin, end, grain, std::forward<Fn>(fn));
+        return;
+    }
+    for (std::size_t i = begin; i < end; ++i)
+        fn(i);
+}
+
+} // namespace spindle
+
+#endif // SPINDLE_COMMON_THREAD_POOL_H

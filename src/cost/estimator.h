@@ -13,10 +13,15 @@
 #ifndef SPINDLE_COST_ESTIMATOR_H
 #define SPINDLE_COST_ESTIMATOR_H
 
+#include <atomic>
 #include <vector>
 
 #include "cost/scaling_curve.h"
 #include "hardware/hardware_model.h"
+
+namespace spindle {
+class ThreadPool;
+}
 
 namespace spindle {
 
@@ -60,9 +65,15 @@ class ScalabilityEstimator
      */
     ScalingCurve estimate(const MetaOp &m, std::uint32_t max_devices) const;
 
-    /** Curves for every MetaOp of @p graph, indexed by MetaOpId. */
+    /**
+     * Curves for every MetaOp of @p graph, indexed by MetaOpId.
+     * When @p pool is non-null, MetaOps are profiled and fitted in
+     * parallel (curves are mutually independent; each lands at its
+     * own index, so the result is identical at any thread count).
+     */
     std::vector<ScalingCurve> estimateAll(const MetaGraph &graph,
-                                          std::uint32_t max_devices) const;
+                                          std::uint32_t max_devices,
+                                          ThreadPool *pool = nullptr) const;
 
     /**
      * The device counts that estimate() would profile for @p m:
@@ -75,7 +86,7 @@ class ScalabilityEstimator
                                              std::uint32_t max_devices) const;
 
     /** Number of oracle probes issued so far (profiling cost proxy). */
-    std::uint64_t numProbes() const { return num_probes_; }
+    std::uint64_t numProbes() const { return num_probes_.load(); }
 
     const HardwareModel &hardware() const { return hw_; }
     const EstimatorOptions &options() const { return options_; }
@@ -85,7 +96,9 @@ class ScalabilityEstimator
 
     const HardwareModel &hw_;
     EstimatorOptions options_;
-    mutable std::uint64_t num_probes_ = 0;
+
+    /** Atomic: parallel estimateAll() probes from several lanes. */
+    mutable std::atomic<std::uint64_t> num_probes_{0};
 };
 
 } // namespace spindle

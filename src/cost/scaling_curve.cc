@@ -8,13 +8,6 @@
 
 namespace spindle {
 
-namespace {
-
-/** Bound on the inverse() memo before it is dropped wholesale. */
-constexpr std::size_t kInverseMemoLimit = 1 << 13;
-
-} // namespace
-
 ScalingCurve::ScalingCurve(std::vector<std::uint32_t> valid_ns,
                            std::vector<double> times)
     : ns_(std::move(valid_ns)), times_(std::move(times))
@@ -86,18 +79,15 @@ ScalingCurve::inverse(double t) const
     // silently interpolate with it).
     panicIf(!(t > 0), "inverse: t must be positive");
     const std::uint64_t key = std::bit_cast<std::uint64_t>(t);
-    if (auto it = inverse_memo_.find(key); it != inverse_memo_.end())
-        return it->second;
-
-    double result;
-    if (t >= times_.front()) {
-        // Slower than the smallest valid allocation: hyperbolic
-        // region, n = n_1 * T(n_1) / t (possibly < 1).
-        result =
-            static_cast<double>(ns_.front()) * times_.front() / t;
-    } else if (t <= times_.back()) {
-        result = static_cast<double>(ns_.back());
-    } else {
+    return inverse_memo_.getOrCompute(key, [&] {
+        if (t >= times_.front()) {
+            // Slower than the smallest valid allocation: hyperbolic
+            // region, n = n_1 * T(n_1) / t (possibly < 1).
+            return static_cast<double>(ns_.front()) * times_.front() /
+                   t;
+        }
+        if (t <= times_.back())
+            return static_cast<double>(ns_.back());
         // Find the grid segment with T(n_lo) >= t >= T(n_hi) and
         // apply the linear combination of Eq. (11). times_ is
         // non-increasing, so the first grid point with time <= t is
@@ -111,16 +101,10 @@ ScalingCurve::inverse(double t) const
         const double n_lo = ns_[i - 1], n_hi = ns_[i];
         const double t_lo = times_[i - 1], t_hi = times_[i];
         if (t_lo == t_hi)
-            result = n_lo;
-        else
-            result = ((t_lo - t) * n_hi + (t - t_hi) * n_lo) /
-                     (t_lo - t_hi);
-    }
-
-    if (inverse_memo_.size() >= kInverseMemoLimit)
-        inverse_memo_.clear();
-    inverse_memo_.emplace(key, result);
-    return result;
+            return n_lo;
+        return ((t_lo - t) * n_hi + (t - t_hi) * n_lo) /
+               (t_lo - t_hi);
+    });
 }
 
 double

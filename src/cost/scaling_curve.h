@@ -10,9 +10,9 @@
 #define SPINDLE_COST_SCALING_CURVE_H
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/sharded_memo.h"
 #include "cost/alpha_beta.h"
 
 namespace spindle {
@@ -34,8 +34,11 @@ namespace spindle {
  * grid queries go through a dense n -> grid-index table and inverse()
  * keeps a small memo of recently inverted times. All caches are
  * value-transparent: a cached query returns the bit-identical double
- * the uncached code path would. Not thread-safe (single planner
- * thread, like the rest of the planner).
+ * the uncached code path would. Thread-safe for concurrent const
+ * lookups: timeAt()/nextValidAbove()/eval() read only immutable
+ * grids, and the inverse() memo is a striped-lock StripedMemo — the
+ * parallel allocator bisects several MetaLevels at once against the
+ * same curves.
  */
 class ScalingCurve
 {
@@ -94,8 +97,9 @@ class ScalingCurve
     /** Dense n -> index into ns_/times_ (-1 = not valid). */
     std::vector<std::int32_t> index_of_;
 
-    /** Memo of inverse() results keyed by the bit pattern of t. */
-    mutable std::unordered_map<std::uint64_t, double> inverse_memo_;
+    /** Memo of inverse() results keyed by the bit pattern of t
+     *  (striped-lock: concurrent planner lookups are safe). */
+    StripedMemo<std::uint64_t, double> inverse_memo_{1 << 13};
 };
 
 } // namespace spindle

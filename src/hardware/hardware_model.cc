@@ -11,9 +11,6 @@ namespace spindle {
 
 namespace {
 
-/** Bound on the lookup memos before they are dropped wholesale. */
-constexpr std::size_t kMemoLimit = 1 << 16;
-
 inline std::size_t
 hashCombine(std::size_t seed, std::size_t value)
 {
@@ -109,48 +106,36 @@ HardwareModel::validAllocations(const OperatorDesc &op,
                                 std::uint32_t max_n) const
 {
     const OpSignature sig = signatureOf(op, max_n);
-    if (auto it = valid_allocs_memo_.find(sig);
-        it != valid_allocs_memo_.end())
-        return it->second;
-
-    std::vector<std::uint32_t> out;
-    for (std::uint32_t n = 1; n <= max_n; ++n)
-        if (isValidAllocation(op, n))
-            out.push_back(n);
-    panicIf(out.empty(), "validAllocations: not even n=1 is valid");
-
-    if (valid_allocs_memo_.size() >= kMemoLimit)
-        valid_allocs_memo_.clear();
-    valid_allocs_memo_.emplace(sig, out);
-    return out;
+    return valid_allocs_memo_.getOrCompute(sig, [&] {
+        std::vector<std::uint32_t> out;
+        for (std::uint32_t n = 1; n <= max_n; ++n)
+            if (isValidAllocation(op, n))
+                out.push_back(n);
+        panicIf(out.empty(), "validAllocations: not even n=1 is valid");
+        return out;
+    });
 }
 
 ParallelConfig
 HardwareModel::bestConfig(const OperatorDesc &op, std::uint32_t n) const
 {
     const OpSignature sig = signatureOf(op, n);
-    if (auto it = best_config_memo_.find(sig);
-        it != best_config_memo_.end())
-        return it->second;
-
-    auto configs = configsFor(op, n);
-    if (configs.empty())
-        fatal(strCat("bestConfig: no valid config for op '", op.name,
-                     "' with n=", n));
-    ParallelConfig best = configs.front();
-    double best_t = std::numeric_limits<double>::infinity();
-    for (const ParallelConfig &cfg : configs) {
-        double t = opTimeFwd(op, cfg);
-        if (t < best_t) {
-            best_t = t;
-            best = cfg;
+    return best_config_memo_.getOrCompute(sig, [&] {
+        auto configs = configsFor(op, n);
+        if (configs.empty())
+            fatal(strCat("bestConfig: no valid config for op '",
+                         op.name, "' with n=", n));
+        ParallelConfig best = configs.front();
+        double best_t = std::numeric_limits<double>::infinity();
+        for (const ParallelConfig &cfg : configs) {
+            double t = opTimeFwd(op, cfg);
+            if (t < best_t) {
+                best_t = t;
+                best = cfg;
+            }
         }
-    }
-
-    if (best_config_memo_.size() >= kMemoLimit)
-        best_config_memo_.clear();
-    best_config_memo_.emplace(sig, best);
-    return best;
+        return best;
+    });
 }
 
 double

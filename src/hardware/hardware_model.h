@@ -25,9 +25,9 @@
 #ifndef SPINDLE_HARDWARE_HARDWARE_MODEL_H
 #define SPINDLE_HARDWARE_HARDWARE_MODEL_H
 
-#include <unordered_map>
 #include <vector>
 
+#include "common/sharded_memo.h"
 #include "graph/meta_graph.h"
 #include "hardware/collective.h"
 #include "hardware/topology.h"
@@ -165,13 +165,15 @@ class HardwareModel
 
     /** Memo of bestConfig() answers (planner hot path; placement
      *  asks for the same (MetaOp workload, n) hundreds of times).
-     *  Pure-function cache — never stale; not thread-safe. */
-    mutable std::unordered_map<OpSignature, ParallelConfig,
-                               OpSignatureHash> best_config_memo_;
+     *  Pure-function cache — never stale; striped-lock, so the
+     *  parallel estimator / placement lanes may query concurrently. */
+    StripedMemo<OpSignature, ParallelConfig, OpSignatureHash>
+        best_config_memo_;
 
-    /** Memo of validAllocations() grids, keyed with n = max_n. */
-    mutable std::unordered_map<OpSignature, std::vector<std::uint32_t>,
-                               OpSignatureHash> valid_allocs_memo_;
+    /** Memo of validAllocations() grids, keyed with n = max_n
+     *  (striped-lock, same concurrency contract as above). */
+    StripedMemo<OpSignature, std::vector<std::uint32_t>,
+                OpSignatureHash> valid_allocs_memo_;
 };
 
 } // namespace spindle

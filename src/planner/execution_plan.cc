@@ -31,10 +31,12 @@ dataProducerWaves(const MetaGraph &graph, const std::vector<Wave> &waves)
 {
     std::map<std::pair<MetaOpId, std::int64_t>, std::int32_t> producer;
     std::vector<std::vector<std::int32_t>> preds(waves.size());
+    // Guard-then-panic below: this runs per entry on every planned
+    // plan, and panicIf's by-value message strings are not free.
     for (std::size_t i = 0; i < waves.size(); ++i) {
         const Wave &w = waves[i];
-        panicIf(w.index != static_cast<std::int32_t>(i),
-                "readiness: wave index does not match its position");
+        if (w.index != static_cast<std::int32_t>(i))
+            panic("readiness: wave index does not match its position");
         for (const WaveEntry &e : w.entries) {
             if (e.opBegin == 0) {
                 for (const MetaEdge &edge : graph.edges()) {
@@ -42,15 +44,15 @@ dataProducerWaves(const MetaGraph &graph, const std::vector<Wave> &waves)
                         continue;
                     auto it = producer.find(
                         {edge.src, graph.metaOp(edge.src).numOps()});
-                    panicIf(it == producer.end(),
-                            "readiness: predecessor output missing "
-                            "(invalid plan)");
+                    if (it == producer.end())
+                        panic("readiness: predecessor output missing "
+                              "(invalid plan)");
                     preds[i].push_back(it->second);
                 }
             } else {
                 auto it = producer.find({e.metaOp, e.opBegin});
-                panicIf(it == producer.end(),
-                        "readiness: missing previous slice");
+                if (it == producer.end())
+                    panic("readiness: missing previous slice");
                 preds[i].push_back(it->second);
             }
         }
@@ -79,8 +81,10 @@ computeWaveReadiness(const MetaGraph &graph,
     // Program order within a stream.
     std::map<std::int32_t, std::int32_t> last_of_stream;
     // Per device-group predecessors: the latest earlier wave that
-    // touched each device (placed plans only).
-    std::map<DeviceId, std::int32_t> last_on_device;
+    // touched each device (placed plans only). Dense by device id —
+    // ids are dense by construction, and the map variant dominated
+    // the planner's serial tail at 256 GPUs.
+    std::vector<std::int32_t> last_on_device;
 
     for (std::size_t i = 0; i < waves.size(); ++i) {
         const Wave &w = waves[i];
@@ -91,10 +95,11 @@ computeWaveReadiness(const MetaGraph &graph,
 
         for (const WaveEntry &e : w.entries) {
             for (DeviceId d : e.devices) {
-                auto dit = last_on_device.find(d);
-                if (dit != last_on_device.end() &&
-                    dit->second != w.index)
-                    preds[i].push_back(dit->second);
+                if (d >= last_on_device.size())
+                    last_on_device.resize(d + 1, -1);
+                const std::int32_t last = last_on_device[d];
+                if (last >= 0 && last != w.index)
+                    preds[i].push_back(last);
             }
         }
         for (const WaveEntry &e : w.entries)
@@ -140,21 +145,28 @@ ExecutionPlan::validate(const MetaGraph &graph) const
 {
     std::map<MetaOpId, std::int64_t> ops_done;
 
+    // Checks below are guard-then-panic: validate runs on every
+    // planned plan (256+ GPUs, thousands of entry/device probes),
+    // and panicIf's eagerly built message strings dominated the
+    // planner's serial tail.
+    std::vector<char> used; // dense in-wave device occupancy
     for (const Wave &wave : waves) {
         panicIf(wave.entries.empty(), "validate: empty wave");
-        panicIf(wave.devicesAllocated() > numDevices,
-                strCat("validate: wave ", wave.index, " allocates ",
-                       wave.devicesAllocated(), " > N=", numDevices));
+        if (wave.devicesAllocated() > numDevices)
+            panic(strCat("validate: wave ", wave.index, " allocates ",
+                         wave.devicesAllocated(), " > N=", numDevices));
 
         std::vector<MetaOpId> seen;
-        DeviceSet used;
+        used.assign(numDevices, 0);
         std::map<MetaOpId, std::int64_t> wave_ops;
         for (const WaveEntry &e : wave.entries) {
-            panicIf(e.numOps <= 0, "validate: empty wave entry");
-            panicIf(e.n == 0, "validate: zero-device entry");
-            panicIf(std::count(seen.begin(), seen.end(), e.metaOp) > 0,
-                    strCat("validate: MetaOp ", e.metaOp,
-                           " appears twice in wave ", wave.index));
+            if (e.numOps <= 0)
+                panic("validate: empty wave entry");
+            if (e.n == 0)
+                panic("validate: zero-device entry");
+            if (std::count(seen.begin(), seen.end(), e.metaOp) > 0)
+                panic(strCat("validate: MetaOp ", e.metaOp,
+                             " appears twice in wave ", wave.index));
             seen.push_back(e.metaOp);
 
             const MetaOp &m = graph.metaOp(e.metaOp);
@@ -163,30 +175,36 @@ ExecutionPlan::validate(const MetaGraph &graph) const
                 // earlier wave (ops_done holds the pre-wave state)
                 // before the first slice of this MetaOp runs.
                 for (MetaOpId p : graph.predecessors(e.metaOp)) {
-                    panicIf(ops_done[p] != graph.metaOp(p).numOps(),
-                            strCat("validate: MetaOp ", e.metaOp,
-                                   " starts before predecessor ", p,
-                                   " finished"));
+                    if (ops_done[p] != graph.metaOp(p).numOps())
+                        panic(strCat("validate: MetaOp ", e.metaOp,
+                                     " starts before predecessor ", p,
+                                     " finished"));
                 }
             }
-            panicIf(e.opBegin != ops_done[e.metaOp],
-                    strCat("validate: MetaOp ", e.metaOp,
-                           " slices are not contiguous"));
+            if (e.opBegin != ops_done[e.metaOp])
+                panic(strCat("validate: MetaOp ", e.metaOp,
+                             " slices are not contiguous"));
             wave_ops[e.metaOp] = e.numOps;
-            panicIf(e.opBegin + e.numOps > m.numOps(),
-                    strCat("validate: MetaOp ", e.metaOp,
-                           " over-executes"));
+            if (e.opBegin + e.numOps > m.numOps())
+                panic(strCat("validate: MetaOp ", e.metaOp,
+                             " over-executes"));
 
             if (!e.devices.empty()) {
-                panicIf(e.devices.size() != e.n,
-                        strCat("validate: entry device set size ",
-                               e.devices.size(), " != n=", e.n));
-                panicIf(!isCanonicalDeviceSet(e.devices),
-                        "validate: device set not canonical");
-                panicIf(intersects(used, e.devices),
-                        strCat("validate: overlapping device sets in "
-                               "wave ", wave.index));
-                used = unionOf(used, e.devices);
+                if (e.devices.size() != e.n)
+                    panic(strCat("validate: entry device set size ",
+                                 e.devices.size(), " != n=", e.n));
+                if (!isCanonicalDeviceSet(e.devices))
+                    panic("validate: device set not canonical");
+                for (DeviceId d : e.devices) {
+                    if (d >= used.size())
+                        panic(strCat("validate: device id ", d,
+                                     " out of range in wave ",
+                                     wave.index));
+                    if (used[d])
+                        panic(strCat("validate: overlapping device "
+                                     "sets in wave ", wave.index));
+                    used[d] = 1;
+                }
             }
         }
         for (const auto &[m, ops] : wave_ops)
@@ -205,16 +223,16 @@ ExecutionPlan::validate(const MetaGraph &graph) const
     if (hasWaveReadiness(waves)) {
         for (std::size_t i = 0; i < waves.size(); ++i) {
             const auto &preds = waves[i].predecessors;
-            panicIf(!std::is_sorted(preds.begin(), preds.end()) ||
-                        std::adjacent_find(preds.begin(), preds.end()) !=
-                            preds.end(),
-                    strCat("validate: readiness edges of wave ", i,
-                           " are not sorted and unique"));
+            if (!std::is_sorted(preds.begin(), preds.end()) ||
+                std::adjacent_find(preds.begin(), preds.end()) !=
+                    preds.end())
+                panic(strCat("validate: readiness edges of wave ", i,
+                             " are not sorted and unique"));
             for (std::int32_t p : preds)
-                panicIf(p < 0 || p >= static_cast<std::int32_t>(i),
-                        strCat("validate: wave ", i,
-                               " has readiness predecessor ", p,
-                               " that is not strictly earlier"));
+                if (p < 0 || p >= static_cast<std::int32_t>(i))
+                    panic(strCat("validate: wave ", i,
+                                 " has readiness predecessor ", p,
+                                 " that is not strictly earlier"));
         }
         const std::vector<std::vector<std::int32_t>> data =
             dataProducerWaves(graph, waves);
@@ -222,12 +240,12 @@ ExecutionPlan::validate(const MetaGraph &graph) const
             for (std::int32_t p : data[i]) {
                 if (p == waves[i].index)
                     continue; // same-wave production needs no edge
-                panicIf(!std::binary_search(waves[i].predecessors.begin(),
-                                            waves[i].predecessors.end(),
-                                            p),
-                        strCat("validate: wave ", i,
-                               " misses readiness edge to data "
-                               "producer wave ", p));
+                if (!std::binary_search(waves[i].predecessors.begin(),
+                                        waves[i].predecessors.end(),
+                                        p))
+                    panic(strCat("validate: wave ", i,
+                                 " misses readiness edge to data "
+                                 "producer wave ", p));
             }
         }
     }

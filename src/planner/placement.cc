@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace spindle {
 
@@ -36,6 +37,88 @@ struct SliceParam
 
 /** Number of link classes a (src set, device) pair can fall into. */
 constexpr int kNumLinkClasses = 3;
+
+/** Below this much estimated per-phase work (rough element-visit
+ *  count) a parallel dispatch costs more than it saves; purely a
+ *  performance threshold — both paths compute identical bytes. */
+constexpr std::size_t kMinParallelWork = 1 << 12;
+
+/** Smallest window-sweep chunk handed to a lane. */
+constexpr std::size_t kMinSweepChunk = 128;
+
+/**
+ * Entry-wide per-inflow scoring context (uniform-fabric fast path):
+ * the per-class flow times and, per free position, the fastest link
+ * class the device has any pair with the source set in.
+ */
+struct InflowCtx
+{
+    double flowByClass[kNumLinkClasses] = {0, 0, 0};
+    std::uint32_t srcSize = 0;
+    std::vector<std::uint8_t> cls;               ///< per free pos
+    std::vector<std::uint32_t> srcCountByIsland; ///< per island
+};
+
+/**
+ * Per-band incremental scoring state: prefix counts that make every
+ * length-n window of the band scoreable in O(1). Buffers only grow
+ * (every element read this entry is written this entry), so bands
+ * re-use capacity across entries without re-zeroing.
+ */
+struct BandState
+{
+    std::size_t ordinalBase = 0; ///< global ordinal of window w=0
+    std::size_t numWindows = 0;  ///< B - n + 1, or 0 when B < n
+
+    std::vector<std::uint32_t> chgPref; ///< island changes, size B
+    std::vector<std::uint32_t> resPref; ///< residency, rows x (B+1)
+    /** Link-class counts, inflows x kNumLinkClasses x (B+1). */
+    std::vector<std::uint32_t> inflowPref;
+    std::vector<std::ptrdiff_t> eqWindow; ///< per inflow, -1 = none
+};
+
+/**
+ * One scored candidate window. The placer's historical selection
+ * rule — scan candidates in enumeration order, replace on strictly
+ * better (primary, secondary) — equals a minimum under the
+ * lexicographic order (primary, secondary, ordinal), which is what
+ * makes the parallel sweep's merge deterministic and byte-identical
+ * to the serial scan at any thread count.
+ */
+struct Candidate
+{
+    double primary = std::numeric_limits<double>::infinity();
+    double secondary = std::numeric_limits<double>::infinity();
+    double comm = 0;
+    std::size_t ordinal = std::numeric_limits<std::size_t>::max();
+    std::int32_t band = -1; ///< band index; -1 = explicit extra
+    std::size_t start = 0;  ///< window start in band / extras index
+
+    bool
+    found() const
+    {
+        return ordinal != std::numeric_limits<std::size_t>::max();
+    }
+};
+
+bool
+betterThan(const Candidate &a, const Candidate &b)
+{
+    if (a.primary != b.primary)
+        return a.primary < b.primary;
+    if (a.secondary != b.secondary)
+        return a.secondary < b.secondary;
+    return a.ordinal < b.ordinal;
+}
+
+/** One chunk of the window sweep: a start range of one band, or
+ *  (band < 0) a range of explicit extras. */
+struct SweepTask
+{
+    std::int32_t band = -1;
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+};
 
 /**
  * Shard-level inter-island attribution of one flow: the flow's bytes
@@ -73,7 +156,8 @@ interIslandShardFraction(const ClusterTopology &topo,
  * commit dirties a device, by replaying the exact walk the uncached
  * code performed — cached reads are bit-identical, and each device
  * is re-walked at most once per committed entry instead of once per
- * candidate window.
+ * candidate window. The parallel position pass touches distinct
+ * devices on distinct lanes, so the lazy refresh stays race-free.
  */
 struct DevicePlacement::Attempt
 {
@@ -122,8 +206,9 @@ struct DevicePlacement::Attempt
 DevicePlacement::DevicePlacement(const ClusterTopology &topo,
                                  const HardwareModel &hw,
                                  const MemoryModel &mem,
-                                 PlacementOptions options)
-    : topo_(topo), hw_(hw), mem_(mem), options_(options)
+                                 PlacementOptions options,
+                                 ThreadPool *pool)
+    : topo_(topo), hw_(hw), mem_(mem), options_(options), pool_(pool)
 {
 }
 
@@ -182,6 +267,7 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
         topo_.device().memoryBytes * options_.memorySlack;
     const CollectiveModel &coll = hw_.collectives();
     const WindowGenerator &window_gen = generator();
+    const bool use_pool = pool_ != nullptr && pool_->threads() > 1;
 
     Attempt state;
     state.init(num_devices);
@@ -272,17 +358,22 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
 
     std::uint32_t seq_cursor = 0; // Sequential strategy cursor
 
-    // Scratch buffers reused across entries (sized per wave).
-    std::vector<double> cand_total;       // per free pos: total if placed
+    // Scratch buffers reused across entries. All are only-grow: the
+    // elements an entry reads are exactly the elements it wrote, so
+    // stale capacity never leaks into scores.
+    std::vector<double> cand_total;        // per free pos: total if placed
     std::vector<std::uint32_t> pos_island; // per free pos: island index
-    std::vector<SliceParam> sig;          // slice param signature
-    std::vector<std::int32_t> sig_row;    // sig index -> residency row
-    std::vector<char> res_flag;           // residency flags, rows x F
-    std::vector<std::uint32_t> res_pref;  // per-band residency prefixes
-    std::vector<std::uint32_t> chg_pref;  // per-band island changes
-    std::vector<std::uint32_t> island_src_count; // src devs per island
-    CandidateWindows cand_windows;        // generator output
-    DeviceSet win_buf; // window scratch for the exact-comm path
+    std::vector<SliceParam> sig;           // slice param signature
+    std::vector<std::int32_t> sig_row;     // sig index -> residency row
+    std::vector<std::int64_t> row_key;     // residency row -> param key
+    std::unordered_map<std::int64_t, std::int32_t> row_of;
+    std::vector<char> res_flag;            // residency flags, rows x F
+    std::vector<InflowCtx> inflow_ctx;     // per-inflow fast-path state
+    std::vector<BandState> band_states;    // per-band prefix state
+    CandidateWindows cand_windows;         // generator output
+    std::vector<SweepTask> sweep_tasks;
+    DeviceSet win_buf; // serial-sweep window scratch (exact-comm path)
+    std::vector<std::size_t> deque_scratch; // serial-sweep deque
     std::vector<char> island_scratch; // inter-island attribution
 
     for (std::size_t wi = resume_wave; wi < plan.waves.size(); ++wi) {
@@ -383,8 +474,6 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                                  (slow - fast);
             }
 
-            double best_primary = std::numeric_limits<double>::infinity();
-            double best_secondary = best_primary;
             double best_comm = 0;
             DeviceSet best_win;
 
@@ -439,10 +528,6 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                         topo_.config().interIslandCollective.bandwidth;
                 if (cfg.tp > 1 && !topo_.withinOneIsland(win))
                     comm += island_penalty;
-                best_primary = memory_first
-                                   ? peak_frac
-                                   : comm + options_.memoryWeight *
-                                                peak_frac;
                 best_comm = comm;
                 best_win = std::move(win);
             } else {
@@ -453,42 +538,16 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                 // per-device quantities computed once per entry; the
                 // band sweeps combine them with prefix/extremum
                 // queries that reproduce a full rescan bit for bit.
+                // The sweep itself is a (possibly parallel) reduction
+                // over candidate ordinals — see struct Candidate.
                 const std::size_t F = free.size();
                 const std::uint32_t n = e.n;
 
                 window_gen.generate({topo_, free, n}, cand_windows);
 
-                // (a) Per-device total if this slice lands on it,
-                // and the device's island.
-                cand_total.resize(F);
-                pos_island.resize(F);
-                for (std::size_t pos = 0; pos < F; ++pos) {
-                    const DeviceId d = free[pos];
-                    double add = act_share;
-                    for (const SliceParam &sp : sig) {
-                        auto it = state.params[d].find(sp.key);
-                        if (it == state.params[d].end())
-                            add += sp.share;
-                        else if (sp.share > it->second)
-                            add += sp.share - it->second;
-                    }
-                    cand_total[pos] = state.deviceTotal(d) + add;
-                    pos_island[pos] = topo_.islandOf(d);
-                }
-
-                // (b) Per-inflow link-class machinery (uniform-fabric
-                // fast path): the class of each free device w.r.t.
-                // the source set and the per-class flow time.
-                struct InflowCtx
-                {
-                    double flowByClass[kNumLinkClasses];
-                    std::vector<std::uint8_t> cls; ///< per free pos
-                    // per-band class prefix counts and the band
-                    // window equal to the source set (zero-cost)
-                    std::vector<std::uint32_t> pref;
-                    std::ptrdiff_t eq_window = -1;
-                };
-                std::vector<InflowCtx> inflow_ctx(inflows.size());
+                // ---- Phase A setup: entry-wide per-inflow context
+                // (uniform-fabric fast path) and residency rows.
+                inflow_ctx.resize(inflows.size());
                 if (!exact_comm) {
                     for (std::size_t k = 0; k < inflows.size(); ++k) {
                         const auto &[bytes, src_ptr] = inflows[k];
@@ -502,29 +561,77 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                                 bytes / streams /
                                     link_class[c].bandwidth +
                                 link_class[c].latency;
-
-                        island_src_count.assign(topo_.numIslands(), 0);
-                        for (DeviceId s : src)
-                            ++island_src_count[topo_.islandOf(s)];
-                        const auto src_size =
+                        ctx.srcSize =
                             static_cast<std::uint32_t>(src.size());
+                        ctx.srcCountByIsland.assign(topo_.numIslands(),
+                                                    0);
+                        for (DeviceId s : src)
+                            ++ctx.srcCountByIsland[topo_.islandOf(s)];
+                        if (ctx.cls.size() < F)
+                            ctx.cls.resize(F);
+                    }
+                }
 
+                // Residency rows: one per distinct parameter key
+                // carried by the slice (affinity scoring).
+                sig_row.assign(sig.size(), -1);
+                row_of.clear();
+                row_key.clear();
+                for (std::size_t i = 0; i < sig.size(); ++i) {
+                    if (sig[i].bytes <= 0)
+                        continue;
+                    auto [it, inserted] = row_of.emplace(
+                        sig[i].key,
+                        static_cast<std::int32_t>(row_key.size()));
+                    if (inserted)
+                        row_key.push_back(sig[i].key);
+                    sig_row[i] = it->second;
+                }
+                const std::size_t rows = row_key.size();
+                if (cand_total.size() < F) {
+                    cand_total.resize(F);
+                    pos_island.resize(F);
+                }
+                if (res_flag.size() < rows * F)
+                    res_flag.resize(rows * F);
+
+                // ---- Phase A: per free position, the device's
+                // would-be total, island, link class per inflow, and
+                // residency flags. Positions are independent (each
+                // lane touches its own device's lazy total), so this
+                // is the entry's first parallel region.
+                auto compute_position = [&](std::size_t pos) {
+                    const DeviceId d = free[pos];
+                    double add = act_share;
+                    for (const SliceParam &sp : sig) {
+                        auto it = state.params[d].find(sp.key);
+                        if (it == state.params[d].end())
+                            add += sp.share;
+                        else if (sp.share > it->second)
+                            add += sp.share - it->second;
+                    }
+                    cand_total[pos] = state.deviceTotal(d) + add;
+                    const std::uint32_t isl = topo_.islandOf(d);
+                    pos_island[pos] = isl;
+
+                    if (!exact_comm) {
                         // A device's class is the fastest one it has
                         // any pair in: copy needs the device itself
                         // in src, intra another src device in its
                         // island, inter a src device in a different
                         // island.
-                        ctx.cls.resize(F);
-                        for (std::size_t pos = 0; pos < F; ++pos) {
-                            const DeviceId d = free[pos];
+                        for (std::size_t k = 0; k < inflows.size();
+                             ++k) {
+                            InflowCtx &ctx = inflow_ctx[k];
+                            const DeviceSet &src = *inflows[k].second;
                             const bool in_src = std::binary_search(
                                 src.begin(), src.end(), d);
                             const std::uint32_t same_island =
-                                island_src_count[pos_island[pos]];
+                                ctx.srcCountByIsland[isl];
                             const bool avail[kNumLinkClasses] = {
                                 in_src,
                                 same_island > (in_src ? 1u : 0u),
-                                src_size > same_island,
+                                ctx.srcSize > same_island,
                             };
                             int cls = class_by_bw[kNumLinkClasses - 1];
                             for (int r = 0; r < kNumLinkClasses; ++r) {
@@ -537,40 +644,161 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                                 static_cast<std::uint8_t>(cls);
                         }
                     }
-                }
 
-                // (c) Residency flags per distinct parameter key
-                // carried by the slice (affinity scoring).
-                sig_row.assign(sig.size(), -1);
-                std::unordered_map<std::int64_t, std::int32_t> row_of;
-                for (std::size_t i = 0; i < sig.size(); ++i) {
-                    if (sig[i].bytes <= 0)
+                    for (std::size_t r = 0; r < rows; ++r)
+                        res_flag[r * F + pos] =
+                            state.params[d].count(row_key[r]) ? 1 : 0;
+                };
+                const std::size_t pos_work =
+                    F * (sig.size() + rows + inflows.size() + 1);
+                maybeParallelFor(pool_,
+                                 pos_work >= kMinParallelWork, 0, F,
+                                 16, compute_position);
+
+                // ---- Phase B: per-band prefix state. Sizing and
+                // ordinal bases are serial (cheap, and resizes must
+                // not race); the fills are independent per band and
+                // per residency row.
+                const std::size_t num_bands = cand_windows.bands.size();
+                if (band_states.size() < num_bands)
+                    band_states.resize(num_bands);
+                std::size_t ordinal = 0;
+                std::size_t band_positions = 0;
+                for (std::size_t b = 0; b < num_bands; ++b) {
+                    BandState &bs = band_states[b];
+                    const std::size_t B = cand_windows.bands[b].size();
+                    bs.ordinalBase = ordinal;
+                    bs.numWindows = B >= n ? B - n + 1 : 0;
+                    ordinal += bs.numWindows;
+                    if (bs.numWindows == 0)
                         continue;
-                    auto it = row_of
-                                  .emplace(sig[i].key,
-                                           static_cast<std::int32_t>(
-                                               row_of.size()))
-                                  .first;
-                    sig_row[i] = it->second;
+                    band_positions += B;
+                    if (bs.chgPref.size() < B)
+                        bs.chgPref.resize(B);
+                    if (bs.resPref.size() < rows * (B + 1))
+                        bs.resPref.resize(rows * (B + 1));
+                    if (!exact_comm) {
+                        const std::size_t need = inflows.size() *
+                                                 kNumLinkClasses *
+                                                 (B + 1);
+                        if (bs.inflowPref.size() < need)
+                            bs.inflowPref.resize(need);
+                        bs.eqWindow.assign(inflows.size(), -1);
+                    }
                 }
-                const std::size_t rows = row_of.size();
-                res_flag.assign(rows * F, 0);
-                for (const auto &[key, row] : row_of) {
-                    const std::size_t base =
-                        static_cast<std::size_t>(row) * F;
-                    for (std::size_t pos = 0; pos < F; ++pos)
-                        res_flag[base + pos] =
-                            state.params[free[pos]].count(key) ? 1 : 0;
-                }
+                const std::size_t extras_base = ordinal;
+                const std::size_t total_candidates =
+                    ordinal + cand_windows.extras.size();
 
-                std::vector<std::uint32_t> best_pos; // free positions
-                bool found = false;
+                // Shared per-band state: island-change prefix,
+                // link-class prefixes, and the band window equal to
+                // a source set (zero-cost transfer).
+                auto build_band_shared = [&](std::size_t b) {
+                    BandState &bs = band_states[b];
+                    if (bs.numWindows == 0)
+                        return;
+                    const auto &band = cand_windows.bands[b];
+                    const std::size_t B = band.size();
 
-                // Evaluate one window given its peak memory load and
-                // a comm value; shared by the band sweep and the
-                // explicit extras.
-                auto consider = [&](double max_total, double comm,
-                                    auto &&materialize) {
+                    // Island-change prefix: a window holds within
+                    // one island iff no adjacent pair inside it
+                    // changes islands (exact under any numbering).
+                    bs.chgPref[0] = 0;
+                    for (std::size_t i = 1; i < B; ++i)
+                        bs.chgPref[i] =
+                            bs.chgPref[i - 1] +
+                            (pos_island[band[i]] !=
+                                     pos_island[band[i - 1]]
+                                 ? 1u
+                                 : 0u);
+
+                    if (exact_comm)
+                        return;
+                    const std::size_t stride = B + 1;
+                    for (std::size_t k = 0; k < inflows.size(); ++k) {
+                        std::uint32_t *pref =
+                            bs.inflowPref.data() +
+                            k * kNumLinkClasses * stride;
+                        const InflowCtx &ctx = inflow_ctx[k];
+                        for (int c = 0; c < kNumLinkClasses; ++c)
+                            pref[c * stride] = 0;
+                        for (std::size_t i = 0; i < B; ++i) {
+                            const int cls = ctx.cls[band[i]];
+                            for (int c = 0; c < kNumLinkClasses; ++c)
+                                pref[c * stride + i + 1] =
+                                    pref[c * stride + i] +
+                                    (cls == c ? 1u : 0u);
+                        }
+
+                        const DeviceSet &src = *inflows[k].second;
+                        if (src.size() == n) {
+                            // Devices ascend along a band, so
+                            // binary-search the band for the
+                            // source's first device.
+                            std::size_t lo = 0, hi = B;
+                            while (lo < hi) {
+                                const std::size_t mid = (lo + hi) / 2;
+                                if (free[band[mid]] < src.front())
+                                    lo = mid + 1;
+                                else
+                                    hi = mid;
+                            }
+                            if (lo + n <= B) {
+                                bool equal = true;
+                                for (std::uint32_t i = 0; i < n; ++i) {
+                                    if (free[band[lo + i]] != src[i]) {
+                                        equal = false;
+                                        break;
+                                    }
+                                }
+                                if (equal)
+                                    bs.eqWindow[k] = static_cast<
+                                        std::ptrdiff_t>(lo);
+                            }
+                        }
+                    }
+                };
+                // Residency prefix of one row along one band.
+                auto build_band_row = [&](std::size_t b,
+                                          std::size_t row) {
+                    BandState &bs = band_states[b];
+                    if (bs.numWindows == 0)
+                        return;
+                    const auto &band = cand_windows.bands[b];
+                    const std::size_t B = band.size();
+                    std::uint32_t *pref =
+                        bs.resPref.data() + row * (B + 1);
+                    const char *flags = res_flag.data() + row * F;
+                    pref[0] = 0;
+                    for (std::size_t i = 0; i < B; ++i)
+                        pref[i + 1] = pref[i] + flags[band[i]];
+                };
+                const std::size_t units_per_band = 1 + rows;
+                const std::size_t num_units =
+                    num_bands * units_per_band;
+                auto build_unit = [&](std::size_t u) {
+                    const std::size_t b = u / units_per_band;
+                    const std::size_t sub = u % units_per_band;
+                    if (sub == 0)
+                        build_band_shared(b);
+                    else
+                        build_band_row(b, sub - 1);
+                };
+                const std::size_t band_work =
+                    band_positions *
+                    (1 + rows + kNumLinkClasses * inflows.size());
+                maybeParallelFor(pool_,
+                                 band_work >= kMinParallelWork, 0,
+                                 num_units, 1, build_unit);
+
+                // ---- Phase C: the window sweep, a reduction over
+                // the candidate ordinals. consider() mirrors the
+                // historical replace-on-strictly-better scan (see
+                // struct Candidate).
+                auto consider = [&](Candidate &best, double max_total,
+                                    double comm, std::size_t ord,
+                                    std::int32_t band,
+                                    std::size_t start) {
                     const double peak_frac =
                         max_total / topo_.device().memoryBytes;
                     const double mem_score =
@@ -583,208 +811,148 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                         primary = comm + mem_score;
                         secondary = peak_frac;
                     }
-                    if (primary < best_primary ||
-                        (primary == best_primary &&
-                         secondary < best_secondary)) {
-                        best_primary = primary;
-                        best_secondary = secondary;
-                        best_comm = comm;
-                        materialize(best_pos);
-                        found = true;
+                    if (primary < best.primary ||
+                        (primary == best.primary &&
+                         (secondary < best.secondary ||
+                          (secondary == best.secondary &&
+                           ord < best.ordinal)))) {
+                        best.primary = primary;
+                        best.secondary = secondary;
+                        best.comm = comm;
+                        best.ordinal = ord;
+                        best.band = band;
+                        best.start = start;
                     }
                 };
 
-                // (d) Sweep each band. The memory extremum uses a
-                // monotonic deque (sliding-window maximum over the
-                // per-device candidate totals along the band).
-                std::vector<std::size_t> deque_pos;
-                for (const auto &band : cand_windows.bands) {
-                    const std::size_t B = band.size();
-                    if (B < n)
-                        continue;
+                // Score band windows with start in [w_lo, w_hi). The
+                // memory extremum uses a monotonic deque (sliding-
+                // window maximum over the per-device candidate
+                // totals along the band); a chunk warms its own
+                // deque over the n-1 positions before its first
+                // window, so the maximum — a selection, not an
+                // accumulation — is bit-identical to the full scan.
+                auto score_band_range =
+                    [&](std::size_t b, std::size_t w_lo,
+                        std::size_t w_hi, Candidate &best,
+                        DeviceSet &win_scratch,
+                        std::vector<std::size_t> &dq) {
+                        const auto &band = cand_windows.bands[b];
+                        const BandState &bs = band_states[b];
+                        const std::size_t B = band.size();
+                        const std::size_t stride = B + 1;
 
-                    // Island-change prefix: a window holds within
-                    // one island iff no adjacent pair inside it
-                    // changes islands (exact under any numbering).
-                    chg_pref.resize(B);
-                    chg_pref[0] = 0;
-                    for (std::size_t i = 1; i < B; ++i)
-                        chg_pref[i] =
-                            chg_pref[i - 1] +
-                            (pos_island[band[i]] !=
-                                     pos_island[band[i - 1]]
-                                 ? 1u
-                                 : 0u);
+                        dq.clear();
+                        std::size_t head = 0;
+                        const std::size_t i_end = w_hi + n - 1;
+                        for (std::size_t i = w_lo; i < i_end; ++i) {
+                            while (dq.size() > head &&
+                                   cand_total[band[dq.back()]] <=
+                                       cand_total[band[i]])
+                                dq.pop_back();
+                            dq.push_back(i);
+                            if (i + 1 < w_lo + n)
+                                continue; // window not yet full
+                            const std::size_t w = i + 1 - n;
+                            if (dq[head] < w)
+                                ++head;
+                            const double max_total =
+                                cand_total[band[dq[head]]];
 
-                    // Residency prefixes along the band.
-                    res_pref.assign(rows * (B + 1), 0);
-                    for (std::size_t row = 0; row < rows; ++row) {
-                        const std::size_t base = row * (B + 1);
-                        const std::size_t fbase = row * F;
-                        for (std::size_t i = 0; i < B; ++i)
-                            res_pref[base + i + 1] =
-                                res_pref[base + i] +
-                                res_flag[fbase + band[i]];
-                    }
+                            // Memory feasibility. Division by a
+                            // positive constant is monotone, so
+                            // dividing the window maximum equals the
+                            // former per-device quotient maximum.
+                            if (max_total > capacity)
+                                continue;
 
-                    // Link-class prefixes and the source-equal
-                    // window along the band.
-                    if (!exact_comm) {
-                        for (std::size_t k = 0; k < inflows.size();
-                             ++k) {
-                            InflowCtx &ctx = inflow_ctx[k];
-                            ctx.pref.assign(
-                                kNumLinkClasses * (B + 1), 0);
-                            for (std::size_t i = 0; i < B; ++i) {
-                                const int cls = ctx.cls[band[i]];
-                                for (int c = 0; c < kNumLinkClasses;
-                                     ++c)
-                                    ctx.pref[c * (B + 1) + i + 1] =
-                                        ctx.pref[c * (B + 1) + i] +
-                                        (cls == c ? 1u : 0u);
-                            }
-
-                            ctx.eq_window = -1;
-                            const DeviceSet &src = *inflows[k].second;
-                            if (src.size() == n) {
-                                // Devices ascend along a band, so
-                                // binary-search the band for the
-                                // source's first device.
-                                std::size_t lo = 0, hi = B;
-                                while (lo < hi) {
-                                    const std::size_t mid =
-                                        (lo + hi) / 2;
-                                    if (free[band[mid]] < src.front())
-                                        lo = mid + 1;
-                                    else
-                                        hi = mid;
-                                }
-                                if (lo + n <= B) {
-                                    bool equal = true;
-                                    for (std::uint32_t i = 0; i < n;
-                                         ++i) {
-                                        if (free[band[lo + i]] !=
-                                            src[i]) {
-                                            equal = false;
+                            // Inter-wave communication, accumulated
+                            // in the same source order as always.
+                            double comm = 0;
+                            if (exact_comm && !inflows.empty()) {
+                                // Exact fallback (see link_class
+                                // comment).
+                                win_scratch.resize(n);
+                                for (std::uint32_t j = 0; j < n; ++j)
+                                    win_scratch[j] =
+                                        free[band[w + j]];
+                                for (const auto &[bytes, src] :
+                                     inflows)
+                                    comm += coll.flowTime(
+                                        bytes, *src, win_scratch);
+                            } else {
+                                for (std::size_t k = 0;
+                                     k < inflows.size(); ++k) {
+                                    if (static_cast<std::ptrdiff_t>(
+                                            w) == bs.eqWindow[k])
+                                        continue; // data resident
+                                    if (inflows[k].first <= 0)
+                                        continue;
+                                    const std::uint32_t *pref =
+                                        bs.inflowPref.data() +
+                                        k * kNumLinkClasses * stride;
+                                    // Fastest link class present in
+                                    // the window (classes partition
+                                    // the devices, so the probe
+                                    // always finds one).
+                                    int cls = class_by_bw
+                                        [kNumLinkClasses - 1];
+                                    for (int r = 0;
+                                         r < kNumLinkClasses; ++r) {
+                                        const int c = class_by_bw[r];
+                                        if (pref[c * stride + w + n] >
+                                            pref[c * stride + w]) {
+                                            cls = c;
                                             break;
                                         }
                                     }
-                                    if (equal)
-                                        ctx.eq_window =
-                                            static_cast<
-                                                std::ptrdiff_t>(lo);
+                                    comm += inflow_ctx[k]
+                                                .flowByClass[cls];
                                 }
                             }
-                        }
-                    }
 
-                    deque_pos.clear();
-                    std::size_t head = 0;
-                    for (std::size_t i = 0; i < B; ++i) {
-                        while (deque_pos.size() > head &&
-                               cand_total[band[deque_pos.back()]] <=
-                                   cand_total[band[i]])
-                            deque_pos.pop_back();
-                        deque_pos.push_back(i);
-                        if (i + 1 < n)
-                            continue; // window not yet full
-                        const std::size_t w = i + 1 - n;
-                        if (deque_pos[head] < w)
-                            ++head;
-                        const double max_total =
-                            cand_total[band[deque_pos[head]]];
-
-                        // Memory feasibility. Division by a positive
-                        // constant is monotone, so dividing the
-                        // window maximum equals the former
-                        // per-device quotient maximum.
-                        if (max_total > capacity)
-                            continue;
-
-                        // Inter-wave communication, accumulated in
-                        // the same source order as always.
-                        double comm = 0;
-                        if (exact_comm && !inflows.empty()) {
-                            // Exact fallback (see link_class
-                            // comment).
-                            win_buf.resize(n);
-                            for (std::uint32_t j = 0; j < n; ++j)
-                                win_buf[j] = free[band[w + j]];
-                            for (const auto &[bytes, src] : inflows)
-                                comm += coll.flowTime(bytes, *src,
-                                                      win_buf);
-                        } else {
-                            for (std::size_t k = 0;
-                                 k < inflows.size(); ++k) {
-                                const InflowCtx &ctx = inflow_ctx[k];
-                                if (static_cast<std::ptrdiff_t>(w) ==
-                                    ctx.eq_window)
-                                    continue; // data already resident
-                                if (inflows[k].first <= 0)
+                            // Parameter affinity (§3.5): reward
+                            // windows whose devices already store
+                            // this slice's parameter sets; placing
+                            // elsewhere would grow the corresponding
+                            // gradient-sync groups by roughly one
+                            // ring pass of the non-resident bytes.
+                            double non_resident_bytes = 0;
+                            for (std::size_t s = 0; s < sig.size();
+                                 ++s) {
+                                const std::int32_t row = sig_row[s];
+                                if (row < 0)
                                     continue;
-                                // Fastest link class present in the
-                                // window (classes partition the
-                                // devices, so the probe always finds
-                                // one).
-                                int cls =
-                                    class_by_bw[kNumLinkClasses - 1];
-                                for (int r = 0; r < kNumLinkClasses;
-                                     ++r) {
-                                    const int c = class_by_bw[r];
-                                    if (ctx.pref[c * (B + 1) + w +
-                                                 n] >
-                                        ctx.pref[c * (B + 1) + w]) {
-                                        cls = c;
-                                        break;
-                                    }
-                                }
-                                comm += ctx.flowByClass[cls];
+                                const std::uint32_t *pref =
+                                    bs.resPref.data() +
+                                    static_cast<std::size_t>(row) *
+                                        stride;
+                                if (pref[w + n] == pref[w])
+                                    non_resident_bytes +=
+                                        sig[s].bytes;
                             }
+                            comm += options_.paramAffinityWeight *
+                                    2.0 * non_resident_bytes /
+                                    topo_.config()
+                                        .interIslandCollective
+                                        .bandwidth;
+
+                            if (cfg.tp > 1 &&
+                                bs.chgPref[w + n - 1] !=
+                                    bs.chgPref[w])
+                                comm += island_penalty;
+
+                            consider(best, max_total, comm,
+                                     bs.ordinalBase + w,
+                                     static_cast<std::int32_t>(b), w);
                         }
+                    };
 
-                        // Parameter affinity (§3.5): reward windows
-                        // whose devices already store this slice's
-                        // parameter sets; placing elsewhere would
-                        // grow the corresponding gradient-sync
-                        // groups by roughly one ring pass of the
-                        // non-resident bytes.
-                        double non_resident_bytes = 0;
-                        for (std::size_t s = 0; s < sig.size(); ++s) {
-                            const std::int32_t row = sig_row[s];
-                            if (row < 0)
-                                continue;
-                            const std::size_t base =
-                                static_cast<std::size_t>(row) *
-                                (B + 1);
-                            if (res_pref[base + w + n] ==
-                                res_pref[base + w])
-                                non_resident_bytes += sig[s].bytes;
-                        }
-                        comm += options_.paramAffinityWeight * 2.0 *
-                                non_resident_bytes /
-                                topo_.config()
-                                    .interIslandCollective.bandwidth;
-
-                        if (cfg.tp > 1 &&
-                            chg_pref[w + n - 1] != chg_pref[w])
-                            comm += island_penalty;
-
-                        consider(max_total, comm,
-                                 [&](std::vector<std::uint32_t> &out) {
-                                     out.assign(band.begin() +
-                                                    static_cast<
-                                                        std::ptrdiff_t>(
-                                                        w),
-                                                band.begin() +
-                                                    static_cast<
-                                                        std::ptrdiff_t>(
-                                                        w + n));
-                                 });
-                    }
-                }
-
-                // (e) Explicit windows (cross-island unions etc.).
-                for (const auto &win_pos : cand_windows.extras) {
+                // Score one explicit window (cross-island unions
+                // etc.).
+                auto score_extra = [&](std::size_t ei, Candidate &best,
+                                       DeviceSet &win_scratch) {
+                    const auto &win_pos = cand_windows.extras[ei];
                     panicIf(win_pos.size() != n,
                             "tryPlace: generator emitted a window of "
                             "the wrong size");
@@ -793,16 +961,16 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                         max_total =
                             std::max(max_total, cand_total[p]);
                     if (max_total > capacity)
-                        continue;
+                        return;
 
                     double comm = 0;
                     if (exact_comm && !inflows.empty()) {
-                        win_buf.resize(n);
+                        win_scratch.resize(n);
                         for (std::uint32_t j = 0; j < n; ++j)
-                            win_buf[j] = free[win_pos[j]];
+                            win_scratch[j] = free[win_pos[j]];
                         for (const auto &[bytes, src] : inflows)
-                            comm +=
-                                coll.flowTime(bytes, *src, win_buf);
+                            comm += coll.flowTime(bytes, *src,
+                                                  win_scratch);
                     } else {
                         for (std::size_t k = 0; k < inflows.size();
                              ++k) {
@@ -841,11 +1009,12 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                         const std::int32_t row = sig_row[s];
                         if (row < 0)
                             continue;
-                        const std::size_t fbase =
+                        const char *flags =
+                            res_flag.data() +
                             static_cast<std::size_t>(row) * F;
                         bool resident = false;
                         for (std::uint32_t p : win_pos) {
-                            if (res_flag[fbase + p]) {
+                            if (flags[p]) {
                                 resident = true;
                                 break;
                             }
@@ -872,24 +1041,104 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                             comm += island_penalty;
                     }
 
-                    consider(max_total, comm,
-                             [&](std::vector<std::uint32_t> &out) {
-                                 out = win_pos;
-                             });
+                    consider(best, max_total, comm, extras_base + ei,
+                             -1, ei);
+                };
+
+                // Chunk the candidate space into sweep tasks. Chunk
+                // size only balances lanes; any chunking yields the
+                // same winner (the ordinal tie-break is global).
+                const std::size_t sweep_work =
+                    total_candidates *
+                    (sig.size() + inflows.size() + 4);
+                const bool sweep_parallel =
+                    use_pool && sweep_work >= kMinParallelWork &&
+                    total_candidates > 1;
+                const std::size_t chunk =
+                    sweep_parallel
+                        ? std::max<std::size_t>(
+                              kMinSweepChunk,
+                              total_candidates /
+                                  (static_cast<std::size_t>(
+                                       pool_->threads()) *
+                                   4))
+                        : std::numeric_limits<std::size_t>::max();
+                sweep_tasks.clear();
+                for (std::size_t b = 0; b < num_bands; ++b) {
+                    const std::size_t W = band_states[b].numWindows;
+                    for (std::size_t lo = 0; lo < W; lo += chunk)
+                        sweep_tasks.push_back(
+                            {static_cast<std::int32_t>(b), lo,
+                             std::min(lo + chunk, W)});
+                }
+                for (std::size_t lo = 0;
+                     lo < cand_windows.extras.size(); lo += chunk)
+                    sweep_tasks.push_back(
+                        {-1, lo,
+                         std::min(lo + chunk,
+                                  cand_windows.extras.size())});
+
+                auto run_task = [&](const SweepTask &t,
+                                    Candidate &best,
+                                    DeviceSet &win_scratch,
+                                    std::vector<std::size_t> &dq) {
+                    if (t.band >= 0)
+                        score_band_range(
+                            static_cast<std::size_t>(t.band), t.lo,
+                            t.hi, best, win_scratch, dq);
+                    else
+                        for (std::size_t ei = t.lo; ei < t.hi; ++ei)
+                            score_extra(ei, best, win_scratch);
+                };
+
+                Candidate best;
+                if (sweep_parallel && sweep_tasks.size() > 1) {
+                    best = pool_->parallelReduce<Candidate>(
+                        0, sweep_tasks.size(), 1,
+                        [&](Candidate &acc, std::size_t lo,
+                            std::size_t hi) {
+                            DeviceSet win_scratch;
+                            std::vector<std::size_t> dq;
+                            for (std::size_t t = lo; t < hi; ++t)
+                                run_task(sweep_tasks[t], acc,
+                                         win_scratch, dq);
+                        },
+                        [](Candidate &out, const Candidate &c) {
+                            if (betterThan(c, out))
+                                out = c;
+                        });
+                } else {
+                    for (const SweepTask &t : sweep_tasks)
+                        run_task(t, best, win_buf, deque_scratch);
                 }
 
-                if (!found) {
+                if (!best.found()) {
                     if (fail_wave != nullptr)
                         *fail_wave = wi;
                     return false; // nothing fits: trigger fallback
                 }
+                best_comm = best.comm;
                 best_win.resize(n);
-                for (std::uint32_t j = 0; j < n; ++j)
-                    best_win[j] = free[best_pos[j]];
+                if (best.band >= 0) {
+                    const auto &band =
+                        cand_windows.bands[static_cast<std::size_t>(
+                            best.band)];
+                    for (std::uint32_t j = 0; j < n; ++j)
+                        best_win[j] = free[band[best.start + j]];
+                } else {
+                    const auto &win_pos =
+                        cand_windows.extras[best.start];
+                    for (std::uint32_t j = 0; j < n; ++j)
+                        best_win[j] = free[win_pos[j]];
+                }
             }
 
-            // Commit the chosen window.
-            for (DeviceId d : best_win) {
+            // Commit the chosen window. Devices are committed
+            // independently (each lane touches only its own device's
+            // map), so large entries parallelize; order is
+            // irrelevant to the resulting state.
+            auto commit_device = [&](std::size_t j) {
+                const DeviceId d = best_win[j];
                 state.activations[d] += act_share;
                 for (const SliceParam &sp : sig) {
                     auto [it, inserted] =
@@ -898,7 +1147,11 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                         it->second = sp.share;
                 }
                 state.markDirty(d);
-            }
+            };
+            maybeParallelFor(pool_,
+                             best_win.size() * (sig.size() + 1) >=
+                                 kMinParallelWork,
+                             0, best_win.size(), 8, commit_device);
 
             // Attribute the committed flows to intra- vs
             // inter-island fabric, shard by shard (see

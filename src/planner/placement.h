@@ -30,6 +30,15 @@
  * historical placer bit for bit (planner_equivalence_test);
  * `IslandAware` decouples window shape from device numbering.
  *
+ * With a ThreadPool the per-entry sweep runs as a parallel reduction:
+ * the position setup (per-device loads, link classes, residency
+ * flags), the per-band prefix builds, and the window scoring are
+ * chunked across lanes, and the winning window is selected by a
+ * deterministic merge on (primary score, secondary score, candidate
+ * ordinal) — the ordinal is the serial enumeration index, so the
+ * emitted plan is byte-identical to the single-threaded sweep at any
+ * thread count (pinned by planner_equivalence_test).
+ *
  * A Sequential strategy (each entry takes the next consecutive
  * device ids, no topology awareness — by design independent of the
  * island structure and of any renumbering) is provided for the
@@ -46,6 +55,8 @@
 #include "runtime/memory_model.h"
 
 namespace spindle {
+
+class ThreadPool;
 
 /** Placement strategy selector. */
 enum class PlacementStrategy : std::uint8_t
@@ -133,8 +144,12 @@ struct PlacementResult
 class DevicePlacement
 {
   public:
+    /** @param pool optional planner pool for the parallel scoring
+     *  sweep (non-owning; nullptr or a 1-thread pool run the
+     *  historical serial sweep — same bytes either way). */
     DevicePlacement(const ClusterTopology &topo, const HardwareModel &hw,
-                    const MemoryModel &mem, PlacementOptions options = {});
+                    const MemoryModel &mem, PlacementOptions options = {},
+                    ThreadPool *pool = nullptr);
 
     /**
      * Fill WaveEntry::devices for every wave of @p plan.
@@ -177,6 +192,7 @@ class DevicePlacement
     const HardwareModel &hw_;
     const MemoryModel &mem_;
     PlacementOptions options_;
+    ThreadPool *pool_ = nullptr;
 };
 
 } // namespace spindle

@@ -9,8 +9,11 @@ namespace spindle {
 
 ExecutionPlanner::ExecutionPlanner(const HardwareModel &hw,
                                    PlannerOptions options)
-    : hw_(hw), options_(options)
+    : hw_(hw), options_(options),
+      threads_(resolveThreadCount(options.threads))
 {
+    if (threads_ > 1)
+        pool_ = std::make_unique<ThreadPool>(threads_);
 }
 
 PlannerOutput
@@ -26,15 +29,18 @@ ExecutionPlanner::plan(const MetaGraph &graph) const
 
     PlannerOutput out;
 
-    // §3.2: profile the oracle and fit per-MetaOp scaling curves.
+    // §3.2: profile the oracle and fit per-MetaOp scaling curves
+    // (one independent curve per MetaOp — parallel when pooled).
     ScalabilityEstimator estimator(hw_, options_.estimator);
-    out.curves = estimator.estimateAll(graph, n);
+    out.curves = estimator.estimateAll(graph, n, pool_.get());
     const auto t_estimated = clock::now();
     out.phaseSeconds.estimation = seconds(t0, t_estimated);
 
-    // §3.3: per-MetaLevel MPSP allocation + bi-point discretization.
+    // §3.3: per-MetaLevel MPSP allocation + bi-point discretization
+    // (levels are data-independent — parallel when pooled).
     ResourceAllocator allocator(graph, out.curves, n, options_.allocator);
-    std::vector<LevelAllocation> allocations = allocator.allocateAll();
+    std::vector<LevelAllocation> allocations =
+        allocator.allocateAll(pool_.get());
     const auto t_allocated = clock::now();
     out.phaseSeconds.allocation = seconds(t_estimated, t_allocated);
 
@@ -53,10 +59,11 @@ ExecutionPlanner::plan(const MetaGraph &graph) const
     const auto t_scheduled = clock::now();
     out.phaseSeconds.scheduling = seconds(t_allocated, t_scheduled);
 
-    // §3.5: map wave entries onto devices.
+    // §3.5: map wave entries onto devices (the scoring sweep runs as
+    // a deterministic parallel reduction when pooled).
     MemoryModel mem(options_.memory);
     DevicePlacement placement(hw_.topology(), hw_, mem,
-                              options_.placement);
+                              options_.placement, pool_.get());
     out.placement = placement.place(graph, out.plan);
     const auto t_placed = clock::now();
     out.phaseSeconds.placement = seconds(t_scheduled, t_placed);

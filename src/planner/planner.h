@@ -10,6 +10,9 @@
 #ifndef SPINDLE_PLANNER_PLANNER_H
 #define SPINDLE_PLANNER_PLANNER_H
 
+#include <memory>
+
+#include "common/thread_pool.h"
 #include "cost/estimator.h"
 #include "planner/placement.h"
 #include "planner/resource_allocator.h"
@@ -27,6 +30,17 @@ struct PlannerOptions
 
     /** Memory accounting regime used by placement (ZeRO flags). */
     MemoryParams memory;
+
+    /**
+     * Planner worker threads: 1 (default) plans serially on the
+     * calling thread, 0 resolves to the machine's hardware
+     * concurrency, and absurd values warn and clamp
+     * (resolveThreadCount). Estimation, per-MetaLevel allocation and
+     * the placement scoring sweep parallelize; scheduling stays
+     * serial. Emitted plans are byte-identical at every thread
+     * count (planner_equivalence_test pins {1, 2, 8}).
+     */
+    std::uint32_t threads = 1;
 };
 
 /** Wall-clock spent in each planning phase, seconds. */
@@ -74,9 +88,18 @@ class ExecutionPlanner
     const PlannerOptions &options() const { return options_; }
     const HardwareModel &hardware() const { return hw_; }
 
+    /** Resolved worker-thread count (options().threads after
+     *  resolveThreadCount: 0 -> hardware_concurrency, clamped). */
+    std::uint32_t resolvedThreads() const { return threads_; }
+
   private:
     const HardwareModel &hw_;
     PlannerOptions options_;
+    std::uint32_t threads_ = 1;
+
+    /** Worker pool shared by every plan() call (created only when
+     *  threads_ > 1; plan() is not itself thread-safe). */
+    std::unique_ptr<ThreadPool> pool_;
 };
 
 } // namespace spindle

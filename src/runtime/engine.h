@@ -25,6 +25,8 @@
 #ifndef SPINDLE_RUNTIME_ENGINE_H
 #define SPINDLE_RUNTIME_ENGINE_H
 
+#include <optional>
+
 #include "hardware/hardware_model.h"
 #include "planner/execution_plan.h"
 #include "runtime/memory_model.h"
@@ -97,6 +99,18 @@ struct EngineOptions
      * cheaper algorithm per group.
      */
     CollectiveKind collective = CollectiveKind::FlatRing;
+
+    /**
+     * Planner worker threads for systems that build plans behind the
+     * common System interface. Unset (default) defers to the
+     * system's own planner options; set, it overrides them with
+     * PlannerOptions::threads semantics (1 = serial, 0 = auto,
+     * absurd values warn + clamp) — the same system-level override
+     * shape as the collective selector above. Plans are
+     * byte-identical at every thread count, so this is purely a
+     * wall-clock knob.
+     */
+    std::optional<std::uint32_t> plannerThreads;
 };
 
 /** One task (graph + placed plan) arriving mid-iteration. */

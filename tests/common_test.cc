@@ -1,16 +1,22 @@
 /**
  * @file
- * Unit tests for common/: logging helpers, math utilities, units and
- * the result-table builder.
+ * Unit tests for common/: logging helpers, math utilities, units,
+ * the result-table builder, and the planner thread-pool substrate
+ * (ThreadPool / StripedMemo).
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <sstream>
+#include <vector>
 
 #include "common/csv.h"
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/sharded_memo.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
 
 namespace spindle {
@@ -151,6 +157,104 @@ TEST(Table, FmtPrecision)
 {
     EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
     EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount)
+{
+    EXPECT_GE(resolveThreadCount(0), 1u); // auto: at least one lane
+    EXPECT_EQ(resolveThreadCount(1), 1u);
+    EXPECT_EQ(resolveThreadCount(7), 7u);
+    // Absurd requests warn and clamp instead of spawning a fork bomb.
+    EXPECT_EQ(resolveThreadCount(1u << 20), kMaxPlannerThreads);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce)
+{
+    for (std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.threads(), threads);
+        std::vector<std::atomic<int>> hits(1000);
+        pool.parallelFor(0, hits.size(), 7,
+                         [&](std::size_t i) { hits[i].fetch_add(1); });
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPoolTest, RunReportsDeterministicChunkGrid)
+{
+    // Chunk boundaries depend only on (begin, end, grain) — the
+    // contract deterministic reductions build on.
+    ThreadPool pool(4);
+    std::vector<std::pair<std::size_t, std::size_t>> chunks(4);
+    pool.run(10, 45, 10,
+             [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                 chunks[c] = {lo, hi};
+             });
+    EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>{10, 20}));
+    EXPECT_EQ(chunks[1], (std::pair<std::size_t, std::size_t>{20, 30}));
+    EXPECT_EQ(chunks[2], (std::pair<std::size_t, std::size_t>{30, 40}));
+    EXPECT_EQ(chunks[3], (std::pair<std::size_t, std::size_t>{40, 45}));
+}
+
+TEST(ThreadPoolTest, ParallelReduceMergesInChunkOrder)
+{
+    // Sum of 1..N via per-chunk partial sums: exact in integers, and
+    // the per-chunk partials make merge-order bugs visible.
+    ThreadPool pool(4);
+    const std::size_t kCount = 10000;
+    auto total = pool.parallelReduce<std::uint64_t>(
+        1, kCount + 1, 13,
+        [](std::uint64_t &acc, std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                acc += i;
+        },
+        [](std::uint64_t &out, const std::uint64_t &part) {
+            out += part;
+        });
+    EXPECT_EQ(total, kCount * (kCount + 1) / 2);
+}
+
+TEST(ThreadPoolTest, BackToBackRegionsReuseWorkers)
+{
+    // Many consecutive small regions (the placement-sweep pattern):
+    // each must run to completion before the next is issued.
+    ThreadPool pool(4);
+    std::vector<int> data(256, 0);
+    for (int round = 0; round < 200; ++round) {
+        pool.parallelFor(0, data.size(), 16,
+                         [&](std::size_t i) { data[i] += 1; });
+    }
+    for (int v : data)
+        EXPECT_EQ(v, 200);
+}
+
+TEST(StripedMemoTest, ValueTransparentAndConcurrent)
+{
+    StripedMemo<std::uint64_t, double> memo(1 << 10);
+    std::atomic<int> computes{0};
+    auto compute_for = [&](std::uint64_t k) {
+        return [&computes, k] {
+            computes.fetch_add(1);
+            return static_cast<double>(k) * 1.5;
+        };
+    };
+    EXPECT_DOUBLE_EQ(memo.getOrCompute(4, compute_for(4)), 6.0);
+    EXPECT_DOUBLE_EQ(memo.getOrCompute(4, compute_for(4)), 6.0);
+    EXPECT_EQ(computes.load(), 1); // second lookup hit the cache
+
+    // Hammer one memo from several lanes; every answer must be the
+    // pure function's (this is also the TSan coverage for the
+    // striped locking).
+    ThreadPool pool(8);
+    std::atomic<int> mismatches{0};
+    pool.parallelFor(0, 4096, 1, [&](std::size_t i) {
+        const std::uint64_t key = i % 97;
+        const double got = memo.getOrCompute(key, compute_for(key));
+        if (got != static_cast<double>(key) * 1.5)
+            mismatches.fetch_add(1);
+    });
+    EXPECT_EQ(mismatches.load(), 0);
 }
 
 } // namespace

@@ -301,6 +301,73 @@ TEST(Placement, PartialFallbackRestartFromLaterWave)
     a.plan.validate(fresh_v);
 }
 
+TEST(Placement, MemoryFallback512GpuStress)
+{
+    // ROADMAP open item: very-large-scale fallback coverage. 512
+    // GPUs (64 x 8-GPU islands), QWen-VAL under memory pressure: the
+    // comm-first pass must fail mid-plan (not at wave 0) so the
+    // memory-first fallback takes the partial-restart path, replays
+    // the committed prefix, and still fits with valid device sets.
+    // ctest-only — deliberately not part of the perf smoke, where
+    // runner variance at this scale is not yet understood. Planned
+    // with 8 planner threads, which also exercises the parallel
+    // scoring sweep (and its replay path) at scale.
+    ComputationGraph g = buildQwenVal({});
+    MetaGraph meta = contractGraph(g);
+
+    ClusterConfig cfg;
+    cfg.numNodes = 64;
+    cfg.gpusPerNode = 8;
+    ClusterTopology roomy(cfg);
+    HardwareModel hw_roomy(roomy);
+    PlannerOptions options;
+    options.threads = 8;
+    PlannerOutput baseline = ExecutionPlanner(hw_roomy, options).plan(meta);
+    double peak = 0;
+    for (double b : baseline.placement.peakBytes)
+        peak = std::max(peak, b);
+
+    PlannerOutput out;
+    bool fell_back = false;
+    double capacity_bytes = 0;
+    for (double frac : {0.999, 0.95, 0.9, 0.85, 0.8, 0.75, 0.7}) {
+        cfg.device.memoryBytes =
+            peak * frac / PlacementOptions{}.memorySlack;
+        ClusterTopology tight(cfg);
+        HardwareModel hw(tight);
+        MetaGraph fresh = contractGraph(g);
+        out = ExecutionPlanner(hw, options).plan(fresh);
+        if (out.placement.usedMemoryFallback) {
+            fell_back = true;
+            capacity_bytes = cfg.device.memoryBytes;
+            break;
+        }
+    }
+    ASSERT_TRUE(fell_back)
+        << "pressure ladder never forced the memory-first pass";
+
+    // The comm-first pass failed past wave 0, so the fallback
+    // resumed from the first infeasible wave (partial restart).
+    EXPECT_GT(out.placement.fallbackRestartWave, 0u);
+
+    // Fit under the shrunken capacity on all 512 devices...
+    ASSERT_EQ(out.placement.peakBytes.size(), 512u);
+    for (double b : out.placement.peakBytes)
+        EXPECT_LE(b, capacity_bytes * (1 + 1e-9));
+    // ...with structurally valid device sets (size, canonical form,
+    // id range; in-wave disjointness via validate()).
+    MetaGraph fresh = contractGraph(g);
+    out.plan.validate(fresh);
+    for (const Wave &w : out.plan.waves) {
+        for (const WaveEntry &e : w.entries) {
+            EXPECT_EQ(e.devices.size(), e.n);
+            EXPECT_TRUE(isCanonicalDeviceSet(e.devices));
+            for (DeviceId d : e.devices)
+                EXPECT_LT(d, 512u);
+        }
+    }
+}
+
 namespace {
 
 /** Test generator: exactly one candidate — the last n free devices. */

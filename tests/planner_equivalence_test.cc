@@ -10,6 +10,13 @@
  * every seed workload is planned by both pipelines and byte-compared
  * — comm-first and memory-first placement passes alike.
  *
+ * The concurrency-ready planner core extends the promise to thread
+ * counts: every equivalence case runs the optimized pipeline at
+ * {1, 2, 8} planner threads and byte-compares each against the
+ * frozen serial reference, and a determinism case re-runs the
+ * parallel planner to catch accidental dependence on lane scheduling
+ * or sharded-memo iteration order.
+ *
  * If an intentional scoring change ever lands, these reference
  * copies must be updated alongside it (and the change called out as
  * plan-affecting).
@@ -24,7 +31,9 @@
 #include <map>
 #include <unordered_map>
 
+#include "baselines/spindle_system.h"
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 #include "planner/planner.h"
 #include "test_util.h"
 
@@ -598,11 +607,21 @@ expectEquivalentOn(const ComputationGraph &graph, ClusterConfig cluster,
     MetaGraph meta = contractGraph(graph);
 
     PlannerOutput ref = reference::plan(hw, options, meta);
-    ExecutionPlanner planner(hw, options);
-    PlannerOutput opt = planner.plan(meta);
 
-    expectPlansIdentical(ref.plan, opt.plan);
-    expectPlacementsIdentical(ref.placement, opt.placement);
+    // The optimized pipeline must reproduce the frozen reference bit
+    // for bit at every thread count: 1 is the serial fast path; 2
+    // and 8 exercise the parallel estimation / allocation / sweep
+    // and their deterministic merges.
+    for (std::uint32_t threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE(strCat("threads=", threads));
+        PlannerOptions threaded = options;
+        threaded.threads = threads;
+        ExecutionPlanner planner(hw, threaded);
+        PlannerOutput opt = planner.plan(meta);
+
+        expectPlansIdentical(ref.plan, opt.plan);
+        expectPlacementsIdentical(ref.placement, opt.placement);
+    }
 }
 
 void
@@ -927,14 +946,22 @@ TEST(PlannerEquivalence, MemoryFirstFallbackPass)
         // its own equivalence coverage in placement_test).
         options.placement.partialFallbackRestart = false;
         PlannerOutput ref = reference::plan(hw, options, fresh);
-        ExecutionPlanner planner(hw, options);
-        PlannerOutput opt = planner.plan(fresh);
 
-        EXPECT_EQ(ref.placement.usedMemoryFallback,
-                  opt.placement.usedMemoryFallback);
-        expectPlansIdentical(ref.plan, opt.plan);
-        expectPlacementsIdentical(ref.placement, opt.placement);
-        if (opt.placement.usedMemoryFallback) {
+        bool fell_back = false;
+        for (std::uint32_t threads : {1u, 8u}) {
+            SCOPED_TRACE(strCat("threads=", threads));
+            PlannerOptions threaded = options;
+            threaded.threads = threads;
+            ExecutionPlanner planner(hw, threaded);
+            PlannerOutput opt = planner.plan(fresh);
+
+            EXPECT_EQ(ref.placement.usedMemoryFallback,
+                      opt.placement.usedMemoryFallback);
+            expectPlansIdentical(ref.plan, opt.plan);
+            expectPlacementsIdentical(ref.placement, opt.placement);
+            fell_back = opt.placement.usedMemoryFallback;
+        }
+        if (fell_back) {
             exercised = true;
             break;
         }
@@ -942,6 +969,83 @@ TEST(PlannerEquivalence, MemoryFirstFallbackPass)
     EXPECT_TRUE(exercised)
         << "memory pressure ladder never triggered the fallback pass; "
            "tighten the fractions";
+}
+
+// ===================================================================
+// Parallel planner: run-to-run determinism and the threads knob
+// ===================================================================
+
+TEST(PlannerEquivalence, ParallelPlannerDeterministicAcrossRuns)
+{
+    // Run the parallel planner 3x at the same thread count and
+    // byte-compare: catches accidental dependence on lane scheduling
+    // or sharded-memo iteration order. The mixed-size island cluster
+    // with island-aware windows exercises multi-band sweeps plus
+    // cross-island extras — the widest parallel surface.
+    ClusterTopology topo(heteroCluster({12, 4, 12, 4}));
+    HardwareModel hw(topo);
+    ComputationGraph g = buildMultitaskClip({.numTasks = 10});
+    MetaGraph meta = contractGraph(g);
+
+    PlannerOptions options;
+    options.placement.windows = WindowPolicy::IslandAware;
+    options.threads = 8;
+    ExecutionPlanner planner(hw, options);
+    ASSERT_EQ(planner.resolvedThreads(), 8u);
+
+    PlannerOutput first = planner.plan(meta);
+    for (int run = 1; run < 3; ++run) {
+        SCOPED_TRACE(strCat("run ", run));
+        PlannerOutput again = planner.plan(meta);
+        expectPlansIdentical(first.plan, again.plan);
+        expectPlacementsIdentical(first.placement, again.placement);
+    }
+}
+
+TEST(PlannerEquivalence, ThreadsKnobResolvesAutoAndClampsAbsurd)
+{
+    ClusterConfig cfg;
+    cfg.numNodes = 1;
+    cfg.gpusPerNode = 8;
+    ClusterTopology topo(cfg);
+    HardwareModel hw(topo);
+
+    PlannerOptions options;
+    options.threads = 0; // auto = hardware_concurrency
+    EXPECT_GE(ExecutionPlanner(hw, options).resolvedThreads(), 1u);
+
+    options.threads = 3;
+    EXPECT_EQ(ExecutionPlanner(hw, options).resolvedThreads(), 3u);
+
+    options.threads = 1u << 24; // absurd: warns and clamps
+    EXPECT_EQ(ExecutionPlanner(hw, options).resolvedThreads(),
+              kMaxPlannerThreads);
+}
+
+TEST(PlannerEquivalence, EngineOptionsPlannerThreadsPlumbing)
+{
+    // The System-level override (plumbed through setEngineOptions
+    // like the collective selector) may only change wall clock,
+    // never plan bytes.
+    ClusterConfig cfg;
+    cfg.numNodes = 2;
+    cfg.gpusPerNode = 8;
+    ClusterTopology topo(cfg);
+    HardwareModel hw(topo);
+    ComputationGraph g = buildMultitaskClip({.numTasks = 4});
+    MetaGraph meta = contractGraph(g);
+
+    SpindleSystem serial(hw);
+    SpindleSystem threaded(hw);
+    EngineOptions engine;
+    engine.plannerThreads = 8u;
+    threaded.setEngineOptions(engine);
+    ASSERT_TRUE(threaded.engineOptions().plannerThreads.has_value());
+    EXPECT_EQ(*threaded.engineOptions().plannerThreads, 8u);
+
+    ExecutionPlan a = serial.buildPlan(meta);
+    ExecutionPlan b = threaded.buildPlan(meta);
+    expectPlansIdentical(a, b);
 }
 
 } // namespace
