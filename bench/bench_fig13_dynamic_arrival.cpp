@@ -5,10 +5,10 @@
  * this scenario injects a newly arriving task mid-iteration through
  * the simulator's event queue (Engine::runDynamic): the new task's
  * waves contend for devices with the in-flight iteration instead of
- * waiting for a full replan. Reported per arrival time: the
- * arriving task's completion when injected immediately vs deferred
- * to the iteration boundary (the lockstep alternative), under both
- * dispatch policies.
+ * waiting for a full replan. Reported per cluster size and arrival
+ * time: the arriving task's completion when injected immediately vs
+ * deferred to the iteration boundary (the lockstep alternative),
+ * under both dispatch policies.
  */
 
 #include <iostream>
@@ -18,30 +18,20 @@
 using namespace spindle;
 using namespace spindle::bench;
 
-int
-main()
-{
-    std::cout << "=== Fig. 13 companion: mid-iteration task arrival "
-                 "through the event queue ===\n";
+namespace {
 
-    ClusterTopology topo = makeCluster(2);
+void
+runCluster(std::uint32_t nodes, Table &table)
+{
+    ClusterTopology topo = makeCluster(nodes);
     HardwareModel hw(topo);
     ExecutionPlanner planner(hw);
 
-    // In-flight iteration: Multitask-CLIP with 4 tasks.
-    ComputationGraph base_graph = buildMultitaskClip({.numTasks = 4});
-    MetaGraph base = contractGraph(base_graph);
-    PlannerOutput base_out = planner.plan(base);
-
-    // The arriving task: a single-task workload planned on the same
-    // cluster (plans are per-workload; the event queue shares the
-    // devices).
-    ComputationGraph arr_graph = buildMultitaskClip({.numTasks = 1});
-    MetaGraph arrival = contractGraph(arr_graph);
-    PlannerOutput arr_out = planner.plan(arrival);
-
-    Table table({"policy", "arrival_at_pct", "inject_done_ms",
-                 "deferred_done_ms", "speedup"});
+    // In-flight iteration: Multitask-CLIP with 4 tasks; the arrival
+    // is a single-task workload planned on the same cluster (plans
+    // are per-workload; the event queue shares the devices).
+    ArrivalScenario scenario(planner, /*base_tasks=*/4,
+                             /*arrival_tasks=*/1);
 
     for (DispatchPolicyKind kind : {DispatchPolicyKind::StrictBarrier,
                                     DispatchPolicyKind::Overlap}) {
@@ -53,23 +43,52 @@ main()
                                                       : "overlap";
 
         const double iter =
-            engine.run(base, base_out.plan).iterationSeconds;
+            engine.run(scenario.base, scenario.baseOut.plan)
+                .iterationSeconds;
         for (double frac : {0.1, 0.3, 0.5, 0.7}) {
             std::vector<double> injected, deferred;
-            engine.runDynamic(
-                base, base_out.plan,
-                {{frac * iter, &arrival, &arr_out.plan}}, &injected);
+            engine.runDynamic(scenario.base, scenario.baseOut.plan,
+                              {{frac * iter, &scenario.arrival,
+                                &scenario.arrivalOut.plan}},
+                              &injected);
             // Lockstep alternative: the arrival waits for the
             // iteration boundary.
-            engine.runDynamic(base, base_out.plan,
-                              {{iter, &arrival, &arr_out.plan}},
+            engine.runDynamic(scenario.base, scenario.baseOut.plan,
+                              {{iter, &scenario.arrival,
+                                &scenario.arrivalOut.plan}},
                               &deferred);
-            table.addRow({policy, Table::fmt(100 * frac, 0),
+            table.addRow({clusterLabel(nodes), policy,
+                          Table::fmt(100 * frac, 0),
                           Table::fmt(toMs(injected[0]), 2),
                           Table::fmt(toMs(deferred[0]), 2),
                           Table::fmt(deferred[0] / injected[0], 2)});
         }
     }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "=== Fig. 13 companion: mid-iteration task arrival "
+                 "through the event queue ===\n";
+
+    // Default sweep: the paper's 2-node testbed plus a 64-GPU point;
+    // override with explicit node counts on the command line.
+    std::vector<std::uint32_t> node_counts{2, 8};
+    if (argc > 1) {
+        node_counts.clear();
+        for (int i = 1; i < argc; ++i)
+            node_counts.push_back(static_cast<std::uint32_t>(
+                std::strtoul(argv[i], nullptr, 10)));
+    }
+
+    Table table({"cluster", "policy", "arrival_at_pct", "inject_done_ms",
+                 "deferred_done_ms", "speedup"});
+    for (std::uint32_t nodes : node_counts)
+        runCluster(nodes, table);
+
     table.printAligned(std::cout);
     std::cout << "\ninject_done: arriving task completion when its "
                  "waves are dispatched as events into the running "

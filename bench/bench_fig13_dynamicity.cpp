@@ -16,16 +16,10 @@ using namespace spindle::bench;
 
 namespace {
 
-struct Phase
-{
-    std::uint32_t tasks;
-    double iterations; // thousands
-};
-
 void
 runSchedule(const std::string &name,
             const std::function<ComputationGraph(std::uint32_t)> &build,
-            const std::vector<Phase> &phases, std::uint32_t nodes)
+            const std::vector<DynamicPhase> &phases, std::uint32_t nodes)
 {
     ClusterTopology topo = makeCluster(nodes);
     HardwareModel hw(topo);
@@ -70,11 +64,11 @@ main()
     runSchedule(
         "Multitask-CLIP",
         [](std::uint32_t t) { return buildMultitaskClip({.numTasks = t}); },
-        {{4, 50}, {7, 50}, {10, 50}, {7, 50}}, 2);
+        clipDynamicPhases(), 2);
     std::cout << "\n";
     runSchedule(
         "OFASys",
         [](std::uint32_t t) { return buildOfasys({.numTasks = t}); },
-        {{4, 30}, {7, 40}, {5, 30}}, 2);
+        ofasysDynamicPhases(), 2);
     return 0;
 }

@@ -203,6 +203,60 @@ clusterLabel(std::uint32_t num_nodes)
                   num_nodes * 8, "GPUs)");
 }
 
+/**
+ * One phase of a Fig. 13 dynamic-workload schedule: run the given
+ * multitask mix for a stretch of iterations, then move to the next
+ * phase (a task arrival or departure).
+ */
+struct DynamicPhase
+{
+    std::uint32_t tasks = 0;
+    double iterations = 0; ///< thousands of iterations
+};
+
+/** The paper's Fig. 13 Multitask-CLIP schedule: 4 -> 7 -> 10 -> 7. */
+inline std::vector<DynamicPhase>
+clipDynamicPhases()
+{
+    return {{4, 50}, {7, 50}, {10, 50}, {7, 50}};
+}
+
+/** The paper's Fig. 13 OFASys schedule: 4 -> 7 -> 5. */
+inline std::vector<DynamicPhase>
+ofasysDynamicPhases()
+{
+    return {{4, 30}, {7, 40}, {5, 30}};
+}
+
+/**
+ * Shared setup of the dynamic-arrival benches: a planned Multitask-
+ * CLIP base workload plus a planned single-arrival workload on one
+ * cluster. Self-referential (the MetaGraphs point into the member
+ * ComputationGraphs), hence pinned in place.
+ */
+struct ArrivalScenario
+{
+    ArrivalScenario(ExecutionPlanner &planner, std::uint32_t base_tasks,
+                    std::uint32_t arrival_tasks)
+        : baseGraph(buildMultitaskClip({.numTasks = base_tasks})),
+          arrivalGraph(buildMultitaskClip({.numTasks = arrival_tasks})),
+          base(contractGraph(baseGraph)),
+          arrival(contractGraph(arrivalGraph)),
+          baseOut(planner.plan(base)), arrivalOut(planner.plan(arrival))
+    {
+    }
+
+    ArrivalScenario(const ArrivalScenario &) = delete;
+    ArrivalScenario &operator=(const ArrivalScenario &) = delete;
+
+    ComputationGraph baseGraph;
+    ComputationGraph arrivalGraph;
+    MetaGraph base;
+    MetaGraph arrival;
+    PlannerOutput baseOut;
+    PlannerOutput arrivalOut;
+};
+
 /** The five systems of Fig. 8, in the paper's legend order. */
 inline std::vector<std::unique_ptr<System>>
 makeAllSystems(const HardwareModel &hw)

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI perf smoke: fail when a benchmark artifact regresses.
 
-Three modes, selected by the first argument:
+Four modes, selected by the first argument:
 
 planner — compare a fresh BENCH_planner.json (written by
 bench_planner_scaling) against the checked-in budget file
@@ -44,11 +44,26 @@ gates:
     delta must not shrink below budget / factor — the runtime reward
     of island-aware placement cannot silently vanish.
 
+replan — gate incremental replanning's advantage over from-scratch
+planning. bench_fig13_arrival_storm writes BENCH_replan.json with
+per-scale mean replan vs from-scratch latencies over an arrival
+storm; for every baseline record in bench/baseline_replan.json
+carrying "min_speedup" (the 256-GPU point), the current run's
+scratch_mean_seconds / replan_mean_seconds ratio must reach the
+floor, and the plan cache must have fully hit at least once (a
+cache that never hits would make the ratio meaningless). The ratio
+compares two wall-clocks measured in the same process on the same
+machine, so it needs no per-runner budget padding; records without
+a floor are informational. As with planner-threads, a baseline with
+no min_speedup record at all fails — the gate cannot silently
+evaporate.
+
 Wall-clock budgets are deliberately generous (several times a warm
 local run) so shared CI runners do not flap. Other scale points are
 reported informationally.
 
-Usage: check_bench_regression.py {planner|planner-threads|collectives}
+Usage: check_bench_regression.py
+       {planner|planner-threads|collectives|replan}
        CURRENT_JSON BASELINE_JSON [FACTOR]
 """
 
@@ -247,11 +262,65 @@ def check_collectives(current, baseline, factor):
     return failures
 
 
+def check_replan(current, baseline):
+    failures = []
+    gated = 0
+    for name, base in sorted(baseline.items()):
+        floor = base.get("min_speedup")
+        cur = current.get(name)
+        if cur is None:
+            if floor is not None:
+                failures.append(f"{name}: missing from current run")
+            else:
+                print(f"warn  {name:<24} missing from current run")
+            continue
+        replan_s = cur.get("replan_mean_seconds")
+        scratch_s = cur.get("scratch_mean_seconds")
+        full_hits = cur.get("full_hits")
+        if replan_s is None or scratch_s is None or full_hits is None:
+            failures.append(f"{name}: replan fields missing")
+            continue
+        speedup = scratch_s / replan_s if replan_s > 0 else float("inf")
+        if floor is None:
+            print(
+                f"info  {name:<24} replan={replan_s * 1e3:8.3f} ms"
+                f"  scratch={scratch_s * 1e3:8.3f} ms"
+                f"  speedup={speedup:6.1f}x  (ungated)"
+            )
+            continue
+        gated += 1
+        problems = []
+        if speedup < floor:
+            problems.append(
+                f"replan speedup {speedup:.1f}x < floor {floor:.1f}x"
+            )
+        if full_hits < 1:
+            problems.append(
+                "plan cache never fully hit during the storm"
+            )
+        status = "FAIL" if problems else "OK"
+        print(
+            f"{status:>4}  {name:<24} replan={replan_s * 1e3:8.3f} ms"
+            f"  scratch={scratch_s * 1e3:8.3f} ms"
+            f"  speedup={speedup:6.1f}x  floor={floor:.1f}x"
+            f"  full_hits={int(full_hits)}"
+        )
+        for p in problems:
+            failures.append(f"{name}: {p}")
+    if gated == 0:
+        failures.append(
+            "replan: no baseline record carries min_speedup; the "
+            "replan gate is not wired up"
+        )
+    return failures
+
+
 def main(argv):
     if len(argv) not in (4, 5) or argv[1] not in (
         "planner",
         "planner-threads",
         "collectives",
+        "replan",
     ):
         print(__doc__)
         return 2
@@ -264,6 +333,8 @@ def main(argv):
         failures = check_planner(current, baseline, factor)
     elif mode == "planner-threads":
         failures = check_planner_threads(current, baseline)
+    elif mode == "replan":
+        failures = check_replan(current, baseline)
     else:
         failures = check_collectives(current, baseline, factor)
 

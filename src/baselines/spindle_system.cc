@@ -25,13 +25,16 @@ SpindleSystem::buildPlan(const MetaGraph &graph) const
     // options this system was constructed with.
     if (engine_options_.plannerThreads.has_value())
         options.threads = *engine_options_.plannerThreads;
-    // The planner (and its worker pool) is cached across builds —
-    // runDynamic-style replans must not pay thread spawn/join per
-    // plan. Only the threads knob can change between calls.
+    // The planner (and its worker pool + plan cache) is cached
+    // across builds — runDynamic-style replans must not pay thread
+    // spawn/join per plan, and revisited task mixes should hit the
+    // cache. Only the threads knob can change between calls.
     if (planner_ == nullptr ||
         planner_->options().threads != options.threads)
         planner_ = std::make_unique<ExecutionPlanner>(hw_, options);
-    return planner_->plan(graph).plan;
+    // Incremental: byte-identical to plan(graph), but arrivals and
+    // departures pay for what they perturb, not for the cluster.
+    return planner_->replan(graph).plan;
 }
 
 SpindleSystem

@@ -1,6 +1,7 @@
 #include "hardware/topology.h"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 
 #include "common/logging.h"
@@ -41,6 +42,26 @@ resolveLink(const LinkParams &link, const LinkParams &fallback,
     if (link.bandwidth == 0)
         return {fallback.bandwidth, link.latency};
     return link;
+}
+
+/** Order-sensitive 64-bit hash combiner (FNV-1a over words). */
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v;
+    return h * 0x100000001b3ull;
+}
+
+std::uint64_t
+mix(std::uint64_t h, double v)
+{
+    return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t
+mix(std::uint64_t h, const LinkParams &link)
+{
+    return mix(mix(h, link.bandwidth), link.latency);
 }
 
 } // namespace
@@ -160,6 +181,36 @@ ClusterTopology::validateAndBuild()
               [](const PairLinks &x, const PairLinks &y) {
                   return x.key < y.key;
               });
+
+    // Fingerprint the *resolved* state, never the raw config: the
+    // shorthand and an explicit island list that denote the same
+    // cluster must hash equal, and 0-bandwidth inherit markers must
+    // not leak through. Every ingredient a planner query can read is
+    // covered: device spec, memberships, resolved links, and the
+    // three config defaults (placement's class tables and the
+    // uniform-fabric fast path read those directly).
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = mix(h, static_cast<std::uint64_t>(num_devices_));
+    h = mix(h, config_.device.peakFlops);
+    h = mix(h, config_.device.memoryBytes);
+    h = mix(h, config_.device.copyBandwidth);
+    h = mix(h, config_.intraIsland);
+    h = mix(h, config_.interIsland);
+    h = mix(h, config_.interIslandCollective);
+    h = mix(h, static_cast<std::uint64_t>(islands_.size()));
+    for (std::size_t k = 0; k < islands_.size(); ++k) {
+        h = mix(h, static_cast<std::uint64_t>(islands_[k].size()));
+        for (DeviceId d : islands_[k])
+            h = mix(h, static_cast<std::uint64_t>(d));
+        h = mix(h, intra_links_[k]);
+    }
+    h = mix(h, static_cast<std::uint64_t>(pair_links_.size()));
+    for (const PairLinks &pair : pair_links_) {
+        h = mix(h, pair.key);
+        h = mix(h, pair.p2p);
+        h = mix(h, pair.collective);
+    }
+    fingerprint_ = h;
 }
 
 void

@@ -180,6 +180,18 @@ class ClusterTopology
     LinkParams linkBetween(DeviceId a, DeviceId b) const;
 
     /**
+     * 64-bit structural fingerprint of the *resolved* topology:
+     * device spec, per-island device memberships, resolved intra
+     * classes, the three default link classes (placement reads them
+     * directly), and the resolved island-pair overrides. Two
+     * topologies with equal fingerprints answer every planner query
+     * identically, so the fingerprint keys cached planning results
+     * (planner/plan_cache.h). Shorthand and explicit-island configs
+     * that resolve to the same island graph hash equal.
+     */
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    /**
      * The slowest link class spanned by a device group: the
      * bottleneck of a ring collective over the group. Groups
      * spanning islands are bottlenecked by the lowest-bandwidth
@@ -194,6 +206,7 @@ class ClusterTopology
 
     ClusterConfig config_;
     std::uint32_t num_devices_ = 0;
+    std::uint64_t fingerprint_ = 0;
     std::uint32_t max_island_size_ = 0;
     std::uint32_t min_island_size_ = 0;
     bool uniform_links_ = true;

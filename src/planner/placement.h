@@ -109,6 +109,23 @@ struct PlacementOptions
     double paramAffinityWeight = 1.0;
 };
 
+/**
+ * One committed wave entry of a placement pass: positional entry
+ * coordinates plus the comm seconds the pass charged to it. A logged
+ * comm-first pass can be replayed bit-identically from these records
+ * — the partial fallback restart replays the feasible prefix of a
+ * failed pass, and incremental replanning (planner/plan_cache.h)
+ * replays the prefix of a previously cached plan whose leading
+ * levels an arrival did not perturb.
+ */
+struct PlacementCommit
+{
+    std::uint32_t wave = 0;
+    std::uint32_t entry = 0;
+    double comm = 0;        ///< scored comm charged to the entry
+    double interIsland = 0; ///< inter-island share of the above
+};
+
 /** Result of placing a plan. */
 struct PlacementResult
 {
@@ -154,21 +171,37 @@ class DevicePlacement
     /**
      * Fill WaveEntry::devices for every wave of @p plan.
      * fatal()s when even memory-first placement cannot fit.
+     *
+     * When @p commit_log is non-null it receives the commit records
+     * of the successful comm-first pass, replayable as a placement
+     * prefix; it is left empty when the memory-first fallback was
+     * needed (a fallback log would mix scoring regimes).
      */
-    PlacementResult place(const MetaGraph &graph,
-                          ExecutionPlan &plan) const;
+    PlacementResult
+    place(const MetaGraph &graph, ExecutionPlan &plan,
+          std::vector<PlacementCommit> *commit_log = nullptr) const;
+
+    /**
+     * place() with a reused prefix: waves before @p resume_wave must
+     * already carry the device sets a comm-first pass committed, and
+     * @p prefix must be that pass's commit records for those waves.
+     * The prefix is replayed (state committed, never re-scored) and
+     * scoring starts at @p resume_wave; the full fallback cascade of
+     * place() applies beyond the prefix, so the filled plan is
+     * byte-identical to a from-scratch place(). Used by
+     * ExecutionPlanner::replan().
+     */
+    PlacementResult
+    placeWithPrefix(const MetaGraph &graph, ExecutionPlan &plan,
+                    std::size_t resume_wave,
+                    const std::vector<PlacementCommit> &prefix,
+                    std::vector<PlacementCommit> *commit_log = nullptr) const;
 
   private:
     struct Attempt;
 
-    /** One committed entry of a successful prefix, for replay. */
-    struct CommitRecord
-    {
-        std::uint32_t wave = 0;
-        std::uint32_t entry = 0;
-        double comm = 0;        ///< scored comm charged to the entry
-        double interIsland = 0; ///< inter-island share of the above
-    };
+    /** Internal alias; see PlacementCommit. */
+    using CommitRecord = PlacementCommit;
 
     /**
      * One placement pass. Waves before @p resume_wave are replayed

@@ -1,0 +1,233 @@
+#include "planner/plan_cache.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace spindle {
+
+namespace {
+
+/** Order-sensitive 64-bit hash combiner (FNV-1a over words). */
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v;
+    return h * 0x100000001b3ull;
+}
+
+std::uint64_t
+mix(std::uint64_t h, double v)
+{
+    return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+/**
+ * Raw parameter dedup key, mirroring placement's: shared parameter
+ * sets map to their ParamKey, unshared operators to a unique
+ * negative key derived from the operator id. The raw values (not
+ * just the sharing structure) go into the signature because
+ * placement's per-device memory maps are keyed by them and its FP
+ * summation order follows the key values.
+ */
+std::int64_t
+rawParamKey(const OperatorDesc &op)
+{
+    if (op.paramKey != kNoParam)
+        return op.paramKey;
+    return -(static_cast<std::int64_t>(op.id) + 2);
+}
+
+std::uint64_t
+hashSignature(const GraphSignature &sig)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = mix(h, static_cast<std::uint64_t>(sig.levels.size()));
+    for (const LevelSignature &level : sig.levels) {
+        h = mix(h, static_cast<std::uint64_t>(level.metaOps.size()));
+        for (const MetaOpSignature &m : level.metaOps) {
+            h = mix(h, static_cast<std::uint64_t>(m.type));
+            h = mix(h, static_cast<std::uint64_t>(m.input.batch));
+            h = mix(h, static_cast<std::uint64_t>(m.input.seq));
+            h = mix(h, static_cast<std::uint64_t>(m.input.hidden));
+            h = mix(h, m.flopsFwdPerOp);
+            h = mix(h, m.paramBytesPerOp);
+            h = mix(h, m.activationBytes);
+            h = mix(h, static_cast<std::uint64_t>(m.numOps));
+            for (const MetaOpSignature::MemberParam &p : m.memberParams) {
+                h = mix(h, static_cast<std::uint64_t>(p.key));
+                h = mix(h, p.bytes);
+            }
+            for (const MetaOpSignature::Inflow &f : m.inflows) {
+                h = mix(h, static_cast<std::uint64_t>(f.srcLevel));
+                h = mix(h, static_cast<std::uint64_t>(f.srcPos));
+                h = mix(h, f.flowBytes);
+            }
+        }
+    }
+    return h;
+}
+
+} // namespace
+
+std::size_t
+GraphSignature::commonPrefixLevels(const GraphSignature &o) const
+{
+    const std::size_t bound = std::min(levels.size(), o.levels.size());
+    std::size_t k = 0;
+    while (k < bound && levels[k] == o.levels[k])
+        ++k;
+    return k;
+}
+
+GraphSignature
+signatureOf(const MetaGraph &graph)
+{
+    GraphSignature sig;
+    sig.levels.resize(graph.numLevels());
+
+    // Positional address of every MetaOp: (level, index within
+    // level). Within a level, ids ascend with position, which is
+    // what makes positional identity line up with every id-ordered
+    // tie-break in the pipeline.
+    std::vector<std::pair<std::int32_t, std::int32_t>> pos_of(
+        graph.numMetaOps(), {-1, -1});
+    for (std::size_t k = 0; k < graph.numLevels(); ++k) {
+        const std::vector<MetaOpId> &ids = graph.level(k);
+        for (std::size_t p = 0; p < ids.size(); ++p)
+            pos_of[ids[p]] = {static_cast<std::int32_t>(k),
+                              static_cast<std::int32_t>(p)};
+    }
+
+    for (std::size_t k = 0; k < graph.numLevels(); ++k) {
+        const std::vector<MetaOpId> &ids = graph.level(k);
+        sig.levels[k].metaOps.reserve(ids.size());
+        for (MetaOpId id : ids) {
+            const MetaOp &m = graph.metaOp(id);
+            MetaOpSignature s;
+            s.type = m.type;
+            s.input = m.input;
+            s.flopsFwdPerOp = m.flopsFwdPerOp;
+            s.paramBytesPerOp = m.paramBytesPerOp;
+            s.activationBytes = m.activationBytes;
+            s.numOps = m.numOps();
+            s.memberParams.reserve(m.ops.size());
+            for (OpId op_id : m.ops) {
+                const OperatorDesc &op = graph.base().op(op_id);
+                s.memberParams.push_back(
+                    {rawParamKey(op), op.paramBytes});
+            }
+            sig.levels[k].metaOps.push_back(std::move(s));
+        }
+    }
+
+    // Inbound flows, recorded in edge-iteration order per target.
+    for (const MetaEdge &e : graph.edges()) {
+        const auto [sl, sp] = pos_of[e.src];
+        const auto [dl, dp] = pos_of[e.dst];
+        sig.levels[dl].metaOps[dp].inflows.push_back(
+            {sl, sp, e.flowBytes});
+    }
+
+    sig.hash = hashSignature(sig);
+    return sig;
+}
+
+PlanCache::PlanCache(std::size_t max_plans_per_context)
+    : max_plans_(std::max<std::size_t>(1, max_plans_per_context))
+{
+}
+
+const PlanCache::CachedPlan *
+PlanCache::findPlan(std::uint64_t ctx, const GraphSignature &sig) const
+{
+    auto it = contexts_.find(ctx);
+    if (it == contexts_.end())
+        return nullptr;
+    // Newest first: the storm pattern revisits recent task mixes.
+    for (auto plan = it->second.plans.rbegin();
+         plan != it->second.plans.rend(); ++plan)
+        if (plan->sig.hash == sig.hash && plan->sig.equalLevels(sig))
+            return &*plan;
+    return nullptr;
+}
+
+const PlanCache::CachedPlan *
+PlanCache::bestPrefixDonor(std::uint64_t ctx, const GraphSignature &sig,
+                           std::size_t *prefix_levels) const
+{
+    *prefix_levels = 0;
+    auto it = contexts_.find(ctx);
+    if (it == contexts_.end())
+        return nullptr;
+    const CachedPlan *best = nullptr;
+    for (auto plan = it->second.plans.rbegin();
+         plan != it->second.plans.rend(); ++plan) {
+        if (plan->commitLog.empty())
+            continue; // fallback plans cannot donate a replay prefix
+        const std::size_t common = sig.commonPrefixLevels(plan->sig);
+        if (common > *prefix_levels) {
+            *prefix_levels = common;
+            best = &*plan;
+        }
+    }
+    return best;
+}
+
+void
+PlanCache::storePlan(std::uint64_t ctx, CachedPlan plan)
+{
+    Context &context = contexts_[ctx];
+    context.plans.push_back(std::move(plan));
+    while (context.plans.size() > max_plans_) {
+        context.plans.pop_front();
+        ++stats_.evictions;
+    }
+}
+
+const ScalingCurve *
+PlanCache::findCurve(std::uint64_t ctx, const CurveKey &key) const
+{
+    auto it = contexts_.find(ctx);
+    if (it == contexts_.end())
+        return nullptr;
+    for (const auto &[cached_key, curve] : it->second.curves)
+        if (cached_key == key)
+            return &curve;
+    return nullptr;
+}
+
+void
+PlanCache::storeCurve(std::uint64_t ctx, const CurveKey &key,
+                      const ScalingCurve &curve)
+{
+    contexts_[ctx].curves.emplace_back(key, curve);
+}
+
+const LevelAllocation *
+PlanCache::findLevelAlloc(std::uint64_t ctx, const LevelKey &key) const
+{
+    auto it = contexts_.find(ctx);
+    if (it == contexts_.end())
+        return nullptr;
+    for (const auto &[cached_key, alloc] : it->second.levels)
+        if (cached_key == key)
+            return &alloc;
+    return nullptr;
+}
+
+void
+PlanCache::storeLevelAlloc(std::uint64_t ctx, const LevelKey &key,
+                           const LevelAllocation &alloc)
+{
+    contexts_[ctx].levels.emplace_back(key, alloc);
+}
+
+std::size_t
+PlanCache::numPlans(std::uint64_t ctx) const
+{
+    auto it = contexts_.find(ctx);
+    return it == contexts_.end() ? 0 : it->second.plans.size();
+}
+
+} // namespace spindle

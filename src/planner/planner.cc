@@ -1,11 +1,76 @@
 #include "planner/planner.h"
 
+#include <algorithm>
+#include <bit>
 #include <chrono>
 
 #include "common/logging.h"
 #include "runtime/memory_model.h"
 
 namespace spindle {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double
+secondsBetween(clock_type::time_point a, clock_type::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v;
+    return h * 0x100000001b3ull;
+}
+
+std::uint64_t
+mix(std::uint64_t h, double v)
+{
+    return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+/**
+ * Fingerprint of every option that can change planned bytes.
+ * `threads` is deliberately excluded (plans are byte-identical at
+ * any thread count), as are `cache` (bookkeeping, not behavior) and
+ * the estimator noise/seed fields — replan() bypasses the cache
+ * entirely when noise is on, and with noise off the seed is unread.
+ */
+std::uint64_t
+optionsFingerprint(const PlannerOptions &o)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = mix(h, static_cast<std::uint64_t>(o.estimator.piecewise));
+    h = mix(h, static_cast<std::uint64_t>(o.estimator.profileAllValid));
+    h = mix(h, o.allocator.bisectionRelTol);
+    h = mix(h, static_cast<std::uint64_t>(o.allocator.maxBisectionIters));
+    h = mix(h, static_cast<std::uint64_t>(o.scheduler.extendResources));
+    h = mix(h, static_cast<std::uint64_t>(o.placement.strategy));
+    h = mix(h, static_cast<std::uint64_t>(o.placement.windows));
+    h = mix(h,
+            static_cast<std::uint64_t>(o.placement.partialFallbackRestart));
+    h = mix(h, o.placement.memorySlack);
+    h = mix(h, o.placement.memoryWeight);
+    h = mix(h, o.placement.paramAffinityWeight);
+    h = mix(h, o.memory.optimizerFactor);
+    h = mix(h, static_cast<std::uint64_t>(o.memory.zeroShardOptimizer));
+    h = mix(h, static_cast<std::uint64_t>(o.memory.zeroShardParams));
+    h = mix(h, o.memory.activationFactor);
+    return h;
+}
+
+/** Curve-memo key of one MetaOp (§3.2 reads nothing else from it). */
+PlanCache::CurveKey
+curveKeyOf(const MetaOp &m, std::uint32_t max_devices)
+{
+    return {m.type,          m.input,           m.flopsFwdPerOp,
+            m.paramBytesPerOp, m.activationBytes, max_devices};
+}
+
+} // namespace
 
 ExecutionPlanner::ExecutionPlanner(const HardwareModel &hw,
                                    PlannerOptions options)
@@ -14,17 +79,16 @@ ExecutionPlanner::ExecutionPlanner(const HardwareModel &hw,
 {
     if (threads_ > 1)
         pool_ = std::make_unique<ThreadPool>(threads_);
+    cache_context_ =
+        mix(hw.topology().fingerprint(), optionsFingerprint(options_));
 }
 
 PlannerOutput
 ExecutionPlanner::plan(const MetaGraph &graph) const
 {
-    using clock = std::chrono::steady_clock;
-    auto seconds = [](clock::time_point a, clock::time_point b) {
-        return std::chrono::duration<double>(b - a).count();
-    };
+    auto seconds = secondsBetween;
 
-    const auto t0 = clock::now();
+    const auto t0 = clock_type::now();
     const std::uint32_t n = hw_.topology().numDevices();
 
     PlannerOutput out;
@@ -33,7 +97,7 @@ ExecutionPlanner::plan(const MetaGraph &graph) const
     // (one independent curve per MetaOp — parallel when pooled).
     ScalabilityEstimator estimator(hw_, options_.estimator);
     out.curves = estimator.estimateAll(graph, n, pool_.get());
-    const auto t_estimated = clock::now();
+    const auto t_estimated = clock_type::now();
     out.phaseSeconds.estimation = seconds(t0, t_estimated);
 
     // §3.3: per-MetaLevel MPSP allocation + bi-point discretization
@@ -41,7 +105,7 @@ ExecutionPlanner::plan(const MetaGraph &graph) const
     ResourceAllocator allocator(graph, out.curves, n, options_.allocator);
     std::vector<LevelAllocation> allocations =
         allocator.allocateAll(pool_.get());
-    const auto t_allocated = clock::now();
+    const auto t_allocated = clock_type::now();
     out.phaseSeconds.allocation = seconds(t_estimated, t_allocated);
 
     // §3.4: craft waves level by level, then merge.
@@ -56,7 +120,7 @@ ExecutionPlanner::plan(const MetaGraph &graph) const
     out.plan.estimatedSpan = out.plan.waves.empty()
         ? 0.0
         : out.plan.waves.back().start + out.plan.waves.back().duration;
-    const auto t_scheduled = clock::now();
+    const auto t_scheduled = clock_type::now();
     out.phaseSeconds.scheduling = seconds(t_allocated, t_scheduled);
 
     // §3.5: map wave entries onto devices (the scoring sweep runs as
@@ -65,7 +129,7 @@ ExecutionPlanner::plan(const MetaGraph &graph) const
     DevicePlacement placement(hw_.topology(), hw_, mem,
                               options_.placement, pool_.get());
     out.placement = placement.place(graph, out.plan);
-    const auto t_placed = clock::now();
+    const auto t_placed = clock_type::now();
     out.phaseSeconds.placement = seconds(t_scheduled, t_placed);
 
     // Re-annotate now that entries are placed: readiness gains the
@@ -74,7 +138,257 @@ ExecutionPlanner::plan(const MetaGraph &graph) const
 
     out.plan.validate(graph);
 
-    out.planningSeconds = seconds(t0, clock::now());
+    out.planningSeconds = seconds(t0, clock_type::now());
+    return out;
+}
+
+PlanCache &
+ExecutionPlanner::planCache() const
+{
+    if (options_.cache != nullptr)
+        return *options_.cache;
+    if (owned_cache_ == nullptr)
+        owned_cache_ = std::make_unique<PlanCache>();
+    return *owned_cache_;
+}
+
+void
+ExecutionPlanner::remapCachedPlan(const PlanCache::CachedPlan &hit,
+                                  const MetaGraph &graph,
+                                  PlannerOutput &out) const
+{
+    out.plan = hit.plan;
+    out.placement = hit.placement;
+    out.curves = hit.curves;
+
+    // Positional id map: donor (level, pos) id -> this graph's id.
+    // MetaOp ids are dense in both graphs and the signatures match
+    // level by level, so the map is a permutation.
+    bool identity = true;
+    std::vector<MetaOpId> remap(graph.numMetaOps(), -1);
+    for (std::size_t k = 0; k < hit.levelIds.size(); ++k) {
+        const std::vector<MetaOpId> &ids = graph.level(k);
+        panicIf(hit.levelIds[k].size() != ids.size(),
+                "replan: cached level shape mismatch");
+        for (std::size_t p = 0; p < ids.size(); ++p) {
+            remap[hit.levelIds[k][p]] = ids[p];
+            identity = identity && hit.levelIds[k][p] == ids[p];
+        }
+    }
+    if (identity)
+        return;
+
+    std::vector<ScalingCurve> curves = hit.curves;
+    for (std::size_t old_id = 0; old_id < remap.size(); ++old_id)
+        curves[static_cast<std::size_t>(remap[old_id])] =
+            hit.curves[old_id];
+    out.curves = std::move(curves);
+
+    for (Wave &wave : out.plan.waves)
+        for (WaveEntry &entry : wave.entries)
+            entry.metaOp = remap[entry.metaOp];
+    for (LevelAllocation &alloc : out.plan.allocations) {
+        for (MetaOpId &id : alloc.metaOps)
+            id = remap[id];
+        for (MetaOpAllocation &p : alloc.plans)
+            p.metaOp = remap[p.metaOp];
+    }
+}
+
+PlannerOutput
+ExecutionPlanner::replan(const MetaGraph &graph) const
+{
+    // Value transparency has two preconditions: estimation must be
+    // noise-free (noise draws are seeded per MetaOp id, invisible to
+    // positional signatures) and the placement configuration must be
+    // fingerprintable (a custom generator is an opaque pointer).
+    if (options_.estimator.noiseStdFrac > 0 ||
+        options_.placement.generator != nullptr)
+        return plan(graph);
+
+    auto seconds = secondsBetween;
+    const auto t0 = clock_type::now();
+    const std::uint32_t n = hw_.topology().numDevices();
+    PlanCache &cache = planCache();
+    const std::uint64_t ctx = cache_context_;
+
+    PlannerOutput out;
+    out.replan.attempted = true;
+    out.replan.totalLevels =
+        static_cast<std::uint32_t>(graph.numLevels());
+
+    GraphSignature sig = signatureOf(graph);
+
+    // ---- Full hit: this exact workload value was planned before in
+    // this context. Remap the cached plan's ids positionally; no
+    // pipeline stage runs.
+    if (const PlanCache::CachedPlan *hit = cache.findPlan(ctx, sig)) {
+        out.replan.fullHit = true;
+        out.replan.reusedLevels = out.replan.totalLevels;
+        out.replan.prefixWaves =
+            static_cast<std::uint32_t>(hit->plan.waves.size());
+        ++cache.stats().fullHits;
+        cache.stats().reusedLevels += graph.numLevels();
+        out.phaseSeconds.diff = seconds(t0, clock_type::now());
+        remapCachedPlan(*hit, graph, out);
+        // Cheap insurance on the remap: re-derive readiness on the
+        // *new* graph and re-validate, keeping the byte-identity
+        // claim falsifiable on every hit.
+        out.plan.annotateReadiness(graph);
+        out.plan.validate(graph);
+        out.planningSeconds = seconds(t0, clock_type::now());
+        return out;
+    }
+    ++cache.stats().misses;
+    const auto t_diffed = clock_type::now();
+    out.phaseSeconds.diff = seconds(t0, t_diffed);
+
+    // ---- Miss: run the pipeline, reusing memoized per-stage
+    // results. Estimation (§3.2) through the curve memo — curves
+    // depend only on the member workload shape and the cluster.
+    ScalabilityEstimator estimator(hw_, options_.estimator);
+    std::vector<ScalingCurve> curves;
+    curves.reserve(graph.numMetaOps());
+    for (const MetaOp &m : graph.metaOps()) {
+        const PlanCache::CurveKey key = curveKeyOf(m, n);
+        if (const ScalingCurve *hit = cache.findCurve(ctx, key)) {
+            curves.push_back(*hit);
+            ++out.replan.curveHits;
+        } else {
+            curves.push_back(estimator.estimate(m, n));
+            cache.storeCurve(ctx, key, curves.back());
+            ++out.replan.curveMisses;
+        }
+    }
+    out.curves = std::move(curves);
+    cache.stats().curveHits += out.replan.curveHits;
+    cache.stats().curveMisses += out.replan.curveMisses;
+    const auto t_estimated = clock_type::now();
+    out.phaseSeconds.estimation = seconds(t_diffed, t_estimated);
+
+    // Allocation (§3.3) through the per-level memo; hits are stored
+    // positionally and remapped onto this graph's ids.
+    ResourceAllocator allocator(graph, out.curves, n, options_.allocator);
+    std::vector<LevelAllocation> allocations(graph.numLevels());
+    for (std::size_t k = 0; k < graph.numLevels(); ++k) {
+        const std::vector<MetaOpId> &ids = graph.level(k);
+        PlanCache::LevelKey key;
+        key.ops.reserve(ids.size());
+        for (MetaOpId id : ids) {
+            const MetaOp &m = graph.metaOp(id);
+            key.ops.emplace_back(curveKeyOf(m, n), m.numOps());
+        }
+        if (const LevelAllocation *hit = cache.findLevelAlloc(ctx, key)) {
+            allocations[k] = *hit;
+            allocations[k].metaOps = ids;
+            panicIf(allocations[k].plans.size() != ids.size(),
+                    "replan: cached allocation shape mismatch");
+            for (std::size_t i = 0; i < ids.size(); ++i)
+                allocations[k].plans[i].metaOp = ids[i];
+            ++out.replan.allocHits;
+        } else {
+            allocations[k] = allocator.allocateLevel(ids);
+            cache.storeLevelAlloc(ctx, key, allocations[k]);
+            ++out.replan.allocMisses;
+        }
+    }
+    cache.stats().allocHits += out.replan.allocHits;
+    cache.stats().allocMisses += out.replan.allocMisses;
+    const auto t_allocated = clock_type::now();
+    out.phaseSeconds.allocation = seconds(t_estimated, t_allocated);
+
+    // Scheduling (§3.4) is recomputed — it is cheap and globally
+    // coupled (wave merging reads every level).
+    WavefrontScheduler scheduler(graph, out.curves, n,
+                                 options_.scheduler);
+    out.plan.waves = scheduler.scheduleAll(allocations);
+    out.plan.numDevices = n;
+    out.plan.allocations = std::move(allocations);
+    out.plan.theoreticalOptimum = 0;
+    for (const LevelAllocation &a : out.plan.allocations)
+        out.plan.theoreticalOptimum += a.continuous.cStar;
+    out.plan.estimatedSpan = out.plan.waves.empty()
+        ? 0.0
+        : out.plan.waves.back().start + out.plan.waves.back().duration;
+    const auto t_scheduled = clock_type::now();
+    out.phaseSeconds.scheduling = seconds(t_allocated, t_scheduled);
+
+    // Placement (§3.5): replay the committed prefix of the cached
+    // plan sharing the longest level prefix with this workload, and
+    // score only the waves of perturbed levels. Prefix reuse relies
+    // on the Spindle strategy's state being wave-local; Sequential
+    // threads a device cursor through every wave, so it re-places
+    // from scratch (full hits above still apply).
+    MemoryModel mem(options_.memory);
+    DevicePlacement placement(hw_.topology(), hw_, mem,
+                              options_.placement, pool_.get());
+    std::vector<PlacementCommit> commit_log;
+    std::size_t donor_levels = 0;
+    const PlanCache::CachedPlan *donor =
+        options_.placement.strategy == PlacementStrategy::Spindle
+            ? cache.bestPrefixDonor(ctx, sig, &donor_levels)
+            : nullptr;
+    std::size_t resume_wave = 0;
+    if (donor != nullptr && donor_levels > 0) {
+        while (resume_wave < out.plan.waves.size() &&
+               out.plan.waves[resume_wave].level <
+                   static_cast<std::int32_t>(donor_levels))
+            ++resume_wave;
+        panicIf(resume_wave > donor->plan.waves.size(),
+                "replan: donor prefix shorter than matched levels");
+        for (std::size_t w = 0; w < resume_wave; ++w) {
+            Wave &dst = out.plan.waves[w];
+            const Wave &src = donor->plan.waves[w];
+            // The matched levels are value-identical, so the waves
+            // the (deterministic) scheduler crafted for them must
+            // agree shape for shape.
+            panicIf(src.level != dst.level ||
+                        src.entries.size() != dst.entries.size(),
+                    "replan: donor prefix wave shape mismatch");
+            for (std::size_t i = 0; i < dst.entries.size(); ++i) {
+                const WaveEntry &from = src.entries[i];
+                WaveEntry &to = dst.entries[i];
+                panicIf(from.n != to.n || from.opBegin != to.opBegin ||
+                            from.numOps != to.numOps,
+                        "replan: donor prefix entry mismatch");
+                to.devices = from.devices;
+            }
+        }
+    }
+    if (resume_wave > 0) {
+        std::vector<PlacementCommit> prefix;
+        for (const PlacementCommit &rec : donor->commitLog)
+            if (rec.wave < resume_wave)
+                prefix.push_back(rec);
+        out.placement = placement.placeWithPrefix(
+            graph, out.plan, resume_wave, prefix, &commit_log);
+        out.replan.reusedLevels = static_cast<std::uint32_t>(donor_levels);
+        out.replan.prefixWaves = static_cast<std::uint32_t>(resume_wave);
+        cache.stats().reusedLevels += donor_levels;
+    } else {
+        out.placement = placement.place(graph, out.plan, &commit_log);
+    }
+    const auto t_placed = clock_type::now();
+    out.phaseSeconds.placement = seconds(t_scheduled, t_placed);
+
+    out.plan.annotateReadiness(graph);
+    out.plan.validate(graph);
+
+    // Cache the result for future arrivals. commit_log is empty by
+    // construction when the memory-first fallback ran, which is what
+    // disqualifies fallback plans as future prefix donors.
+    PlanCache::CachedPlan entry;
+    entry.sig = std::move(sig);
+    entry.plan = out.plan;
+    entry.curves = out.curves;
+    entry.placement = out.placement;
+    entry.levelIds.resize(graph.numLevels());
+    for (std::size_t k = 0; k < graph.numLevels(); ++k)
+        entry.levelIds[k] = graph.level(k);
+    entry.commitLog = std::move(commit_log);
+    cache.storePlan(ctx, std::move(entry));
+
+    out.planningSeconds = seconds(t0, clock_type::now());
     return out;
 }
 

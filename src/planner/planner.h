@@ -5,6 +5,19 @@
  * allocator (§3.3), the wavefront scheduler (§3.4) and device
  * placement (§3.5), producing the execution plan the runtime engine
  * consumes.
+ *
+ * Two entry points:
+ *  - plan() always runs the full pipeline from scratch — it is the
+ *    byte-identity reference and never reads or writes the cache;
+ *  - replan() serves dynamic arrivals/departures (Fig. 13) through a
+ *    PlanCache: a workload whose value signature was planned before
+ *    in the same (topology, options) context is returned from the
+ *    cache with its MetaOp ids remapped, and on a miss the pipeline
+ *    reuses cached scaling curves, level allocations, and the
+ *    committed placement prefix of the best cached neighbor — so
+ *    replan cost scales with the perturbation, not the cluster.
+ *    replan() output is byte-identical to plan() on the same graph
+ *    (pinned by planner_equivalence_test).
  */
 
 #ifndef SPINDLE_PLANNER_PLANNER_H
@@ -15,6 +28,7 @@
 #include "common/thread_pool.h"
 #include "cost/estimator.h"
 #include "planner/placement.h"
+#include "planner/plan_cache.h"
 #include "planner/resource_allocator.h"
 #include "planner/wavefront_scheduler.h"
 
@@ -41,6 +55,17 @@ struct PlannerOptions
      * count (planner_equivalence_test pins {1, 2, 8}).
      */
     std::uint32_t threads = 1;
+
+    /**
+     * Plan cache consulted by replan() (non-owning; must outlive the
+     * planner). nullptr gives the planner a lazily created private
+     * cache. Sharing one cache between planners is safe — entries
+     * are keyed by a (topology fingerprint, options fingerprint)
+     * context — as long as the planners never replan concurrently
+     * (PlanCache is not thread-safe). Excluded from the context
+     * fingerprint itself, like `threads`.
+     */
+    PlanCache *cache = nullptr;
 };
 
 /** Wall-clock spent in each planning phase, seconds. */
@@ -50,6 +75,32 @@ struct PlannerPhaseSeconds
     double allocation = 0; ///< §3.3 MPSP + discretization
     double scheduling = 0; ///< §3.4 wavefront crafting
     double placement = 0;  ///< §3.5 device mapping
+    double diff = 0;       ///< replan(): signature build + cache probe
+};
+
+/** What one replan() call reused. All-zero for plan(). */
+struct ReplanStats
+{
+    /** replan() took the cache path (false: fell back to plan()). */
+    bool attempted = false;
+
+    /** Whole plan served from the cache (ids remapped, no pipeline
+     *  stage ran). */
+    bool fullHit = false;
+
+    std::uint32_t totalLevels = 0;
+
+    /** Leading levels whose placement was replayed, not re-scored
+     *  (== totalLevels on a full hit). */
+    std::uint32_t reusedLevels = 0;
+
+    /** Placement waves covered by the replayed prefix. */
+    std::uint32_t prefixWaves = 0;
+
+    std::uint64_t curveHits = 0;
+    std::uint64_t curveMisses = 0;
+    std::uint64_t allocHits = 0;
+    std::uint64_t allocMisses = 0;
 };
 
 /** Everything the planner produces for one workload. */
@@ -67,6 +118,10 @@ struct PlannerOutput
 
     /** Per-phase breakdown of planningSeconds (scaling benches). */
     PlannerPhaseSeconds phaseSeconds;
+
+    /** Cache reuse accounting of the replan() call that produced
+     *  this output (all-zero when plan() produced it). */
+    ReplanStats replan;
 };
 
 /**
@@ -81,9 +136,22 @@ class ExecutionPlanner
     /**
      * Plan one training iteration of the workload in @p graph on
      * the full cluster. The returned plan is validated against the
-     * paper's structural invariants before being handed out.
+     * paper's structural invariants before being handed out. Always
+     * from scratch; never touches the plan cache.
      */
     PlannerOutput plan(const MetaGraph &graph) const;
+
+    /**
+     * Incremental replan for dynamic arrivals/departures: plan
+     * @p graph, reusing every cached result its value signature
+     * licenses (see the file comment). Byte-identical to plan() on
+     * the same graph. Falls back to plan() outright when estimator
+     * noise is enabled (noise draws are seeded per MetaOp id, which
+     * value signatures deliberately ignore) or a custom window
+     * generator is installed (an opaque pointer the options
+     * fingerprint cannot capture).
+     */
+    PlannerOutput replan(const MetaGraph &graph) const;
 
     const PlannerOptions &options() const { return options_; }
     const HardwareModel &hardware() const { return hw_; }
@@ -92,7 +160,14 @@ class ExecutionPlanner
      *  resolveThreadCount: 0 -> hardware_concurrency, clamped). */
     std::uint32_t resolvedThreads() const { return threads_; }
 
+    /** The cache replan() consults: options().cache when set, else
+     *  this planner's private cache (created on first use). */
+    PlanCache &planCache() const;
+
   private:
+    void remapCachedPlan(const PlanCache::CachedPlan &hit,
+                         const MetaGraph &graph, PlannerOutput &out) const;
+
     const HardwareModel &hw_;
     PlannerOptions options_;
     std::uint32_t threads_ = 1;
@@ -100,6 +175,14 @@ class ExecutionPlanner
     /** Worker pool shared by every plan() call (created only when
      *  threads_ > 1; plan() is not itself thread-safe). */
     std::unique_ptr<ThreadPool> pool_;
+
+    /** Private cache backing planCache() when options_.cache is
+     *  null (mutable: replan() is logically const — its output is
+     *  independent of cache state). */
+    mutable std::unique_ptr<PlanCache> owned_cache_;
+
+    /** Cache context: topology fingerprint ⊕ options fingerprint. */
+    std::uint64_t cache_context_ = 0;
 };
 
 } // namespace spindle

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <numeric>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -110,17 +111,30 @@ Engine::runDynamic(const MetaGraph &graph, const ExecutionPlan &plan,
 
     // ... and each arriving task is injected through the event
     // queue at its arrival time, contending for the same devices.
-    std::vector<std::unique_ptr<PlanExecution>> injected;
-    for (const TaskArrival &a : arrivals) {
+    // Arrivals may be supplied in any order: dispatch processes them
+    // by arrival time (stable — equal-time arrivals keep their input
+    // order), so event registration, and with it every equal-time
+    // tie-break in the simulator, is independent of the caller's
+    // ordering. Results are still reported in input order.
+    std::vector<std::size_t> order(arrivals.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&arrivals](std::size_t a, std::size_t b) {
+                         return arrivals[a].time < arrivals[b].time;
+                     });
+
+    std::vector<std::unique_ptr<PlanExecution>> injected(arrivals.size());
+    for (std::size_t idx : order) {
+        const TaskArrival &a = arrivals[idx];
         panicIf(a.graph == nullptr || a.plan == nullptr,
                 "runDynamic: null arrival");
         panicIf(a.time < 0, "runDynamic: negative arrival time");
         panicIf(a.plan->numDevices != plan.numDevices,
                 "runDynamic: arrival targets a different cluster");
         panicIf(a.plan->waves.empty(), "runDynamic: empty arrival plan");
-        injected.push_back(std::make_unique<PlanExecution>(
-            sim, hw_, *a.graph, *a.plan, options_, *policy));
-        PlanExecution *exec = injected.back().get();
+        injected[idx] = std::make_unique<PlanExecution>(
+            sim, hw_, *a.graph, *a.plan, options_, *policy);
+        PlanExecution *exec = injected[idx].get();
         const double at = a.time;
         sim.queue().schedule(at, [exec, at, overlap] {
             startExecution(*exec, at, overlap);

@@ -144,6 +144,9 @@ class Engine
      * arrive mid-iteration via events scheduled at their arrival
      * times, all sharing one simulator (and hence contending for
      * the same devices). Every plan must target the same cluster.
+     * Arrivals may be listed in any time order — dispatch stably
+     * sorts them by arrival time, so a permutation of the arrival
+     * list cannot change the simulated outcome.
      *
      * The returned result carries the base plan's breakdown and
      * peak memory; iterationSeconds and the timeline cover

@@ -343,6 +343,41 @@ TEST_F(DispatchFixture, MidIterationArrivalThroughEventQueue)
     }
 }
 
+TEST_F(DispatchFixture, OutOfOrderArrivalsMatchSortedArrivals)
+{
+    // The arrival list is caller-supplied and unordered; dispatch
+    // stably sorts by arrival time, so a permutation of the list
+    // must produce the identical simulation — with per-arrival
+    // completion times still reported in the caller's input order.
+    for (DispatchPolicyKind kind : {DispatchPolicyKind::StrictBarrier,
+                                    DispatchPolicyKind::Overlap}) {
+        Engine engine = engineWith(kind);
+        IterationResult base = engine.run(meta, out.plan);
+        const double t1 = 0.2 * base.iterationSeconds;
+        const double t2 = 0.5 * base.iterationSeconds;
+
+        std::vector<double> sorted_ends;
+        IterationResult sorted = engine.runDynamic(
+            meta, out.plan,
+            {{t1, &meta, &out.plan}, {t2, &meta, &out.plan}},
+            &sorted_ends);
+
+        std::vector<double> reversed_ends;
+        IterationResult reversed = engine.runDynamic(
+            meta, out.plan,
+            {{t2, &meta, &out.plan}, {t1, &meta, &out.plan}},
+            &reversed_ends);
+
+        ASSERT_EQ(sorted_ends.size(), 2u);
+        ASSERT_EQ(reversed_ends.size(), 2u);
+        // Same simulation, input-order reporting.
+        EXPECT_EQ(sorted_ends[0], reversed_ends[1]);
+        EXPECT_EQ(sorted_ends[1], reversed_ends[0]);
+        EXPECT_EQ(sorted.iterationSeconds, reversed.iterationSeconds);
+        expectIdenticalTimelines(sorted.timeline, reversed.timeline);
+    }
+}
+
 TEST_F(DispatchFixture, ArrivalOnDifferentClusterIsRejected)
 {
     Engine engine(hw);

@@ -1048,5 +1048,266 @@ TEST(PlannerEquivalence, EngineOptionsPlannerThreadsPlumbing)
     expectPlansIdentical(a, b);
 }
 
+// ===================================================================
+// Incremental replanning (plan cache)
+// ===================================================================
+
+/**
+ * plan() vs cold replan() (cache miss: curve/level memos plus the
+ * prefix-donor machinery) vs warm replan() (full hit: positional id
+ * remap of the cached plan) at every thread count. All three must
+ * be byte-identical — plan() never touches the cache, so it stays
+ * the from-scratch reference throughout.
+ */
+void
+expectReplanMatchesPlan(const ComputationGraph &graph,
+                        ClusterConfig cluster, PlannerOptions options = {})
+{
+    ClusterTopology topo(std::move(cluster));
+    HardwareModel hw(topo);
+    MetaGraph meta = contractGraph(graph);
+
+    for (std::uint32_t threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE(strCat("threads=", threads));
+        PlannerOptions threaded = options;
+        threaded.threads = threads;
+        ExecutionPlanner planner(hw, threaded);
+
+        PlannerOutput ref = planner.plan(meta);
+
+        PlannerOutput cold = planner.replan(meta);
+        EXPECT_TRUE(cold.replan.attempted);
+        EXPECT_FALSE(cold.replan.fullHit);
+        expectPlansIdentical(ref.plan, cold.plan);
+        expectPlacementsIdentical(ref.placement, cold.placement);
+
+        PlannerOutput warm = planner.replan(meta);
+        EXPECT_TRUE(warm.replan.attempted);
+        EXPECT_TRUE(warm.replan.fullHit);
+        EXPECT_EQ(warm.replan.reusedLevels, warm.replan.totalLevels);
+        expectPlansIdentical(ref.plan, warm.plan);
+        expectPlacementsIdentical(ref.placement, warm.placement);
+    }
+}
+
+void
+expectReplanMatchesPlanOnNodes(const ComputationGraph &graph,
+                               std::uint32_t num_nodes,
+                               PlannerOptions options = {})
+{
+    ClusterConfig cluster;
+    cluster.numNodes = num_nodes;
+    cluster.gpusPerNode = 8;
+    expectReplanMatchesPlan(graph, std::move(cluster), options);
+}
+
+TEST(PlannerEquivalence, ReplanSeedWorkloads)
+{
+    expectReplanMatchesPlanOnNodes(fig3Workload(), 2);
+    expectReplanMatchesPlanOnNodes(buildMultitaskClip({.numTasks = 4}),
+                                   2);
+    expectReplanMatchesPlanOnNodes(buildOfasys({.numTasks = 7}), 4);
+    expectReplanMatchesPlanOnNodes(buildQwenVal({}), 2);
+}
+
+TEST(PlannerEquivalence, ReplanIslandTopologies)
+{
+    expectReplanMatchesPlan(buildMultitaskClip({.numTasks = 7}),
+                            stripedCluster(4, 8));
+    expectReplanMatchesPlan(buildOfasys({.numTasks = 4}),
+                            heteroCluster({12, 4, 12, 4}));
+
+    PlannerOptions options;
+    options.placement.windows = WindowPolicy::IslandAware;
+    expectReplanMatchesPlan(buildMultitaskClip({.numTasks = 7}),
+                            heteroCluster({12, 4, 12, 4}), options);
+}
+
+TEST(PlannerEquivalence, ReplanSequentialPlacementStrategy)
+{
+    // Sequential placement never donates a prefix (its device cursor
+    // is not replayed), but full-hit reuse and the cold recompute
+    // must still match plan() bit for bit.
+    PlannerOptions options;
+    options.placement.strategy = PlacementStrategy::Sequential;
+    expectReplanMatchesPlanOnNodes(buildMultitaskClip({.numTasks = 4}),
+                                   2, options);
+}
+
+TEST(PlannerEquivalence, ReplanWithNoiseFallsBackToPlan)
+{
+    // Noise draws are invisible to positional signatures, so cached
+    // results are not value-transparent; replan() must refuse the
+    // incremental path and defer to plan().
+    ClusterConfig cfg;
+    cfg.numNodes = 2;
+    cfg.gpusPerNode = 8;
+    ClusterTopology topo(cfg);
+    HardwareModel hw(topo);
+    ComputationGraph g = buildMultitaskClip({.numTasks = 4});
+    MetaGraph meta = contractGraph(g);
+
+    PlannerOptions options;
+    options.estimator.noiseStdFrac = 0.05;
+    ExecutionPlanner planner(hw, options);
+    PlannerOutput ref = planner.plan(meta);
+    PlannerOutput out = planner.replan(meta);
+    EXPECT_FALSE(out.replan.attempted);
+    expectPlansIdentical(ref.plan, out.plan);
+    expectPlacementsIdentical(ref.placement, out.placement);
+}
+
+/** One task, three chained transformer stacks: A -> B -> tail. */
+ComputationGraph
+chainWorkload(std::int64_t tail_hidden)
+{
+    WorkloadBuilder b;
+    const std::int32_t t = b.addTask("chain");
+    NodeRange a = b.addModule(
+        t, transformerStack("enc.audio", OpType::Audio, 32, 229, 768, 3));
+    NodeRange mid = b.addModule(
+        t, transformerStack("enc.text", OpType::Text, 32, 77, 768, 4));
+    NodeRange tail = b.addModule(
+        t, transformerStack("lm", OpType::LM, 32, 512, tail_hidden, 6));
+    b.addFlow(a, mid);
+    b.addFlow(mid, tail);
+    return b.build();
+}
+
+TEST(PlannerEquivalence, ReplanReusesUntouchedLevelPrefix)
+{
+    // Perturb only the tail module of a 3-level chain: levels 0-1
+    // keep their signatures (inflows are recorded on the target, so
+    // the tail's width is invisible to them), and the incremental
+    // path must reuse the cached allocations plus the committed
+    // placement prefix verbatim — yet still emit the exact bytes of
+    // a from-scratch plan.
+    ClusterConfig cfg;
+    cfg.numNodes = 2;
+    cfg.gpusPerNode = 8;
+    ClusterTopology topo(cfg);
+    HardwareModel hw(topo);
+
+    ComputationGraph g1 = chainWorkload(1024);
+    ComputationGraph g2 = chainWorkload(2048);
+    MetaGraph m1 = contractGraph(g1);
+    MetaGraph m2 = contractGraph(g2);
+    ASSERT_EQ(m1.numLevels(), 3u);
+    ASSERT_EQ(m2.numLevels(), 3u);
+
+    for (std::uint32_t threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE(strCat("threads=", threads));
+        PlannerOptions options;
+        options.threads = threads;
+        ExecutionPlanner planner(hw, options);
+        PlannerOutput ref = planner.plan(m2);
+
+        PlannerOutput seed = planner.replan(m1);
+        EXPECT_TRUE(seed.replan.attempted);
+        EXPECT_FALSE(seed.replan.fullHit);
+
+        PlannerOutput inc = planner.replan(m2);
+        EXPECT_TRUE(inc.replan.attempted);
+        EXPECT_FALSE(inc.replan.fullHit);
+        EXPECT_EQ(inc.replan.totalLevels, 3u);
+        EXPECT_EQ(inc.replan.reusedLevels, 2u);
+        EXPECT_GT(inc.replan.prefixWaves, 0u);
+        expectPlansIdentical(ref.plan, inc.plan);
+        expectPlacementsIdentical(ref.placement, inc.placement);
+
+        // The perturbed mix is cached now: replanning it again is a
+        // full hit and still byte-identical.
+        PlannerOutput warm = planner.replan(m2);
+        EXPECT_TRUE(warm.replan.fullHit);
+        expectPlansIdentical(ref.plan, warm.plan);
+        expectPlacementsIdentical(ref.placement, warm.placement);
+    }
+}
+
+TEST(PlannerEquivalence, ReplanArrivalOscillation)
+{
+    // Walk 4 -> 5 -> 4 -> 5 -> 4 tasks: after the first visit to
+    // each mix the cache must fully hit, and every replan stays
+    // byte-identical to a from-scratch plan. plan() never touches
+    // the cache, so interleaving it cannot seed the hits.
+    ClusterConfig cfg;
+    cfg.numNodes = 2;
+    cfg.gpusPerNode = 8;
+    ClusterTopology topo(cfg);
+    HardwareModel hw(topo);
+
+    ComputationGraph g4 = buildMultitaskClip({.numTasks = 4});
+    ComputationGraph g5 = buildMultitaskClip({.numTasks = 5});
+    MetaGraph m4 = contractGraph(g4);
+    MetaGraph m5 = contractGraph(g5);
+
+    ExecutionPlanner planner(hw);
+    const std::vector<const MetaGraph *> sequence{&m4, &m5, &m4, &m5,
+                                                  &m4};
+    std::uint32_t full_hits = 0;
+    for (std::size_t i = 0; i < sequence.size(); ++i) {
+        SCOPED_TRACE(strCat("event ", i));
+        const MetaGraph &meta = *sequence[i];
+        PlannerOutput ref = planner.plan(meta);
+        PlannerOutput inc = planner.replan(meta);
+        full_hits += inc.replan.fullHit ? 1 : 0;
+        expectPlansIdentical(ref.plan, inc.plan);
+        expectPlacementsIdentical(ref.placement, inc.placement);
+    }
+    EXPECT_EQ(full_hits, 3u);
+    EXPECT_EQ(planner.planCache().stats().fullHits, 3u);
+    EXPECT_EQ(planner.planCache().stats().misses, 2u);
+}
+
+TEST(PlannerEquivalence, ReplanMemoryFirstFallback)
+{
+    // Under memory pressure replan() must track place()'s fallback
+    // cascade byte for byte, and a fallback plan (stored with an
+    // empty commit log) must still full-hit on repeat arrivals.
+    ComputationGraph g = buildMultitaskClip({.numTasks = 4});
+    MetaGraph meta = contractGraph(g);
+
+    ClusterConfig cfg;
+    cfg.numNodes = 2;
+    cfg.gpusPerNode = 8;
+    ClusterTopology roomy(cfg);
+    HardwareModel hw_roomy(roomy);
+    ExecutionPlanner roomy_planner(hw_roomy);
+    PlannerOutput baseline = roomy_planner.plan(meta);
+    double peak = 0;
+    for (double b : baseline.placement.peakBytes)
+        peak = std::max(peak, b);
+
+    bool exercised = false;
+    for (double frac : {0.999, 0.95, 0.9, 0.85, 0.8, 0.75}) {
+        SCOPED_TRACE(strCat("frac=", frac));
+        cfg.device.memoryBytes =
+            peak * frac / PlacementOptions{}.memorySlack;
+        ClusterTopology tight(cfg);
+        HardwareModel hw(tight);
+        MetaGraph fresh = contractGraph(g);
+
+        ExecutionPlanner planner(hw);
+        PlannerOutput ref = planner.plan(fresh);
+        PlannerOutput cold = planner.replan(fresh);
+        EXPECT_FALSE(cold.replan.fullHit);
+        expectPlansIdentical(ref.plan, cold.plan);
+        expectPlacementsIdentical(ref.placement, cold.placement);
+
+        PlannerOutput warm = planner.replan(fresh);
+        EXPECT_TRUE(warm.replan.fullHit);
+        expectPlansIdentical(ref.plan, warm.plan);
+        expectPlacementsIdentical(ref.placement, warm.placement);
+
+        if (ref.placement.usedMemoryFallback) {
+            exercised = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(exercised)
+        << "memory pressure ladder never triggered the fallback pass; "
+           "tighten the fractions";
+}
+
 } // namespace
 } // namespace spindle

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+
 #include "planner/planner.h"
 #include "test_util.h"
 
@@ -128,6 +130,187 @@ INSTANTIATE_TEST_SUITE_P(
     Workloads, PlannerSweep,
     ::testing::Combine(::testing::Values(0, 1, 2),
                        ::testing::Values(1u, 2u, 4u)));
+
+// ===================================================================
+// Plan cache: topology-context invalidation and sharing
+// (the byte-identity of replan() itself is pinned exhaustively in
+// planner_equivalence_test; these cover the cache-key semantics)
+// ===================================================================
+
+/** Light byte comparison: spans, wave shapes, device choices. */
+void
+expectSameBytes(const PlannerOutput &a, const PlannerOutput &b)
+{
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.plan.estimatedSpan),
+              std::bit_cast<std::uint64_t>(b.plan.estimatedSpan));
+    ASSERT_EQ(a.plan.waves.size(), b.plan.waves.size());
+    for (std::size_t w = 0; w < a.plan.waves.size(); ++w) {
+        ASSERT_EQ(a.plan.waves[w].entries.size(),
+                  b.plan.waves[w].entries.size());
+        for (std::size_t i = 0; i < a.plan.waves[w].entries.size();
+             ++i) {
+            const WaveEntry &x = a.plan.waves[w].entries[i];
+            const WaveEntry &y = b.plan.waves[w].entries[i];
+            EXPECT_EQ(x.metaOp, y.metaOp);
+            EXPECT_EQ(x.n, y.n);
+            EXPECT_EQ(x.devices, y.devices);
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(x.duration),
+                      std::bit_cast<std::uint64_t>(y.duration));
+        }
+    }
+}
+
+/** Contiguous islands of the given (possibly mixed) sizes. */
+ClusterConfig
+islandSplit(const std::vector<std::uint32_t> &sizes)
+{
+    ClusterConfig cfg;
+    std::uint32_t next = 0;
+    for (std::uint32_t size : sizes) {
+        IslandSpec island;
+        for (std::uint32_t d = 0; d < size; ++d)
+            island.devices.push_back(next++);
+        cfg.islands.push_back(std::move(island));
+    }
+    return cfg;
+}
+
+TEST(Planner, TopologyFingerprintHashesResolvedState)
+{
+    // Shorthand 2x8 and the equivalent explicit island list resolve
+    // to the same state, hence the same fingerprint.
+    ClusterConfig shorthand;
+    shorthand.numNodes = 2;
+    shorthand.gpusPerNode = 8;
+    EXPECT_EQ(ClusterTopology(shorthand).fingerprint(),
+              ClusterTopology(islandSplit({8, 8})).fingerprint());
+
+    // Same 16 GPUs, different island split.
+    EXPECT_NE(ClusterTopology(shorthand).fingerprint(),
+              ClusterTopology(islandSplit({6, 10})).fingerprint());
+
+    // Same split, one island pair's link classes overridden.
+    ClusterConfig overridden = islandSplit({8, 8});
+    overridden.islandLinks.push_back(
+        {0, 1, {25 * kGiga, 20 * kMicro}, {200 * kGiga, 20 * kMicro}});
+    EXPECT_NE(ClusterTopology(islandSplit({8, 8})).fingerprint(),
+              ClusterTopology(overridden).fingerprint());
+
+    // Same fabric, halved HBM.
+    ClusterConfig smaller_hbm = shorthand;
+    smaller_hbm.device.memoryBytes /= 2;
+    EXPECT_NE(ClusterTopology(shorthand).fingerprint(),
+              ClusterTopology(smaller_hbm).fingerprint());
+}
+
+TEST(Planner, PlanCacheInvalidatedByTopologyContext)
+{
+    // One externally owned cache shared by planners on three
+    // topologies: results cached on one cluster must never leak
+    // into another's context, and foreign contexts must not evict
+    // the original entry.
+    ComputationGraph g = buildMultitaskClip({.numTasks = 4});
+    MetaGraph meta = contractGraph(g);
+
+    PlanCache cache;
+    PlannerOptions options;
+    options.cache = &cache;
+
+    ClusterConfig cfg_a;
+    cfg_a.numNodes = 2;
+    cfg_a.gpusPerNode = 8;
+    ClusterConfig cfg_b = islandSplit({6, 10});
+    ClusterConfig cfg_c = islandSplit({8, 8});
+    cfg_c.islandLinks.push_back(
+        {0, 1, {25 * kGiga, 20 * kMicro}, {200 * kGiga, 20 * kMicro}});
+
+    ClusterTopology topo_a(cfg_a);
+    ClusterTopology topo_b(cfg_b);
+    ClusterTopology topo_c(cfg_c);
+    HardwareModel hw_a(topo_a);
+    HardwareModel hw_b(topo_b);
+    HardwareModel hw_c(topo_c);
+    ExecutionPlanner pa(hw_a, options);
+    ExecutionPlanner pb(hw_b, options);
+    ExecutionPlanner pc(hw_c, options);
+
+    EXPECT_FALSE(pa.replan(meta).replan.fullHit); // cold
+    EXPECT_TRUE(pa.replan(meta).replan.fullHit);  // warm on A
+
+    EXPECT_FALSE(pb.replan(meta).replan.fullHit); // other split
+    EXPECT_FALSE(pc.replan(meta).replan.fullHit); // link override
+
+    PlannerOutput warm = pa.replan(meta); // A's entry survived
+    EXPECT_TRUE(warm.replan.fullHit);
+    expectSameBytes(pa.plan(meta), warm);
+
+    EXPECT_EQ(cache.stats().fullHits, 2u);
+    EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(Planner, PlanCacheHitsOnPermutedEquivalentWorkload)
+{
+    // Two value-identical tasks declared in swapped order under
+    // different names: the positional signature is unchanged, so
+    // the permuted graph is a full hit — and the remapped plan
+    // matches a from-scratch plan of that exact graph.
+    auto build = [](bool swapped) {
+        WorkloadBuilder b;
+        auto add_task = [&b](const std::string &name) {
+            const std::int32_t t = b.addTask(name);
+            NodeRange enc = b.addModule(
+                t, transformerStack(name + ".audio", OpType::Audio, 32,
+                                    229, 768, 3));
+            NodeRange head = b.addModule(
+                t, transformerStack(name + ".lm", OpType::LM, 32, 512,
+                                    1024, 4));
+            b.addFlow(enc, head);
+        };
+        if (swapped) {
+            add_task("beta");
+            add_task("alpha");
+        } else {
+            add_task("alpha");
+            add_task("beta");
+        }
+        return b.build();
+    };
+    ComputationGraph g1 = build(false);
+    ComputationGraph g2 = build(true);
+    MetaGraph m1 = contractGraph(g1);
+    MetaGraph m2 = contractGraph(g2);
+
+    ClusterTopology topo = smallCluster(2);
+    HardwareModel hw(topo);
+    ExecutionPlanner planner(hw);
+    EXPECT_FALSE(planner.replan(m1).replan.fullHit);
+    PlannerOutput hit = planner.replan(m2);
+    EXPECT_TRUE(hit.replan.fullHit);
+    expectSameBytes(planner.plan(m2), hit);
+}
+
+TEST(Planner, PlanCacheSharedAcrossPlanners)
+{
+    // An externally owned cache lets a fresh planner instance on the
+    // same cluster reuse plans cached by a previous one (the
+    // SpindleSystem lifecycle across dynamic arrivals).
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(2);
+    HardwareModel hw(topo);
+
+    PlanCache cache;
+    PlannerOptions options;
+    options.cache = &cache;
+
+    ExecutionPlanner first(hw, options);
+    EXPECT_FALSE(first.replan(meta).replan.fullHit);
+
+    ExecutionPlanner second(hw, options);
+    PlannerOutput hit = second.replan(meta);
+    EXPECT_TRUE(hit.replan.fullHit);
+    expectSameBytes(second.plan(meta), hit);
+}
 
 } // namespace
 } // namespace spindle
