@@ -58,12 +58,26 @@ a floor are informational. As with planner-threads, a baseline with
 no min_speedup record at all fails — the gate cannot silently
 evaporate.
 
+recovery — gate elastic failure recovery's advantage over cold
+replanning. bench_failure_recovery writes BENCH_recovery.json with
+the mean cache-served recovery replan vs a from-scratch plan() on
+the same surviving topology; for every baseline record in
+bench/baseline_recovery.json carrying "min_speedup" (the 256-GPU
+flapping-shape point), the current run's cold_mean_seconds /
+recovery_mean_seconds ratio must reach the floor, and the shared
+plan cache must have served at least one recovery as a full hit
+(recovery latency without cache reuse is just replanning). Both
+wall-clocks come from the same process on the same machine, so no
+per-runner budget padding is needed; records without a floor (the
+64-GPU chaos run) are informational. A baseline with no min_speedup
+record at all fails — the gate cannot silently evaporate.
+
 Wall-clock budgets are deliberately generous (several times a warm
 local run) so shared CI runners do not flap. Other scale points are
 reported informationally.
 
 Usage: check_bench_regression.py
-       {planner|planner-threads|collectives|replan}
+       {planner|planner-threads|collectives|replan|recovery}
        CURRENT_JSON BASELINE_JSON [FACTOR]
 """
 
@@ -315,12 +329,67 @@ def check_replan(current, baseline):
     return failures
 
 
+def check_recovery(current, baseline):
+    failures = []
+    gated = 0
+    for name, base in sorted(baseline.items()):
+        floor = base.get("min_speedup")
+        cur = current.get(name)
+        if cur is None:
+            if floor is not None:
+                failures.append(f"{name}: missing from current run")
+            else:
+                print(f"warn  {name:<24} missing from current run")
+            continue
+        if floor is None:
+            episodes = cur.get("episodes", cur.get("events", 0))
+            print(
+                f"info  {name:<24} episodes={int(episodes)}  (ungated)"
+            )
+            continue
+        gated += 1
+        recovery_s = cur.get("recovery_mean_seconds")
+        cold_s = cur.get("cold_mean_seconds")
+        full_hits = cur.get("full_hits")
+        if recovery_s is None or cold_s is None or full_hits is None:
+            failures.append(f"{name}: recovery fields missing")
+            continue
+        speedup = (
+            cold_s / recovery_s if recovery_s > 0 else float("inf")
+        )
+        problems = []
+        if speedup < floor:
+            problems.append(
+                f"recovery speedup {speedup:.1f}x < floor {floor:.1f}x"
+            )
+        if full_hits < 1:
+            problems.append(
+                "plan cache never served a recovery as a full hit"
+            )
+        status = "FAIL" if problems else "OK"
+        print(
+            f"{status:>4}  {name:<24} recovery={recovery_s * 1e3:8.3f} ms"
+            f"  cold={cold_s * 1e3:8.3f} ms"
+            f"  speedup={speedup:6.1f}x  floor={floor:.1f}x"
+            f"  full_hits={int(full_hits)}"
+        )
+        for p in problems:
+            failures.append(f"{name}: {p}")
+    if gated == 0:
+        failures.append(
+            "recovery: no baseline record carries min_speedup; the "
+            "recovery gate is not wired up"
+        )
+    return failures
+
+
 def main(argv):
     if len(argv) not in (4, 5) or argv[1] not in (
         "planner",
         "planner-threads",
         "collectives",
         "replan",
+        "recovery",
     ):
         print(__doc__)
         return 2
@@ -335,6 +404,8 @@ def main(argv):
         failures = check_planner_threads(current, baseline)
     elif mode == "replan":
         failures = check_replan(current, baseline)
+    elif mode == "recovery":
+        failures = check_recovery(current, baseline)
     else:
         failures = check_collectives(current, baseline, factor)
 

@@ -315,6 +315,93 @@ ClusterTopology::linkBetween(DeviceId a, DeviceId b) const
     return config_.interIsland;
 }
 
+DegradedTopology
+ClusterTopology::withoutDevices(const DeviceSet &dead) const
+{
+    fatalIf(dead.empty(),
+            "withoutDevices: empty dead set — nothing failed, keep "
+            "using this topology");
+    std::vector<bool> is_dead(num_devices_, false);
+    for (DeviceId d : dead) {
+        fatalIf(d >= num_devices_,
+                strCat("withoutDevices: dead device id ", d,
+                       " out of range [0, ", num_devices_,
+                       ") — ids are in the original numbering"));
+        fatalIf(is_dead[d],
+                strCat("withoutDevices: device ", d,
+                       " listed dead twice"));
+        is_dead[d] = true;
+    }
+    fatalIf(dead.size() == num_devices_,
+            strCat("withoutDevices: all ", num_devices_,
+                   " devices are dead — no surviving topology to "
+                   "replan on; report total cluster loss instead"));
+
+    DegradedTopology out;
+    out.oldToNew.assign(num_devices_, DegradedTopology::kDead);
+    out.newToOld.reserve(num_devices_ - dead.size());
+    for (DeviceId d = 0; d < num_devices_; ++d) {
+        if (is_dead[d])
+            continue;
+        out.oldToNew[d] = static_cast<DeviceId>(out.newToOld.size());
+        out.newToOld.push_back(d);
+    }
+
+    // Surviving islands, in original island order, with membership
+    // mapped into the renumbered space. The resolved intra class is
+    // re-emitted as an explicit override only where the original
+    // config overrode it, so a uniform fabric stays uniform (the
+    // placement fast path keys on uniformLinks()).
+    out.config.device = config_.device;
+    out.config.intraIsland = config_.intraIsland;
+    out.config.interIsland = config_.interIsland;
+    out.config.interIslandCollective = config_.interIslandCollective;
+    std::vector<std::uint32_t> island_remap(islands_.size(),
+                                            ~std::uint32_t{0});
+    for (std::size_t k = 0; k < islands_.size(); ++k) {
+        IslandSpec spec;
+        for (DeviceId d : islands_[k])
+            if (!is_dead[d])
+                spec.devices.push_back(out.oldToNew[d]);
+        if (spec.devices.empty()) {
+            out.droppedIslands.push_back(static_cast<std::uint32_t>(k));
+            continue;
+        }
+        const bool overridden =
+            k < config_.islands.size() &&
+            (config_.islands[k].intra.bandwidth != 0 ||
+             config_.islands[k].intra.latency != 0);
+        if (overridden)
+            spec.intra = intra_links_[k];
+        island_remap[k] =
+            static_cast<std::uint32_t>(out.config.islands.size());
+        out.config.islands.push_back(std::move(spec));
+    }
+
+    // Island-pair link overrides: remapped where both islands
+    // survive, dropped (with a warning — the fabric they priced no
+    // longer exists) where either end emptied.
+    for (const PairLinks &pair : pair_links_) {
+        const auto a = static_cast<std::uint32_t>(pair.key / numIslands());
+        const auto b = static_cast<std::uint32_t>(pair.key % numIslands());
+        if (island_remap[a] == ~std::uint32_t{0} ||
+            island_remap[b] == ~std::uint32_t{0}) {
+            warn(strCat("withoutDevices: dropping link override for "
+                        "island pair (", a, ", ", b, ") — island ",
+                        island_remap[a] == ~std::uint32_t{0} ? a : b,
+                        " lost all its devices"));
+            continue;
+        }
+        IslandLinkSpec spec;
+        spec.a = island_remap[a];
+        spec.b = island_remap[b];
+        spec.p2p = pair.p2p;
+        spec.collective = pair.collective;
+        out.config.islandLinks.push_back(spec);
+    }
+    return out;
+}
+
 LinkParams
 ClusterTopology::groupLink(const DeviceSet &devices) const
 {

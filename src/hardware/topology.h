@@ -102,6 +102,36 @@ struct ClusterConfig
 };
 
 /**
+ * A degraded cluster derived by ClusterTopology::withoutDevices():
+ * the surviving island graph (dead devices removed, emptied islands
+ * dropped, link overrides remapped) plus the id maps between the
+ * original and the surviving — dense, renumbered — device id spaces.
+ *
+ * `config` constructs a valid ClusterTopology whose fingerprint()
+ * identifies the surviving *shape*: two failure episodes that leave
+ * the same surviving island graph hash equal (so a PlanCache re-hits
+ * when a degraded state recurs), while any difference in the
+ * surviving set hashes apart.
+ */
+struct DegradedTopology
+{
+    /** Marker for a dead device in oldToNew. */
+    static constexpr DeviceId kDead = ~DeviceId{0};
+
+    /** Surviving cluster as an explicit island graph, ids dense. */
+    ClusterConfig config;
+
+    /** Surviving-space id -> original id (ascending originals). */
+    std::vector<DeviceId> newToOld;
+
+    /** Original id -> surviving-space id, kDead for dead devices. */
+    std::vector<DeviceId> oldToNew;
+
+    /** Original island indices that lost every member device. */
+    std::vector<std::uint32_t> droppedIslands;
+};
+
+/**
  * Frozen cluster topology: the island graph the planner queries.
  * Validated exhaustively at construction (empty islands, duplicate
  * or non-dense device ids, non-positive bandwidths and malformed
@@ -196,8 +226,28 @@ class ClusterTopology
      * bottleneck of a ring collective over the group. Groups
      * spanning islands are bottlenecked by the lowest-bandwidth
      * collective class among the island pairs they span.
+     *
+     * @see DegradedTopology
      */
     LinkParams groupLink(const DeviceSet &devices) const;
+
+    /**
+     * Derive the surviving topology after the devices of @p dead
+     * fail (failure recovery / elastic shrink): dead devices are
+     * removed from their islands, islands left empty are dropped
+     * (their island-pair link overrides with them — a warn(), not an
+     * error), surviving islands keep their resolved intra link
+     * classes, and overrides between two surviving islands are
+     * remapped onto the new island indices. Surviving device ids are
+     * renumbered dense in ascending original-id order; the returned
+     * maps translate between the two id spaces.
+     *
+     * User errors are fatal() with actionable messages: an empty
+     * dead set, a dead id out of range, a duplicate dead id, and a
+     * dead set that kills the whole cluster (nothing to replan on —
+     * the caller must surface total loss, not plan around it).
+     */
+    DegradedTopology withoutDevices(const DeviceSet &dead) const;
 
   private:
     [[noreturn]] void badDevice(DeviceId dev) const;

@@ -67,6 +67,22 @@ startExecution(PlanExecution &exec, double earliest, bool overlap)
     });
 }
 
+/** Every device a placed plan reserves, ascending. */
+DeviceSet
+planDevices(const ExecutionPlan &plan)
+{
+    std::vector<bool> used(plan.numDevices, false);
+    for (const Wave &w : plan.waves)
+        for (const WaveEntry &e : w.entries)
+            for (DeviceId d : e.devices)
+                used[d] = true;
+    DeviceSet out;
+    for (DeviceId d = 0; d < plan.numDevices; ++d)
+        if (used[d])
+            out.push_back(d);
+    return out;
+}
+
 } // namespace
 
 Engine::Engine(const HardwareModel &hw, MemoryParams mem_params,
@@ -75,6 +91,30 @@ Engine::Engine(const HardwareModel &hw, MemoryParams mem_params,
 {
     clampFraction(options_.syncOverlapFraction, "syncOverlapFraction");
     clampFraction(options_.minSyncFraction, "minSyncFraction");
+
+    RecoveryOptions &rec = options_.recovery;
+    if (rec.detectionSeconds < 0) {
+        warn(strCat("Engine: recovery.detectionSeconds = ",
+                    rec.detectionSeconds,
+                    " is negative; clamping to 0"));
+        rec.detectionSeconds = 0;
+    }
+    if (rec.restartSeconds < 0) {
+        warn(strCat("Engine: recovery.restartSeconds = ",
+                    rec.restartSeconds, " is negative; clamping to 0"));
+        rec.restartSeconds = 0;
+    }
+    if (rec.maxReplanAttempts == 0) {
+        warn("Engine: recovery.maxReplanAttempts = 0 — recovery needs "
+             "at least one attempt; raising to 1");
+        rec.maxReplanAttempts = 1;
+    }
+    if (rec.retryBackoff < 1) {
+        warn(strCat("Engine: recovery.retryBackoff = ", rec.retryBackoff,
+                    " is below 1 (backoff must not shrink delays); "
+                    "clamping to 1"));
+        rec.retryBackoff = 1;
+    }
 }
 
 IterationResult
@@ -88,7 +128,20 @@ Engine::runDynamic(const MetaGraph &graph, const ExecutionPlan &plan,
                    const std::vector<TaskArrival> &arrivals,
                    std::vector<double> *arrival_end) const
 {
-    IterationResult result;
+    // Fault-free runs take the same path as faulted ones; with no
+    // faults armed the injector never fires, so the result is
+    // bit-identical to the pre-fault-injection dispatcher.
+    return runWithFaults(graph, plan, {}, arrivals, arrival_end).result;
+}
+
+FaultedIterationResult
+Engine::runWithFaults(const MetaGraph &graph, const ExecutionPlan &plan,
+                      const std::vector<InjectedFault> &faults,
+                      const std::vector<TaskArrival> &arrivals,
+                      std::vector<double> *arrival_end) const
+{
+    FaultedIterationResult out;
+    IterationResult &result = out.result;
     if (arrival_end)
         arrival_end->clear();
     if (plan.waves.empty()) {
@@ -96,7 +149,9 @@ Engine::runDynamic(const MetaGraph &graph, const ExecutionPlan &plan,
         // has no simulator to dispatch the arrivals on.
         panicIf(!arrivals.empty(),
                 "runDynamic: arrivals with an empty base plan");
-        return result;
+        panicIf(!faults.empty(),
+                "runWithFaults: faults with an empty base plan");
+        return out;
     }
 
     Simulator sim(plan.numDevices);
@@ -108,6 +163,38 @@ Engine::runDynamic(const MetaGraph &graph, const ExecutionPlan &plan,
     // The base iteration registers its events immediately...
     PlanExecution base(sim, hw_, graph, plan, options_, *policy);
     startExecution(base, 0.0, overlap);
+    const DeviceSet base_devices = planDevices(plan);
+
+    // Fault batches arm before the arrival events so that a fault
+    // and an arrival at the same instant resolve deterministically
+    // as fault-first: the arrival sees the dead devices and is
+    // refused instead of starting on hardware that is already gone.
+    std::vector<char> started(arrivals.size(), 0);
+    std::vector<DeviceSet> arrival_devices(arrivals.size());
+    std::vector<std::unique_ptr<PlanExecution>> injected(arrivals.size());
+    FaultInjector injector(sim, faults);
+    injector.arm([&](double time, const DeviceSet &dead) {
+        // Halt only when in-flight work depends on a dead device;
+        // work that already drained survives the failure, and an
+        // idle-device loss lets the iteration keep running — only
+        // future injections must route around it. `finished` alone
+        // is not "drained": the dispatcher reserves the sync tail
+        // synchronously when the last wave completes, so a fault can
+        // land inside reserved-but-unfinished sync intervals — the
+        // execution is in flight until its iteration end.
+        const auto in_flight = [time](const PlanExecution &e) {
+            return !e.finished || time < e.sync.iterationEnd;
+        };
+        bool hit = in_flight(base) && intersects(base_devices, dead);
+        for (std::size_t i = 0; i < arrivals.size() && !hit; ++i)
+            hit = started[i] && in_flight(*injected[i]) &&
+                  intersects(arrival_devices[i], dead);
+        if (hit && out.completed) {
+            out.completed = false;
+            out.failureTime = time;
+        }
+        return hit;
+    });
 
     // ... and each arriving task is injected through the event
     // queue at its arrival time, contending for the same devices.
@@ -123,7 +210,6 @@ Engine::runDynamic(const MetaGraph &graph, const ExecutionPlan &plan,
                          return arrivals[a].time < arrivals[b].time;
                      });
 
-    std::vector<std::unique_ptr<PlanExecution>> injected(arrivals.size());
     for (std::size_t idx : order) {
         const TaskArrival &a = arrivals[idx];
         panicIf(a.graph == nullptr || a.plan == nullptr,
@@ -132,16 +218,63 @@ Engine::runDynamic(const MetaGraph &graph, const ExecutionPlan &plan,
         panicIf(a.plan->numDevices != plan.numDevices,
                 "runDynamic: arrival targets a different cluster");
         panicIf(a.plan->waves.empty(), "runDynamic: empty arrival plan");
+        arrival_devices[idx] = planDevices(*a.plan);
         injected[idx] = std::make_unique<PlanExecution>(
             sim, hw_, *a.graph, *a.plan, options_, *policy);
         PlanExecution *exec = injected[idx].get();
         const double at = a.time;
-        sim.queue().schedule(at, [exec, at, overlap] {
+        sim.queue().schedule(at, [&out, &sim, &started, &arrival_devices,
+                                  exec, idx, at, overlap] {
+            if (sim.anyFailed(arrival_devices[idx])) {
+                // The task's placement predates the failure; refuse
+                // injection with a structured error the caller can
+                // act on (replan the task on the survivors) instead
+                // of tripping the simulator's dead-device panic.
+                DeviceSet lost;
+                for (DeviceId d : arrival_devices[idx])
+                    if (sim.isFailed(d))
+                        lost.push_back(d);
+                out.arrivalErrors.push_back(
+                    {idx, strCat("arrival ", idx, " at t=", at,
+                                 " is placed on failed device(s) ",
+                                 deviceSetStr(lost),
+                                 "; replan it on the surviving "
+                                 "topology before injecting")});
+                return;
+            }
+            started[idx] = 1;
             startExecution(*exec, at, overlap);
         });
     }
 
     sim.queue().run();
+    out.failedDevices = sim.failedDevices();
+    result.peakMemoryBytes = peakMemoryPerDevice(graph, plan, hw_, mem_);
+
+    if (!out.completed) {
+        // A fault aborted the iteration: every started interval is
+        // invalidated (the recovery path restarts the iteration from
+        // scratch on the survivors), so all progress before the
+        // failure counts as lost work. The reported timeline is
+        // truncated at the failure instant — what the cluster
+        // actually executed, not what the plan promised.
+        const double t_f = out.failureTime;
+        Timeline clipped;
+        for (const ExecRecord &r : sim.timeline().records()) {
+            out.lostWorkSeconds +=
+                std::min(r.end, t_f) - std::min(r.start, t_f);
+            if (r.end > t_f)
+                ++out.abortedReservations;
+            ExecRecord c = r;
+            c.start = std::min(r.start, t_f);
+            c.end = std::min(r.end, t_f);
+            if (c.end > c.start)
+                clipped.record(std::move(c));
+        }
+        result.timeline = std::move(clipped);
+        result.iterationSeconds = t_f;
+        return out;
+    }
 
     panicIf(!base.finished, "runDynamic: base iteration never drained");
     result.iterationSeconds = base.sync.iterationEnd;
@@ -152,7 +285,16 @@ Engine::runDynamic(const MetaGraph &graph, const ExecutionPlan &plan,
                               result.breakdown.sendRecv;
     result.transmissionBytes = base.trans.totalBytes();
     result.syncBytes = base.pool.totalSyncBytes();
-    for (const auto &exec : injected) {
+    for (std::size_t idx = 0; idx < injected.size(); ++idx) {
+        const auto &exec = injected[idx];
+        if (!started[idx]) {
+            // Refused above (queue drained, so every arrival event
+            // fired); its error is in arrivalErrors and its end slot
+            // reads -1 to keep input-order alignment.
+            if (arrival_end)
+                arrival_end->push_back(-1.0);
+            continue;
+        }
         panicIf(!exec->finished, "runDynamic: arrival never drained");
         result.iterationSeconds =
             std::max(result.iterationSeconds, exec->sync.iterationEnd);
@@ -161,8 +303,6 @@ Engine::runDynamic(const MetaGraph &graph, const ExecutionPlan &plan,
         if (arrival_end)
             arrival_end->push_back(exec->sync.iterationEnd);
     }
-
-    result.peakMemoryBytes = peakMemoryPerDevice(graph, plan, hw_, mem_);
 
     // Runtime memory validation: a placed plan promising more bytes
     // than a device's HBM would OOM on real hardware. The planner's
@@ -183,7 +323,7 @@ Engine::runDynamic(const MetaGraph &graph, const ExecutionPlan &plan,
                     " GiB peak vs ", hbm / GiB, " GiB HBM)"));
 
     result.timeline = sim.timeline();
-    return result;
+    return out;
 }
 
 std::vector<double>

@@ -20,12 +20,22 @@
  * runDynamic() additionally injects tasks mid-iteration through
  * scheduled events (the Fig. 13 dynamic-arrival scenario) instead
  * of requiring a full replan.
+ *
+ * runWithFaults() layers fault injection on top: scheduled device
+ * failures fire as events, an affected iteration halts with its
+ * lost work accounted (clipped timeline, aborted reservations), and
+ * arrivals placed on dead devices are refused with a structured
+ * ArrivalError instead of a panic. The RecoveryCoordinator
+ * (runtime/recovery.h) drives replanning on the survivors;
+ * EngineOptions::recovery carries the detection/restart/retry
+ * knobs.
  */
 
 #ifndef SPINDLE_RUNTIME_ENGINE_H
 #define SPINDLE_RUNTIME_ENGINE_H
 
 #include <optional>
+#include <string>
 
 #include "hardware/hardware_model.h"
 #include "planner/execution_plan.h"
@@ -33,6 +43,7 @@
 #include "runtime/param_groups.h"
 #include "runtime/transmission.h"
 #include "sim/dispatch_policy.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 
 namespace spindle {
@@ -64,6 +75,44 @@ struct IterationResult
 
     /** Bytes moved by inter-wave transmissions. */
     double transmissionBytes = 0;
+};
+
+/**
+ * Failure-recovery tunables: what a fault costs beyond the lost
+ * work, and how hard the recovery path tries before accepting a
+ * degraded plan. Consumed by RecoveryCoordinator (runtime/recovery.h)
+ * and validated by the Engine constructor (negative times and a zero
+ * attempt budget warn and clamp, like the sync fractions below).
+ */
+struct RecoveryOptions
+{
+    /**
+     * Seconds between a device dying and the runtime noticing
+     * (heartbeat / NCCL timeout). Charged once per failure episode.
+     * Negative values are clamped to 0 with a warning.
+     */
+    double detectionSeconds = 0.5;
+
+    /**
+     * Seconds to tear down and relaunch the affected processes
+     * before the replanned iteration starts. Charged per replan
+     * attempt, scaled by retryBackoff^attempt. Negative values are
+     * clamped to 0 with a warning.
+     */
+    double restartSeconds = 2.0;
+
+    /**
+     * Attempts in the replan cascade (prefix-reusing replan -> cold
+     * replan -> memory-first replan) before the best feasible plan
+     * so far is accepted. Zero is clamped to 1 with a warning.
+     */
+    std::uint32_t maxReplanAttempts = 3;
+
+    /**
+     * Multiplier on restartSeconds per extra attempt (exponential
+     * backoff). Values below 1 are clamped to 1 with a warning.
+     */
+    double retryBackoff = 2.0;
 };
 
 /** Engine tunables. */
@@ -111,6 +160,9 @@ struct EngineOptions
      * wall-clock knob.
      */
     std::optional<std::uint32_t> plannerThreads;
+
+    /** Failure-recovery knobs (see RecoveryOptions). */
+    RecoveryOptions recovery;
 };
 
 /** One task (graph + placed plan) arriving mid-iteration. */
@@ -121,6 +173,53 @@ struct TaskArrival
 
     const MetaGraph *graph = nullptr;
     const ExecutionPlan *plan = nullptr;
+};
+
+/**
+ * Structured refusal of one mid-iteration arrival: its placement
+ * needs a device that failed earlier in the iteration, so injecting
+ * it would reserve a dead device. The caller replans the task on the
+ * surviving topology instead; nothing panics.
+ */
+struct ArrivalError
+{
+    /** Index into the arrivals vector passed to runWithFaults(). */
+    std::size_t index = 0;
+
+    /** Actionable description naming the dead devices. */
+    std::string message;
+};
+
+/**
+ * What one iteration under fault injection yields. When no fault
+ * strikes running work, `completed` is true and `result` matches
+ * runDynamic() exactly. When a fault kills a device some started
+ * execution depends on, the iteration halts: `result.timeline` is
+ * truncated at the failure instant, the work performed so far is
+ * accounted as lost (the recovery path restarts the iteration on
+ * the survivors), and `result.iterationSeconds` is the failure time.
+ */
+struct FaultedIterationResult
+{
+    IterationResult result;
+
+    /** False iff a fault halted the iteration. */
+    bool completed = true;
+
+    /** Time of the halting fault batch (0 when completed). */
+    double failureTime = 0;
+
+    /** All devices that failed during the run, ascending. */
+    DeviceSet failedDevices;
+
+    /** Device-seconds of started work invalidated by the halt. */
+    double lostWorkSeconds = 0;
+
+    /** Reservations still in flight at the halt instant. */
+    std::uint32_t abortedReservations = 0;
+
+    /** Arrivals refused because their placement needs a dead device. */
+    std::vector<ArrivalError> arrivalErrors;
 };
 
 /**
@@ -159,6 +258,25 @@ class Engine
                                const std::vector<TaskArrival> &arrivals,
                                std::vector<double> *arrival_end =
                                    nullptr) const;
+
+    /**
+     * runDynamic() under fault injection: @p faults are armed on the
+     * shared simulator and fire as events. A fault that kills a
+     * device no *started* execution touches lets the iteration keep
+     * running — only future work must avoid the dead device, and an
+     * arrival whose placement needs one is refused with a structured
+     * ArrivalError (its arrival_end slot reads -1) instead of
+     * panicking. A fault that hits started work halts the iteration:
+     * in-flight reservations abort, the timeline is truncated at the
+     * failure instant, and the partial work is reported as lost so
+     * the recovery path (runtime/recovery.h) can charge it and
+     * replan on the surviving topology.
+     */
+    FaultedIterationResult runWithFaults(
+        const MetaGraph &graph, const ExecutionPlan &plan,
+        const std::vector<InjectedFault> &faults,
+        const std::vector<TaskArrival> &arrivals = {},
+        std::vector<double> *arrival_end = nullptr) const;
 
     const HardwareModel &hardware() const { return hw_; }
     const MemoryModel &memory() const { return mem_; }

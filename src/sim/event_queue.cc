@@ -34,7 +34,7 @@ EventQueue::step()
 void
 EventQueue::run()
 {
-    while (!heap_.empty())
+    while (!heap_.empty() && !halted_)
         step();
 }
 
@@ -45,6 +45,7 @@ EventQueue::reset()
         heap_.pop();
     now_ = 0;
     next_seq_ = 0;
+    halted_ = false;
 }
 
 } // namespace spindle

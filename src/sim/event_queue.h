@@ -43,8 +43,20 @@ class EventQueue
     /** Advance to the earliest event and dispatch it. */
     void step();
 
-    /** Dispatch events until the queue drains. */
+    /** Dispatch events until the queue drains or halt() fires. */
     void run();
+
+    /**
+     * Stop dispatching: run() returns before the next event. Called
+     * from inside an event handler (the fault-injection path aborts
+     * an iteration this way); pending events stay queued so the
+     * caller can inspect what was abandoned. reset() clears the
+     * halt.
+     */
+    void halt() { halted_ = true; }
+
+    /** True after halt() until the next reset(). */
+    bool halted() const { return halted_; }
 
     /** Drop all pending events and rewind the clock to zero. */
     void reset();
@@ -71,6 +83,7 @@ class EventQueue
     std::priority_queue<Item, std::vector<Item>, Later> heap_;
     SimTime now_ = 0;
     std::uint64_t next_seq_ = 0;
+    bool halted_ = false;
 };
 
 } // namespace spindle

@@ -7,9 +7,53 @@
 namespace spindle {
 
 Simulator::Simulator(std::uint32_t num_devices)
-    : num_devices_(num_devices), free_at_(num_devices, 0.0)
+    : num_devices_(num_devices), free_at_(num_devices, 0.0),
+      failed_(num_devices, false)
 {
     fatalIf(num_devices == 0, "Simulator: empty cluster");
+}
+
+void
+Simulator::failDevices(const DeviceSet &devices)
+{
+    for (DeviceId d : devices)
+        panicIf(d >= num_devices_,
+                strCat("failDevices: bad device ", d));
+    for (DeviceId d : devices) {
+        if (!failed_[d]) {
+            failed_[d] = true;
+            ++num_failed_;
+        }
+    }
+}
+
+bool
+Simulator::isFailed(DeviceId dev) const
+{
+    panicIf(dev >= num_devices_, strCat("isFailed: bad device ", dev));
+    return failed_[dev];
+}
+
+bool
+Simulator::anyFailed(const DeviceSet &group) const
+{
+    if (num_failed_ == 0)
+        return false;
+    for (DeviceId d : group)
+        if (isFailed(d))
+            return true;
+    return false;
+}
+
+DeviceSet
+Simulator::failedDevices() const
+{
+    DeviceSet out;
+    out.reserve(num_failed_);
+    for (DeviceId d = 0; d < num_devices_; ++d)
+        if (failed_[d])
+            out.push_back(d);
+    return out;
 }
 
 double
@@ -41,6 +85,14 @@ Simulator::occupy(const DeviceSet &group, double earliest,
     // inconsistent.
     for (DeviceId d : group)
         panicIf(d >= num_devices_, strCat("occupy: bad device ", d));
+    if (num_failed_ > 0) {
+        for (DeviceId d : group)
+            panicIf(failed_[d],
+                    strCat("occupy: device ", d, " failed at t=",
+                           queue_.now(), " but \"", label,
+                           "\" still reserves it — the dispatcher "
+                           "must abort or replan after a fault"));
+    }
     const double start = std::max(earliest, groupFree(group));
     const double end = start + duration;
     const double flops_each = flops / static_cast<double>(group.size());
@@ -76,6 +128,8 @@ Simulator::reset()
     queue_.reset();
     timeline_ = Timeline();
     std::fill(free_at_.begin(), free_at_.end(), 0.0);
+    std::fill(failed_.begin(), failed_.end(), false);
+    num_failed_ = 0;
 }
 
 } // namespace spindle

@@ -58,13 +58,38 @@ class Simulator
     double groupFree(const DeviceSet &group) const;
 
     /**
+     * Mark every device of @p devices as failed (idempotent): from
+     * now on, occupy()/request() reject any reservation touching
+     * them (the FaultInjector calls this when a fault event fires,
+     * then decides whether the iteration must abort). Device ids
+     * must be in range.
+     */
+    void failDevices(const DeviceSet &devices);
+
+    /** True iff @p dev was marked failed. */
+    bool isFailed(DeviceId dev) const;
+
+    /** True iff any device of @p group was marked failed. */
+    bool anyFailed(const DeviceSet &group) const;
+
+    /** All failed device ids, ascending. */
+    DeviceSet failedDevices() const;
+
+    /** Number of failed devices. */
+    std::uint32_t numFailed() const { return num_failed_; }
+
+    /**
      * Reserve @p group for @p duration seconds, starting at the
      * later of @p earliest and the group's free time. Total
      * @p flops are split evenly across the group for the trace.
      *
      * The whole group is validated before any state is touched, so
      * a bad device id can never leave the timeline and the
-     * availability ledger inconsistent.
+     * availability ledger inconsistent. Reservations touching a
+     * failed device are rejected the same way: after a fault event
+     * the dispatcher must have been halted (or replanned around the
+     * dead devices), so reaching occupy() with one is an internal
+     * error.
      *
      * @return the completion time of the interval
      */
@@ -101,6 +126,8 @@ class Simulator
     EventQueue queue_;
     Timeline timeline_;
     std::vector<double> free_at_;
+    std::vector<bool> failed_;
+    std::uint32_t num_failed_ = 0;
 };
 
 } // namespace spindle

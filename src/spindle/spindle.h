@@ -34,5 +34,7 @@
 #include "models/task.h"
 #include "planner/planner.h"
 #include "runtime/engine.h"
+#include "runtime/recovery.h"
+#include "sim/fault.h"
 
 #endif // SPINDLE_SPINDLE_H

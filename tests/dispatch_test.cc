@@ -425,5 +425,142 @@ TEST(EngineOptionsClamp, WarnsAndClampsOutOfRangeFractions)
     EXPECT_EQ(a.iterationSeconds, b.iterationSeconds);
 }
 
+TEST(EngineOptionsClamp, WarnsAndClampsRecoveryKnobs)
+{
+    ClusterTopology topo = smallCluster(1);
+    HardwareModel hw(topo);
+
+    EngineOptions bad;
+    bad.recovery.detectionSeconds = -0.5; // clamped to 0
+    bad.recovery.restartSeconds = -2.0;   // clamped to 0
+    bad.recovery.maxReplanAttempts = 0;   // raised to 1
+    bad.recovery.retryBackoff = 0.5;      // raised to 1
+    Engine clamped(hw, MemoryParams{}, bad);
+    EXPECT_EQ(clamped.options().recovery.detectionSeconds, 0.0);
+    EXPECT_EQ(clamped.options().recovery.restartSeconds, 0.0);
+    EXPECT_EQ(clamped.options().recovery.maxReplanAttempts, 1u);
+    EXPECT_EQ(clamped.options().recovery.retryBackoff, 1.0);
+
+    // In-range values pass through untouched.
+    EngineOptions good;
+    good.recovery.detectionSeconds = 0.1;
+    good.recovery.restartSeconds = 3.0;
+    good.recovery.maxReplanAttempts = 2;
+    good.recovery.retryBackoff = 1.5;
+    Engine kept(hw, MemoryParams{}, good);
+    EXPECT_EQ(kept.options().recovery.detectionSeconds, 0.1);
+    EXPECT_EQ(kept.options().recovery.restartSeconds, 3.0);
+    EXPECT_EQ(kept.options().recovery.maxReplanAttempts, 2u);
+    EXPECT_EQ(kept.options().recovery.retryBackoff, 1.5);
+}
+
+// ===================================================================
+// Fault injection through the dispatcher
+// ===================================================================
+
+/** A two-half-cluster fixture: the base plan runs on island 0
+ *  (devices 0-7), the injectable arrival plan on island 1 (8-15), so
+ *  faults can hit one without touching the other. */
+struct FaultedArrivalFixture : public ::testing::Test
+{
+    FaultedArrivalFixture()
+        : graph(fig3Workload()), meta(contractGraph(graph)),
+          topo(smallCluster(2)), hw(topo)
+    {
+        ClusterTopology half = smallCluster(1);
+        HardwareModel half_hw(half);
+        ExecutionPlanner planner(half_hw);
+        base = planner.plan(meta).plan;
+        base.numDevices = topo.numDevices();
+
+        shifted = base;
+        for (Wave &w : shifted.waves)
+            for (WaveEntry &e : w.entries)
+                for (DeviceId &d : e.devices)
+                    d += 8;
+    }
+
+    ComputationGraph graph;
+    MetaGraph meta;
+    ClusterTopology topo;
+    HardwareModel hw;
+    ExecutionPlan base;    ///< island 0 only
+    ExecutionPlan shifted; ///< same plan on island 1
+};
+
+TEST_F(FaultedArrivalFixture, ArrivalOnFailedDeviceIsStructuredError)
+{
+    // Device 12 (idle in the base plan) dies before the arrival that
+    // is placed on it: the iteration keeps running, and the arrival
+    // is refused with an actionable error instead of a panic.
+    Engine engine(hw);
+    const double makespan = engine.run(meta, base).iterationSeconds;
+
+    std::vector<double> ends;
+    const FaultedIterationResult fr = engine.runWithFaults(
+        meta, base, {{0.1 * makespan, {12}}},
+        {{0.5 * makespan, &meta, &shifted}}, &ends);
+
+    EXPECT_TRUE(fr.completed);
+    EXPECT_EQ(fr.failedDevices, DeviceSet{12});
+    ASSERT_EQ(fr.arrivalErrors.size(), 1u);
+    EXPECT_EQ(fr.arrivalErrors[0].index, 0u);
+    EXPECT_NE(fr.arrivalErrors[0].message.find("12"),
+              std::string::npos);
+    EXPECT_NE(fr.arrivalErrors[0].message.find("replan"),
+              std::string::npos);
+    // The refused arrival's end slot keeps input-order alignment.
+    ASSERT_EQ(ends.size(), 1u);
+    EXPECT_EQ(ends[0], -1.0);
+    // The base iteration was unaffected.
+    EXPECT_DOUBLE_EQ(fr.result.iterationSeconds, makespan);
+}
+
+TEST_F(FaultedArrivalFixture, FaultOnStartedArrivalHalts)
+{
+    // Same fault, but the arrival started *before* the device died:
+    // now in-flight work is hit and the iteration must abort.
+    Engine engine(hw);
+    const double makespan = engine.run(meta, base).iterationSeconds;
+
+    const double t_arr = 0.1 * makespan;
+    const double t_f = 0.5 * makespan;
+    const FaultedIterationResult fr = engine.runWithFaults(
+        meta, base, {{t_f, {12}}}, {{t_arr, &meta, &shifted}});
+
+    ASSERT_FALSE(fr.completed);
+    EXPECT_DOUBLE_EQ(fr.failureTime, t_f);
+    EXPECT_TRUE(fr.arrivalErrors.empty());
+    EXPECT_GT(fr.lostWorkSeconds, 0);
+    EXPECT_LE(fr.result.timeline.makespan(), t_f);
+}
+
+TEST_F(FaultedArrivalFixture, FaultOnIdleDevicesNeverDisturbsTheRun)
+{
+    // Killing island 1 mid-iteration while only island 0 works:
+    // bit-identical timeline to the fault-free run.
+    Engine engine(hw);
+    const IterationResult clean = engine.run(meta, base);
+    const FaultedIterationResult fr = engine.runWithFaults(
+        meta, base,
+        {{0.3 * clean.iterationSeconds, {8, 9, 10, 11, 12, 13, 14, 15}}});
+    EXPECT_TRUE(fr.completed);
+    EXPECT_EQ(fr.failedDevices.size(), 8u);
+    EXPECT_DOUBLE_EQ(fr.result.iterationSeconds,
+                     clean.iterationSeconds);
+    expectIdenticalTimelines(clean.timeline, fr.result.timeline);
+}
+
+TEST_F(FaultedArrivalFixture, ReservationOnFailedDevicePanics)
+{
+    // The simulator's last line of defense: if a dispatcher ever
+    // reaches occupy() with a dead device, the process aborts.
+    Simulator sim(4);
+    sim.failDevices({2});
+    EXPECT_DEATH(sim.occupy({1, 2}, 0, 1.0, ExecKind::Compute, 0, -1,
+                            "doomed"),
+                 "device 2 failed");
+}
+
 } // namespace
 } // namespace spindle

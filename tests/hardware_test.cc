@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 #include "common/math_util.h"
 #include "test_util.h"
 
@@ -113,6 +115,133 @@ TEST(Topology, PerIslandAndPerPairLinkOverrides)
     EXPECT_DOUBLE_EQ(topo.groupLink({0, 2, 4}).bandwidth, 100 * kGiga);
     // Intra groups keep their island's class.
     EXPECT_DOUBLE_EQ(topo.groupLink({2, 3}).bandwidth, 400 * kGiga);
+}
+
+// ===================================================================
+// withoutDevices: deriving the surviving island graph after failures
+// ===================================================================
+
+TEST(TopologyDegraded, RenumbersSurvivorsDense)
+{
+    ClusterTopology topo = smallCluster(2); // 2 x 8
+    const DegradedTopology deg = topo.withoutDevices({0, 1, 2});
+
+    ASSERT_EQ(deg.newToOld.size(), 13u);
+    ASSERT_EQ(deg.oldToNew.size(), 16u);
+    EXPECT_EQ(deg.newToOld[0], 3u); // first survivor is original 3
+    EXPECT_EQ(deg.newToOld[12], 15u);
+    EXPECT_EQ(deg.oldToNew[0], DegradedTopology::kDead);
+    EXPECT_EQ(deg.oldToNew[3], 0u);
+    EXPECT_EQ(deg.oldToNew[15], 12u);
+    EXPECT_TRUE(deg.droppedIslands.empty());
+
+    const ClusterTopology surv(deg.config);
+    EXPECT_EQ(surv.numDevices(), 13u);
+    EXPECT_EQ(surv.numIslands(), 2u);
+    EXPECT_EQ(surv.islandSizeOf(0), 5u);
+    EXPECT_EQ(surv.islandSizeOf(1), 8u);
+    // The maps agree with the island structure: original device 8
+    // (island 1) lands in the surviving island 1.
+    EXPECT_EQ(surv.islandOf(deg.oldToNew[8]), 1u);
+}
+
+TEST(TopologyDegraded, UniformFabricStaysUniform)
+{
+    // A uniform cluster must not come back non-uniform (placement's
+    // class-indexed fast path keys on uniformLinks()), and the
+    // surviving shape fingerprint must match the same island graph
+    // built directly.
+    ClusterTopology topo = smallCluster(2);
+    ASSERT_TRUE(topo.uniformLinks());
+    const DegradedTopology deg = topo.withoutDevices({0, 1, 2});
+    const ClusterTopology surv(deg.config);
+    EXPECT_TRUE(surv.uniformLinks());
+
+    ClusterConfig direct;
+    direct.islands.resize(2);
+    for (std::uint32_t d = 0; d < 5; ++d)
+        direct.islands[0].devices.push_back(d);
+    for (std::uint32_t d = 5; d < 13; ++d)
+        direct.islands[1].devices.push_back(d);
+    EXPECT_EQ(surv.fingerprint(), ClusterTopology(direct).fingerprint());
+}
+
+TEST(TopologyDegraded, FingerprintSeparatesSurvivingShapes)
+{
+    ClusterTopology topo = smallCluster(2);
+    const auto shape = [&topo](const DeviceSet &dead) {
+        return ClusterTopology(topo.withoutDevices(dead).config)
+            .fingerprint();
+    };
+    // Isomorphic failures (any one device of island 0) share a
+    // shape — that is what lets a PlanCache re-hit a recurring
+    // degraded state; different surviving sets hash apart.
+    EXPECT_EQ(shape({3}), shape({4}));
+    EXPECT_NE(shape({3}), shape({11}));     // other island shrank
+    EXPECT_NE(shape({3}), shape({3, 4}));   // different count
+    EXPECT_NE(shape({3}), topo.fingerprint());
+}
+
+TEST(TopologyDegraded, DropsEmptiedIslandsAndTheirOverrides)
+{
+    ClusterConfig cfg;
+    cfg.islands.resize(3);
+    cfg.islands[0].devices = {0, 1};
+    cfg.islands[1].devices = {2, 3};
+    cfg.islands[1].intra = {400 * kGiga, 1 * kMicro};
+    cfg.islands[2].devices = {4, 5};
+    cfg.islandLinks.push_back(
+        {0, 1, {25 * kGiga, 20 * kMicro}, {100 * kGiga, 20 * kMicro}});
+    cfg.islandLinks.push_back(
+        {1, 2, {30 * kGiga, 20 * kMicro}, {150 * kGiga, 20 * kMicro}});
+    ClusterTopology topo(cfg);
+
+    // Island 0 loses both devices: it is dropped, its pair override
+    // with it (warned, not fatal), and the (1, 2) override is
+    // remapped onto the surviving indices (0, 1).
+    const DegradedTopology deg = topo.withoutDevices({0, 1});
+    EXPECT_EQ(deg.droppedIslands, (std::vector<std::uint32_t>{0}));
+    const ClusterTopology surv(deg.config);
+    EXPECT_EQ(surv.numIslands(), 2u);
+    EXPECT_DOUBLE_EQ(surv.interLink(0, 1).bandwidth, 30 * kGiga);
+    EXPECT_DOUBLE_EQ(surv.collectiveLink(0, 1).bandwidth, 150 * kGiga);
+    // Island 1's intra override survives as surviving island 0.
+    EXPECT_DOUBLE_EQ(surv.intraLink(0).bandwidth, 400 * kGiga);
+    EXPECT_DOUBLE_EQ(surv.intraLink(0).latency, 1 * kMicro);
+}
+
+TEST(TopologyDegraded, PartialIslandLossKeepsOverrides)
+{
+    ClusterConfig cfg;
+    cfg.islands.resize(2);
+    cfg.islands[0].devices = {0, 1, 2};
+    cfg.islands[1].devices = {3, 4, 5};
+    cfg.islandLinks.push_back(
+        {0, 1, {25 * kGiga, 20 * kMicro}, {100 * kGiga, 20 * kMicro}});
+    ClusterTopology topo(cfg);
+
+    const DegradedTopology deg = topo.withoutDevices({1, 4});
+    EXPECT_TRUE(deg.droppedIslands.empty());
+    const ClusterTopology surv(deg.config);
+    EXPECT_EQ(surv.numIslands(), 2u);
+    EXPECT_EQ(surv.islandSizeOf(0), 2u);
+    EXPECT_EQ(surv.islandSizeOf(1), 2u);
+    EXPECT_DOUBLE_EQ(surv.interLink(0, 1).bandwidth, 25 * kGiga);
+}
+
+TEST(TopologyDegraded, FatalOnMalformedDeadSets)
+{
+    const auto dies = [](const DeviceSet &dead, const char *pattern) {
+        ClusterTopology topo = smallCluster(2);
+        EXPECT_EXIT({ topo.withoutDevices(dead); },
+                    ::testing::ExitedWithCode(1), pattern);
+    };
+    dies({}, "empty dead set");
+    dies({16}, "out of range");
+    dies({3, 3}, "listed dead twice");
+    DeviceSet all(16);
+    std::iota(all.begin(), all.end(), DeviceId{0});
+    dies(all, "all 16 devices are dead");
 }
 
 TEST(TopologyValidation, RejectsMalformedIslandSpecs)

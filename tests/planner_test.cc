@@ -312,5 +312,81 @@ TEST(Planner, PlanCacheSharedAcrossPlanners)
     expectSameBytes(second.plan(meta), hit);
 }
 
+// ===================================================================
+// Plan cache under degraded (post-failure) topologies
+// ===================================================================
+
+TEST(Planner, PlanCacheReHitsRecurringDegradedShape)
+{
+    // The elastic-recovery contract: losing device 3, then later
+    // losing device 4 instead, leaves the same surviving island
+    // shape (7+8 contiguous GPUs) — the second episode's replan must
+    // be a full hit on the first one's cached entry, while a failure
+    // in the *other* island (8+7) is a distinct context and misses.
+    ComputationGraph g = fig3Workload();
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(2);
+
+    PlanCache cache;
+    PlannerOptions options;
+    options.cache = &cache;
+
+    ClusterTopology surv_a(topo.withoutDevices({3}).config);
+    ClusterTopology surv_b(topo.withoutDevices({4}).config);
+    ClusterTopology surv_c(topo.withoutDevices({11}).config);
+    ASSERT_EQ(surv_a.fingerprint(), surv_b.fingerprint());
+    ASSERT_NE(surv_a.fingerprint(), surv_c.fingerprint());
+
+    HardwareModel hw_a(surv_a);
+    HardwareModel hw_b(surv_b);
+    HardwareModel hw_c(surv_c);
+    ExecutionPlanner pa(hw_a, options);
+    ExecutionPlanner pb(hw_b, options);
+    ExecutionPlanner pc(hw_c, options);
+
+    EXPECT_FALSE(pa.replan(meta).replan.fullHit); // first episode
+    PlannerOutput hit = pb.replan(meta);          // same shape
+    EXPECT_TRUE(hit.replan.fullHit);
+    expectSameBytes(pb.plan(meta), hit);
+    EXPECT_FALSE(pc.replan(meta).replan.fullHit); // other island
+
+    // The healthy cluster is yet another context: no leakage from
+    // degraded entries.
+    HardwareModel hw_full(topo);
+    ExecutionPlanner pf(hw_full, options);
+    EXPECT_FALSE(pf.replan(meta).replan.fullHit);
+    EXPECT_EQ(cache.stats().fullHits, 1u);
+    EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(Planner, DegradedReplanByteIdenticalAcrossThreadCounts)
+{
+    // Replans on a surviving topology must be byte-identical no
+    // matter how many planner threads run — recovery must not trade
+    // determinism for speed. Kill devices in both islands so the
+    // surviving shape (6+7) has no symmetry to hide behind.
+    ComputationGraph g = buildMultitaskClip({.numTasks = 3});
+    MetaGraph meta = contractGraph(g);
+    ClusterTopology topo = smallCluster(2);
+    ClusterTopology surv(topo.withoutDevices({2, 5, 9}).config);
+    ASSERT_EQ(surv.numDevices(), 13u);
+    HardwareModel hw(surv);
+
+    PlannerOptions serial;
+    serial.threads = 1;
+    ExecutionPlanner baseline(hw, serial);
+    PlannerOutput want = baseline.plan(meta);
+    want.plan.validate(meta); // panics if invalid
+
+    for (std::uint32_t threads : {2u, 8u}) {
+        PlannerOptions opts;
+        opts.threads = threads;
+        ExecutionPlanner planner(hw, opts);
+        expectSameBytes(planner.plan(meta), want);
+        // replan() (the recovery path) stays pinned to plan() too.
+        expectSameBytes(planner.replan(meta), want);
+    }
+}
+
 } // namespace
 } // namespace spindle
