@@ -34,6 +34,19 @@ railConstrainedHetero(std::uint32_t num_nodes)
     return ClusterTopology(cfg);
 }
 
+/**
+ * The same mixed 12/4-GPU fabric with a multi-rail inter-island
+ * collective class: min(4-GPU island slice, rails) concurrent rings,
+ * the fabric the sharded algorithm is built for.
+ */
+ClusterTopology
+railRichHetero(std::uint32_t num_nodes, std::uint32_t rails)
+{
+    ClusterConfig cfg = heteroClusterConfig(num_nodes);
+    cfg.interIslandCollective = {50 * kGiga, 10 * kMicro, rails};
+    return ClusterTopology(cfg);
+}
+
 struct KindRun
 {
     double syncSeconds = 0;
@@ -73,6 +86,9 @@ sweep(const std::string &workload, const ComputationGraph &graph,
         const KindRun hier =
             runKind(hw, meta, out.plan, dispatch,
                     CollectiveKind::Hierarchical);
+        const KindRun sharded =
+            runKind(hw, meta, out.plan, dispatch,
+                    CollectiveKind::ShardedHierarchical);
         const KindRun aut =
             runKind(hw, meta, out.plan, dispatch,
                     CollectiveKind::Auto);
@@ -83,21 +99,27 @@ sweep(const std::string &workload, const ComputationGraph &graph,
                       strict ? "StrictBarrier" : "Overlap",
                       Table::fmt(toMs(flat.syncSeconds), 3),
                       Table::fmt(toMs(hier.syncSeconds), 3),
+                      Table::fmt(toMs(sharded.syncSeconds), 3),
                       Table::fmt(toMs(aut.syncSeconds), 3),
                       Table::fmt(toMs(flat.syncSeconds -
                                       aut.syncSeconds),
                                  3),
                       Table::fmt(toMs(aut.iterSeconds), 2)});
-        json.record(name,
-                    {{"gpus", double(topo.numDevices())},
-                     {"islands", double(topo.numIslands())},
-                     {"flat_sync_s", flat.syncSeconds},
-                     {"hier_sync_s", hier.syncSeconds},
-                     {"auto_sync_s", aut.syncSeconds},
-                     {"sync_delta_s",
-                      flat.syncSeconds - aut.syncSeconds},
-                     {"flat_iter_s", flat.iterSeconds},
-                     {"auto_iter_s", aut.iterSeconds}});
+        json.record(
+            name,
+            {{"gpus", double(topo.numDevices())},
+             {"islands", double(topo.numIslands())},
+             {"rails",
+              double(topo.config().interIslandCollective.rails)},
+             {"flat_sync_s", flat.syncSeconds},
+             {"hier_sync_s", hier.syncSeconds},
+             {"sharded_sync_s", sharded.syncSeconds},
+             {"auto_sync_s", aut.syncSeconds},
+             {"sync_delta_s", flat.syncSeconds - aut.syncSeconds},
+             {"sharded_delta_s",
+              hier.syncSeconds - sharded.syncSeconds},
+             {"flat_iter_s", flat.iterSeconds},
+             {"auto_iter_s", aut.iterSeconds}});
     }
 }
 
@@ -109,8 +131,8 @@ main()
     std::cout << "=== Runtime collectives: exposed sync by algorithm "
                  "===\n";
     Table table({"workload", "cluster", "policy", "flat_sync_ms",
-                 "hier_sync_ms", "auto_sync_ms", "delta_ms",
-                 "auto_iter_ms"});
+                 "hier_sync_ms", "sharded_sync_ms", "auto_sync_ms",
+                 "delta_ms", "auto_iter_ms"});
     BenchJsonWriter json;
     if (!json.loadFile("BENCH_collectives.json"))
         std::cerr << "warning: malformed lines in existing "
@@ -134,6 +156,17 @@ main()
         ComputationGraph graph = buildQwenVal({});
         sweep("QWen-VAL-9B/3T", graph, "hetero32(12+4,50G)",
               railConstrainedHetero(4), table, json);
+    }
+    // Rail-rich sweep: the 64-GPU mixed fabric with 4 and 8 rails on
+    // the inter-island class. The 4-GPU islands cap the shard count
+    // at 4, so the 8-rail points pin rail saturation: sharded equals
+    // the 4-rail fabric while Auto still beats Hierarchical >= 10%
+    // (the perf-smoke gate in check_bench_regression.py).
+    for (std::uint32_t rails : {4u, 8u}) {
+        ComputationGraph graph = buildMultitaskClip({.numTasks = 10});
+        sweep("Multitask-CLIP/10T", graph,
+              strCat("hetero64(12+4,50Gx", rails, "r)"),
+              railRichHetero(8, rails), table, json);
     }
 
     table.printAligned(std::cout);

@@ -85,6 +85,21 @@ planAtScale(benchmark::State &state, const WorkloadCase &wl)
     }
 
     const std::uint32_t gpus = nodes * 8;
+
+    // Which planning phase is the serial tail at this scale — the
+    // argmax of the per-phase breakdown (0 = estimation,
+    // 1 = allocation, 2 = scheduling, 3 = placement; first wins on
+    // ties). At the 1024-GPU sample this is what decides where the
+    // next scaling PR spends its effort.
+    const double phases[4] = {best.phaseSeconds.estimation,
+                              best.phaseSeconds.allocation,
+                              best.phaseSeconds.scheduling,
+                              best.phaseSeconds.placement};
+    std::uint32_t tail = 0;
+    for (std::uint32_t i = 1; i < 4; ++i)
+        if (phases[i] > phases[tail])
+            tail = i;
+
     state.counters["gpus"] = gpus;
     state.counters["threads"] = threads;
     state.counters["plan_seconds"] = best.planningSeconds;
@@ -92,6 +107,7 @@ planAtScale(benchmark::State &state, const WorkloadCase &wl)
     state.counters["allocation_seconds"] = best.phaseSeconds.allocation;
     state.counters["scheduling_seconds"] = best.phaseSeconds.scheduling;
     state.counters["placement_seconds"] = best.phaseSeconds.placement;
+    state.counters["serial_tail_phase"] = tail;
 
     // Serial records keep their historical names (budget
     // continuity); threaded records append the threads dimension.
@@ -111,6 +127,7 @@ planAtScale(benchmark::State &state, const WorkloadCase &wl)
          {"allocation_seconds", best.phaseSeconds.allocation},
          {"scheduling_seconds", best.phaseSeconds.scheduling},
          {"placement_seconds", best.phaseSeconds.placement},
+         {"serial_tail_phase", static_cast<double>(tail)},
          {"waves", static_cast<double>(best.plan.waves.size())}});
 }
 
@@ -129,13 +146,17 @@ const WorkloadCase clip10_hetero{"CLIP-10-hetero",
 } // namespace
 
 // 8..256 GPUs serially, plus the threads dimension at 256 GPUs
-// (args are {nodes, planner threads}). QWen-VAL 70B needs >= 64 GPUs
-// to fit 80 GB devices even with ZeRO-3 sharding, so its sweep
-// starts there. The hetero case plans the same GPU counts over mixed
+// (args are {nodes, planner threads}) and one sampled 1024-GPU point
+// on the heaviest workload (128 nodes, serial) probing the scale
+// envelope — serial_tail_phase on that record names the phase the
+// next scaling push has to attack. QWen-VAL 70B needs >= 64 GPUs to
+// fit 80 GB devices even with ZeRO-3 sharding, so its sweep starts
+// there. The hetero case plans the same GPU counts over mixed
 // 12/4-GPU islands with island-aware window generation.
 BENCHMARK_CAPTURE(planAtScale, CLIP_10Tasks, clip10)
     ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1})
     ->Args({16, 1})->Args({32, 1})->Args({32, 2})->Args({32, 8})
+    ->Args({128, 1})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(planAtScale, OFASys_7Tasks, ofa7)
     ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1})

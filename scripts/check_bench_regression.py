@@ -42,7 +42,15 @@ gates:
   * where the budget records a positive flat-vs-Auto delta (the
     hierarchical win on mixed-size island fabrics), the current
     delta must not shrink below budget / factor — the runtime reward
-    of island-aware placement cannot silently vanish.
+    of island-aware placement cannot silently vanish;
+  * on rail-rich records (baseline rails > 1) with a positive
+    budgeted hierarchical-vs-sharded delta (sharded_delta_s), the
+    current delta must not shrink below budget / factor, and Auto's
+    exposed sync must undercut Hierarchical's by at least
+    AUTO_VS_HIER_MIN_WIN (the acceptance floor for the sharded
+    inter-island rings). A baseline with no rail-rich
+    sharded_delta_s record at all fails — the sharded gate cannot
+    silently evaporate.
 
 replan — gate incremental replanning's advantage over from-scratch
 planning. bench_fig13_arrival_storm writes BENCH_replan.json with
@@ -230,8 +238,16 @@ def check_planner_threads(current, baseline):
     return failures
 
 
+# On rail-rich fabrics Auto (which picks the sharded rings) must beat
+# plain Hierarchical by at least this fraction of exposed sync — the
+# deterministic-simulator acceptance floor for sharding, not a padded
+# wall-clock budget.
+AUTO_VS_HIER_MIN_WIN = 0.10
+
+
 def check_collectives(current, baseline, factor):
     failures = []
+    sharded_gates = 0
     for name, base in sorted(baseline.items()):
         cur = current.get(name)
         if cur is None:
@@ -264,6 +280,28 @@ def check_collectives(current, baseline, factor):
                 f"sync delta {delta:.6f}s < budget "
                 f"{budget_delta:.6f}s / {factor:.1f}"
             )
+        # Rail-rich fabrics additionally gate the sharded rings: the
+        # hier-vs-sharded delta must not shrink below budget, and Auto
+        # must keep undercutting Hierarchical by the acceptance floor.
+        budget_sharded = base.get("sharded_delta_s", 0.0)
+        if base.get("rails", 1) > 1 and budget_sharded > 0:
+            sharded_gates += 1
+            hier = cur.get("hier_sync_s")
+            sharded_delta = cur.get("sharded_delta_s")
+            if hier is None or sharded_delta is None:
+                problems.append("sharded sync fields missing")
+            else:
+                if sharded_delta < budget_sharded / factor:
+                    problems.append(
+                        f"sharded delta {sharded_delta:.6f}s < budget "
+                        f"{budget_sharded:.6f}s / {factor:.1f}"
+                    )
+                if auto > (1.0 - AUTO_VS_HIER_MIN_WIN) * hier:
+                    problems.append(
+                        f"Auto sync {auto:.6f}s not >= "
+                        f"{AUTO_VS_HIER_MIN_WIN:.0%} below "
+                        f"Hierarchical {hier:.6f}s"
+                    )
 
         status = "FAIL" if problems else "OK"
         print(
@@ -273,6 +311,11 @@ def check_collectives(current, baseline, factor):
         )
         for p in problems:
             failures.append(f"{name}: {p}")
+    if sharded_gates == 0:
+        failures.append(
+            "collectives: no rail-rich baseline record carries "
+            "sharded_delta_s; the sharded-ring gate is not wired up"
+        )
     return failures
 
 

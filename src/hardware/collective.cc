@@ -16,6 +16,8 @@ collectiveKindName(CollectiveKind kind)
         return "Hierarchical";
     case CollectiveKind::Auto:
         return "Auto";
+    case CollectiveKind::ShardedHierarchical:
+        return "ShardedHierarchical";
     }
     panic("collectiveKindName: bad kind");
 }
@@ -146,6 +148,31 @@ class FlatRingAlgorithm final : public CollectiveAlgorithm
 };
 
 /**
+ * Bottleneck collective class among the island pairs the group
+ * spans — the same bottleneck rule ClusterTopology::groupLink
+ * applies, so per-island-pair overrides are respected. Shared by the
+ * hierarchical and sharded-hierarchical algorithms.
+ */
+LinkParams
+interBottleneck(const ClusterTopology &topo,
+                const GroupDecomposition &decomp)
+{
+    if (topo.uniformLinks())
+        return topo.config().interIslandCollective;
+    const LinkParams *worst = nullptr;
+    for (std::size_t i = 0; i < decomp.islands.size(); ++i) {
+        for (std::size_t j = i + 1; j < decomp.islands.size(); ++j) {
+            const LinkParams &link = topo.collectiveLink(
+                decomp.islands[i].island, decomp.islands[j].island);
+            if (worst == nullptr || link.bandwidth < worst->bandwidth)
+                worst = &link;
+        }
+    }
+    panicIf(worst == nullptr, "interBottleneck: single island");
+    return *worst;
+}
+
+/**
  * Three-phase island-aware schedule: ring reduce-scatter within each
  * island (intra class), ring all-reduce across per-island leaders
  * (bottleneck inter-island collective class), ring all-gather back
@@ -160,30 +187,6 @@ class HierarchicalAlgorithm final : public CollectiveAlgorithm
     CollectiveKind kind() const override
     {
         return CollectiveKind::Hierarchical;
-    }
-
-    /**
-     * Bottleneck collective class among the island pairs the group
-     * spans — the same bottleneck rule ClusterTopology::groupLink
-     * applies, so per-island-pair overrides are respected.
-     */
-    LinkParams
-    interBottleneck(const GroupDecomposition &decomp) const
-    {
-        if (topo_.uniformLinks())
-            return topo_.config().interIslandCollective;
-        const LinkParams *worst = nullptr;
-        for (std::size_t i = 0; i < decomp.islands.size(); ++i) {
-            for (std::size_t j = i + 1; j < decomp.islands.size(); ++j) {
-                const LinkParams &link = topo_.collectiveLink(
-                    decomp.islands[i].island, decomp.islands[j].island);
-                if (worst == nullptr ||
-                    link.bandwidth < worst->bandwidth)
-                    worst = &link;
-            }
-        }
-        panicIf(worst == nullptr, "interBottleneck: single island");
-        return *worst;
     }
 
     double
@@ -205,7 +208,7 @@ class HierarchicalAlgorithm final : public CollectiveAlgorithm
                                           bytes, g.size(), intra));
         }
         const double inter = CollectiveModel::ringAllReduce(
-            bytes, decomp.numIslands(), interBottleneck(decomp));
+            bytes, decomp.numIslands(), interBottleneck(topo_, decomp));
         return rs_max + inter + ag_max;
     }
 
@@ -228,7 +231,7 @@ class HierarchicalAlgorithm final : public CollectiveAlgorithm
                                   bytes, g.size(),
                                   topo_.intraLink(g.island)));
         return CollectiveModel::ringAllGather(
-                   bytes, decomp.numIslands(), interBottleneck(decomp)) +
+                   bytes, decomp.numIslands(), interBottleneck(topo_, decomp)) +
                ag_max;
     }
 
@@ -266,8 +269,146 @@ class HierarchicalAlgorithm final : public CollectiveAlgorithm
         sched.stages.push_back({{decomp.leaders,
                                  CollectiveModel::ringAllReduce(
                                      bytes, decomp.numIslands(),
-                                     interBottleneck(decomp)),
+                                     interBottleneck(topo_, decomp)),
                                  label + "_xr"}});
+        if (!ag.empty())
+            sched.stages.push_back(std::move(ag));
+        return sched;
+    }
+};
+
+/**
+ * Rail-optimized hierarchical schedule: identical intra phases, but
+ * the inter-island stage runs S = min(smallest island slice,
+ * bottleneck rail count) concurrent rings, ring r threading the r-th
+ * member of every island slice and carrying bytes/S over its own
+ * rail. S == 1 (any rails == 1 fabric, or a singleton slice capping
+ * the rings) reproduces the hierarchical algorithm bit for bit —
+ * bytes/1 is exact in IEEE — and single-island groups degenerate to
+ * the flat ring like every algorithm here.
+ */
+class ShardedHierarchicalAlgorithm final : public CollectiveAlgorithm
+{
+  public:
+    using CollectiveAlgorithm::CollectiveAlgorithm;
+
+    CollectiveKind kind() const override
+    {
+        return CollectiveKind::ShardedHierarchical;
+    }
+
+    /** Concurrent inter-island rings this group can sustain. */
+    std::uint32_t
+    shardCount(const GroupDecomposition &decomp,
+               const LinkParams &inter) const
+    {
+        return std::min(decomp.minSliceSize(), inter.rails);
+    }
+
+    double
+    allReduce(double bytes, const DeviceSet &group,
+              const GroupDecomposition &decomp) const override
+    {
+        if (group.size() <= 1)
+            return 0.0;
+        if (!decomp.spansIslands())
+            return CollectiveModel::ringAllReduce(
+                bytes, static_cast<std::uint32_t>(group.size()),
+                topo_.groupLink(group));
+        double rs_max = 0, ag_max = 0;
+        for (const IslandGroup &g : decomp.islands) {
+            const LinkParams &intra = topo_.intraLink(g.island);
+            rs_max = std::max(rs_max, CollectiveModel::ringReduceScatter(
+                                          bytes, g.size(), intra));
+            ag_max = std::max(ag_max, CollectiveModel::ringAllGather(
+                                          bytes, g.size(), intra));
+        }
+        const LinkParams inter_link = interBottleneck(topo_, decomp);
+        const double shards =
+            static_cast<double>(shardCount(decomp, inter_link));
+        const double inter = CollectiveModel::ringAllReduce(
+            bytes / shards, decomp.numIslands(), inter_link);
+        return rs_max + inter + ag_max;
+    }
+
+    double
+    allGather(double bytes, const DeviceSet &group,
+              const GroupDecomposition &decomp) const override
+    {
+        if (group.size() <= 1)
+            return 0.0;
+        if (!decomp.spansIslands())
+            return CollectiveModel::ringAllGather(
+                bytes, static_cast<std::uint32_t>(group.size()),
+                topo_.groupLink(group));
+        double ag_max = 0;
+        for (const IslandGroup &g : decomp.islands)
+            ag_max = std::max(ag_max,
+                              CollectiveModel::ringAllGather(
+                                  bytes, g.size(),
+                                  topo_.intraLink(g.island)));
+        const LinkParams inter_link = interBottleneck(topo_, decomp);
+        const double shards =
+            static_cast<double>(shardCount(decomp, inter_link));
+        return CollectiveModel::ringAllGather(
+                   bytes / shards, decomp.numIslands(), inter_link) +
+               ag_max;
+    }
+
+    CollectiveSchedule
+    allReduceSchedule(double bytes, const DeviceSet &group,
+                      const GroupDecomposition &decomp,
+                      const std::string &label) const override
+    {
+        CollectiveSchedule sched;
+        if (group.size() <= 1)
+            return sched;
+        if (!decomp.spansIslands()) {
+            sched.stages.push_back(
+                {{group, allReduce(bytes, group, decomp), label}});
+            return sched;
+        }
+
+        std::vector<CollectiveStep> rs, ag;
+        for (const IslandGroup &g : decomp.islands) {
+            if (g.size() <= 1)
+                continue; // singleton island slices have no intra phase
+            const LinkParams &intra = topo_.intraLink(g.island);
+            rs.push_back({g.devices,
+                          CollectiveModel::ringReduceScatter(
+                              bytes, g.size(), intra),
+                          label + "_rs"});
+            ag.push_back({g.devices,
+                          CollectiveModel::ringAllGather(bytes, g.size(),
+                                                         intra),
+                          label + "_ag"});
+        }
+        if (!rs.empty())
+            sched.stages.push_back(std::move(rs));
+
+        // One stage of S disjoint per-rail rings: ring r threads the
+        // r-th member of every island slice (valid because S never
+        // exceeds the smallest slice), so ring 0 is exactly the
+        // leader set and S == 1 reproduces the hierarchical stage
+        // byte for byte. Disjoint steps of one stage overlap in the
+        // SyncExecutor, which is what makes the rings concurrent.
+        const LinkParams inter_link = interBottleneck(topo_, decomp);
+        const std::uint32_t shards = shardCount(decomp, inter_link);
+        const double ring_seconds = CollectiveModel::ringAllReduce(
+            bytes / static_cast<double>(shards), decomp.numIslands(),
+            inter_link);
+        std::vector<CollectiveStep> inter;
+        for (std::uint32_t r = 0; r < shards; ++r) {
+            DeviceSet ring;
+            ring.reserve(decomp.islands.size());
+            for (const IslandGroup &g : decomp.islands)
+                ring.push_back(g.devices[r]);
+            canonicalize(ring);
+            inter.push_back({std::move(ring), ring_seconds,
+                             label + "_xr"});
+        }
+        sched.stages.push_back(std::move(inter));
+
         if (!ag.empty())
             sched.stages.push_back(std::move(ag));
         return sched;
@@ -281,7 +422,8 @@ class HierarchicalAlgorithm final : public CollectiveAlgorithm
 
 CollectiveModel::CollectiveModel(const ClusterTopology &topo)
     : topo_(topo), flat_(std::make_unique<FlatRingAlgorithm>(topo)),
-      hierarchical_(std::make_unique<HierarchicalAlgorithm>(topo))
+      hierarchical_(std::make_unique<HierarchicalAlgorithm>(topo)),
+      sharded_(std::make_unique<ShardedHierarchicalAlgorithm>(topo))
 {
 }
 
@@ -295,6 +437,8 @@ CollectiveModel::algorithm(CollectiveKind kind) const
         return *flat_;
     case CollectiveKind::Hierarchical:
         return *hierarchical_;
+    case CollectiveKind::ShardedHierarchical:
+        return *sharded_;
     case CollectiveKind::Auto:
         break;
     }
@@ -359,7 +503,8 @@ CollectiveModel::allGatherTime(double bytes, const DeviceSet &group,
         const double flat = flat_->allGather(bytes, group, *decomp);
         const double hier =
             hierarchical_->allGather(bytes, group, *decomp);
-        return std::min(flat, hier);
+        const double sharded = sharded_->allGather(bytes, group, *decomp);
+        return std::min(std::min(flat, hier), sharded);
     }
     return algorithm(kind).allGather(bytes, group, *decomp);
 }
@@ -380,6 +525,13 @@ CollectiveModel::resolveAuto(double bytes, const DeviceSet &group,
     }
     const double flat = flat_->allReduce(bytes, group, *decomp);
     const double hier = hierarchical_->allReduce(bytes, group, *decomp);
+    const double sharded = sharded_->allReduce(bytes, group, *decomp);
+    // Tie order: the sharded schedule must beat *both* others
+    // strictly (on rails == 1 fabrics it always ties hierarchical,
+    // which keeps the pre-rails resolution), and the flat ring keeps
+    // winning plain ties as it always has.
+    if (sharded < hier && sharded < flat)
+        return CollectiveKind::ShardedHierarchical;
     return hier < flat ? CollectiveKind::Hierarchical
                        : CollectiveKind::FlatRing;
 }
@@ -431,12 +583,18 @@ CollectiveModel::flowTime(double bytes, const DeviceSet &src,
     if (src == dst)
         return 0.0; // data already resident where it is consumed
 
-    // Best pairwise link class available between the two sets.
+    // Best pairwise link class available between the two sets:
+    // highest bandwidth, ties broken toward the lower latency so the
+    // winner is independent of pair iteration order (a pure function
+    // of the *set* of spanned link classes, pinned by property_test's
+    // stripe-relabel invariance case).
     LinkParams best{0.0, 0.0};
     for (DeviceId s : src) {
         for (DeviceId d : dst) {
             LinkParams l = topo_.linkBetween(s, d);
-            if (l.bandwidth > best.bandwidth)
+            if (l.bandwidth > best.bandwidth ||
+                (l.bandwidth == best.bandwidth &&
+                 l.latency < best.latency))
                 best = l;
         }
     }
@@ -444,6 +602,46 @@ CollectiveModel::flowTime(double bytes, const DeviceSet &src,
     const double streams =
         static_cast<double>(std::min(src.size(), dst.size()));
     return bytes / streams / best.bandwidth + best.latency;
+}
+
+double
+CollectiveModel::pairedFlowTime(double bytes, const DeviceSet &src,
+                                const DeviceSet &dst) const
+{
+    panicIf(src.empty() || dst.empty(),
+            "pairedFlowTime: empty device set");
+    if (bytes <= 0)
+        return 0.0;
+    if (src == dst)
+        return 0.0; // data already resident where it is consumed
+
+    // The legacy best-pair bound, surcharged by the attributed
+    // inter-island share: destinations whose island holds no source
+    // device receive their shard over the inter-island fabric, so
+    // the flow is charged its own cost once more for that fraction
+    // of its shards — the identical shard-by-shard attribution
+    // PlacementResult.interIslandCommSeconds applies. Miss-free
+    // flows price exactly like flowTime, so enabling the pairing-
+    // aware oracle only separates windows the attribution metric
+    // itself distinguishes.
+    const double t = flowTime(bytes, src, dst);
+    if (t <= 0)
+        return t;
+    std::size_t miss = 0;
+    for (DeviceId d : dst) {
+        const std::uint32_t island = topo_.islandOf(d);
+        bool covered = false;
+        for (DeviceId s : src) {
+            if (topo_.islandOf(s) == island) {
+                covered = true;
+                break;
+            }
+        }
+        if (!covered)
+            ++miss;
+    }
+    return t * (1.0 + static_cast<double>(miss) /
+                          static_cast<double>(dst.size()));
 }
 
 } // namespace spindle

@@ -3,7 +3,7 @@
  * Collective-algorithm layer: the communication cost oracle AND the
  * pluggable algorithms Spindle's runtime schedules parameter sync
  * with (§3.6). Point-to-point flows use the classic alpha-beta
- * formulation [Hockney 94]; group collectives come in three flavours:
+ * formulation [Hockney 94]; group collectives come in four flavours:
  *
  *  - FlatRing — the historical model: one ring over the whole group,
  *    bottlenecked by the slowest collective link class the group
@@ -15,7 +15,15 @@
  *    per-island leaders over the bottleneck inter-island collective
  *    class, ring all-gather back within each island. Single-island
  *    groups degenerate *exactly* to the flat ring.
- *  - Auto — per call, whichever of the two is cheaper (flat on ties).
+ *  - ShardedHierarchical — the rail-optimized variant: same intra
+ *    phases, but the inter-island stage runs
+ *    S = min(smallest island slice, bottleneck rails) concurrent
+ *    rings — ring r over the r-th member of every island slice —
+ *    each carrying bytes/S over its own rail. Degenerates bit-exactly
+ *    to Hierarchical when S == 1 (rails == 1 fabrics) and to the
+ *    flat ring on single-island groups.
+ *  - Auto — per call, whichever of the three is cheapest (flat on
+ *    ties; Hierarchical on a hierarchical/sharded tie).
  *
  * Island decomposition (decomposeByIsland) handles arbitrary
  * DeviceSets: partial-island membership, permuted / non-contiguous
@@ -46,7 +54,8 @@ enum class CollectiveKind : std::uint8_t
 {
     FlatRing,     ///< one ring over the whole group (legacy default)
     Hierarchical, ///< intra-island reduce-scatter / leader ring / all-gather
-    Auto,         ///< per call, the cheaper of the two (flat on ties)
+    Auto,         ///< per call, the cheapest algorithm (flat on ties)
+    ShardedHierarchical, ///< hierarchical with concurrent per-rail inter rings
 };
 
 /** Human-readable algorithm name ("FlatRing", ...). */
@@ -79,6 +88,20 @@ struct GroupDecomposition
     std::uint32_t numIslands() const
     {
         return static_cast<std::uint32_t>(islands.size());
+    }
+
+    /**
+     * Size of the smallest island slice: the cap on how many
+     * concurrent inter-island rings ShardedHierarchical can form
+     * (ring r needs the r-th member of *every* slice). Cached here
+     * so ParameterGroupPool's per-group decomposition carries it.
+     */
+    std::uint32_t minSliceSize() const
+    {
+        std::uint32_t m = 0;
+        for (const IslandGroup &g : islands)
+            m = (m == 0 || g.size() < m) ? g.size() : m;
+        return m;
     }
 };
 
@@ -173,10 +196,11 @@ class CollectiveModel
     /**
      * Algorithm-aware all-reduce. FlatRing reproduces the kind-less
      * overload bit for bit; Hierarchical degenerates to it on
-     * single-island groups; Auto returns the minimum of the two.
-     * Pass a cached @p decomp (e.g. ParameterGroupPool's) to skip
-     * re-decomposing the group; it must be the decomposition of
-     * @p group by this model's topology.
+     * single-island groups; ShardedHierarchical degenerates to
+     * Hierarchical when its shard count is 1; Auto returns the
+     * minimum of the three. Pass a cached @p decomp (e.g.
+     * ParameterGroupPool's) to skip re-decomposing the group; it
+     * must be the decomposition of @p group by this model's topology.
      */
     double allReduceTime(double bytes, const DeviceSet &group,
                          CollectiveKind kind,
@@ -188,9 +212,12 @@ class CollectiveModel
                          const GroupDecomposition *decomp = nullptr) const;
 
     /**
-     * The algorithm Auto resolves to for this call: Hierarchical
-     * when strictly cheaper, FlatRing otherwise (ties included).
-     * Non-Auto kinds resolve to themselves.
+     * The algorithm Auto resolves to for this call:
+     * ShardedHierarchical when strictly cheaper than both others,
+     * else Hierarchical when strictly cheaper than the flat ring,
+     * FlatRing otherwise (ties included — and a hierarchical/sharded
+     * tie, always the case on rails == 1 fabrics, resolves to
+     * Hierarchical). Non-Auto kinds resolve to themselves.
      */
     CollectiveKind
     resolveAuto(double bytes, const DeviceSet &group, CollectiveKind kind,
@@ -232,6 +259,24 @@ class CollectiveModel
     double flowTime(double bytes, const DeviceSet &src,
                     const DeviceSet &dst) const;
 
+    /**
+     * Pairing-aware flow pricing: flowTime() surcharged by the
+     * attributed inter-island share. Destinations whose island holds
+     * no source device must receive their shard over the
+     * inter-island fabric, so the flow is charged its own cost once
+     * more for that fraction of its shards — the identical
+     * shard-by-shard attribution
+     * PlacementResult.interIslandCommSeconds uses. Miss-free flows
+     * price exactly like flowTime (the surcharge is the only
+     * difference), which is what lets the placement score gradient
+     * separate island-aligned windows from ones that merely touch
+     * the source's island without disturbing how comm trades against
+     * the other score terms. Drop-in replacement in placement
+     * scoring (PlacementOptions::pairingAwareFlowPricing).
+     */
+    double pairedFlowTime(double bytes, const DeviceSet &src,
+                          const DeviceSet &dst) const;
+
     /** Stateless ring all-reduce over an explicit link class. */
     static double ringAllReduce(double bytes, std::uint32_t group_size,
                                 const LinkParams &link);
@@ -254,6 +299,7 @@ class CollectiveModel
     const ClusterTopology &topo_;
     std::unique_ptr<CollectiveAlgorithm> flat_;
     std::unique_ptr<CollectiveAlgorithm> hierarchical_;
+    std::unique_ptr<CollectiveAlgorithm> sharded_;
 };
 
 } // namespace spindle

@@ -10,7 +10,7 @@ namespace spindle {
 
 namespace {
 
-/** Reject non-positive bandwidths / negative latencies. */
+/** Reject non-positive bandwidths / negative latencies / zero rails. */
 void
 checkLink(const LinkParams &link, const char *what)
 {
@@ -20,13 +20,19 @@ checkLink(const LinkParams &link, const char *what)
                    ")"));
     fatalIf(link.latency < 0,
             strCat("ClusterTopology: ", what, " latency must be >= 0"));
+    fatalIf(link.rails == 0,
+            strCat("ClusterTopology: ", what,
+                   " rails must be >= 1 (got 0; default-construct for 1)"));
 }
 
 /**
  * Resolve an override against its default class: bandwidth 0
- * inherits the default's bandwidth (so a latency-only override is
- * expressible), a fully zero link inherits the default wholesale,
- * and negative values are rejected.
+ * inherits the default's bandwidth (so a latency-only or rails-only
+ * override is expressible); with latency also 0 the default's
+ * latency is inherited too, and a rail count of 1 there means
+ * "unspecified" and inherits the default's rails (so an all-default
+ * link inherits the class wholesale). Negative values / zero rails
+ * are rejected.
  */
 LinkParams
 resolveLink(const LinkParams &link, const LinkParams &fallback,
@@ -37,10 +43,14 @@ resolveLink(const LinkParams &link, const LinkParams &fallback,
                    " bandwidth must be >= 0 (0 inherits the default)"));
     fatalIf(link.latency < 0,
             strCat("ClusterTopology: ", what, " latency must be >= 0"));
+    fatalIf(link.rails == 0,
+            strCat("ClusterTopology: ", what,
+                   " rails must be >= 1 (got 0; default-construct for 1)"));
     if (link.bandwidth == 0 && link.latency == 0)
-        return fallback;
+        return {fallback.bandwidth, fallback.latency,
+                link.rails == 1 ? fallback.rails : link.rails};
     if (link.bandwidth == 0)
-        return {fallback.bandwidth, link.latency};
+        return {fallback.bandwidth, link.latency, link.rails};
     return link;
 }
 
@@ -61,7 +71,8 @@ mix(std::uint64_t h, double v)
 std::uint64_t
 mix(std::uint64_t h, const LinkParams &link)
 {
-    return mix(mix(h, link.bandwidth), link.latency);
+    h = mix(mix(h, link.bandwidth), link.latency);
+    return mix(h, static_cast<std::uint64_t>(link.rails));
 }
 
 } // namespace
@@ -370,7 +381,8 @@ ClusterTopology::withoutDevices(const DeviceSet &dead) const
         const bool overridden =
             k < config_.islands.size() &&
             (config_.islands[k].intra.bandwidth != 0 ||
-             config_.islands[k].intra.latency != 0);
+             config_.islands[k].intra.latency != 0 ||
+             config_.islands[k].intra.rails != 1);
         if (overridden)
             spec.intra = intra_links_[k];
         island_remap[k] =

@@ -33,11 +33,24 @@
 
 namespace spindle {
 
-/** One point-to-point link class: bandwidth plus per-message latency. */
+/**
+ * One point-to-point link class: bandwidth plus per-message latency,
+ * plus the number of independent physical rails behind the class.
+ *
+ * `rails` models rail-optimized fabrics (one HCA per intra-island
+ * rank): each rail sustains `bandwidth` independently, so up to
+ * `rails` concurrent rings can each run at the full class bandwidth.
+ * Single-ring algorithms (flat ring, the hierarchical leader ring,
+ * point-to-point flows) use one rail and are unaffected; only
+ * CollectiveKind::ShardedHierarchical exploits rails > 1. Default 1
+ * keeps every pre-rails fabric bit-identical; 0 is rejected at
+ * topology construction.
+ */
 struct LinkParams
 {
-    double bandwidth = 0; ///< bytes per second
-    double latency = 0;   ///< seconds per message
+    double bandwidth = 0;     ///< bytes per second, per rail
+    double latency = 0;       ///< seconds per message
+    std::uint32_t rails = 1;  ///< independent physical rails (>= 1)
 };
 
 /**
@@ -45,7 +58,8 @@ struct LinkParams
  * non-contiguous and permuted memberships are fine) and an optional
  * intra-island link override. A bandwidth of 0 inherits
  * ClusterConfig::intraIsland's bandwidth (latency-only overrides
- * are allowed); an all-zero link inherits the class wholesale.
+ * are allowed); a link with zero bandwidth, zero latency and the
+ * default rail count inherits the class wholesale.
  */
 struct IslandSpec
 {
@@ -56,8 +70,9 @@ struct IslandSpec
 /**
  * Link-class override for one island pair. Unordered: (a, b) also
  * covers (b, a). A bandwidth of 0 inherits the corresponding
- * ClusterConfig default class's bandwidth (latency-only overrides
- * are allowed); an all-zero link inherits that class wholesale.
+ * ClusterConfig default class's bandwidth (latency/rails-only
+ * overrides are allowed); a link with zero bandwidth, zero latency
+ * and the default rail count inherits that class wholesale.
  */
 struct IslandLinkSpec
 {
@@ -86,7 +101,11 @@ struct ClusterConfig
 
     /**
      * Inter-node *collectives*: rail-optimized rings use one HCA per
-     * GPU, aggregating to ~400 GB/s per node pair.
+     * GPU, aggregating to ~400 GB/s per node pair. The default keeps
+     * the aggregate folded into a single bandwidth figure with
+     * rails = 1 (bit-identical to the pre-rails model); fabrics that
+     * instead expose per-rail bandwidth set `rails` to the HCA count
+     * so ShardedHierarchical can run that many concurrent rings.
      */
     LinkParams interIslandCollective{400 * kGiga, 10 * kMicro};
 
@@ -213,7 +232,8 @@ class ClusterTopology
      * 64-bit structural fingerprint of the *resolved* topology:
      * device spec, per-island device memberships, resolved intra
      * classes, the three default link classes (placement reads them
-     * directly), and the resolved island-pair overrides. Two
+     * directly; bandwidth, latency and rail count alike), and the
+     * resolved island-pair overrides. Two
      * topologies with equal fingerprints answer every planner query
      * identically, so the fingerprint keys cached planning results
      * (planner/plan_cache.h). Shorthand and explicit-island configs

@@ -74,6 +74,8 @@ struct BandState
     std::vector<std::uint32_t> resPref; ///< residency, rows x (B+1)
     /** Link-class counts, inflows x kNumLinkClasses x (B+1). */
     std::vector<std::uint32_t> inflowPref;
+    /** Island-miss counts, inflows x (B+1); paired pricing only. */
+    std::vector<std::uint32_t> missPref;
     std::vector<std::ptrdiff_t> eqWindow; ///< per inflow, -1 = none
 };
 
@@ -388,14 +390,18 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
     // inter-island pairs to the others — and (b) probe classes in
     // bandwidth order, not class-index order (a config may rank its
     // fabrics differently from the defaults). Two classes configured
-    // to the exact same bandwidth but different latency make
-    // flowTime's winner depend on its pair iteration order, which
-    // class-level bookkeeping cannot reproduce; such (pathological)
+    // to the exact same bandwidth but different latency are resolved
+    // by flowTime's lower-latency tiebreak, which class-level
+    // bandwidth bookkeeping cannot reproduce; such (pathological)
     // configs — and any topology whose islands override the default
     // classes (uniformLinks() false), where three classes cannot
     // describe the fabric at all — drop to scoring every window with
-    // flowTime directly, keeping the bit-identical contract
-    // unconditional.
+    // the flow oracle directly, keeping the bit-identical contract
+    // unconditional. The same class machinery serves the
+    // pairing-aware oracle: the window's best class still sets the
+    // base flow bound, and pairedFlowTime is that bound surcharged
+    // by the window's island-miss fraction, which the per-position
+    // island ids below count exactly.
     const LinkParams link_class[kNumLinkClasses] = {
         {topo_.device().copyBandwidth, 0.0}, // overlapping device
         topo_.config().intraIsland,          // same island
@@ -415,6 +421,17 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
         link_class[0].bandwidth == link_class[2].bandwidth ||
         link_class[1].bandwidth == link_class[2].bandwidth;
     const bool exact_comm = tied_class_bandwidths || !topo_.uniformLinks();
+
+    // Window flow oracle: the legacy best-pair bound, or the
+    // pairing-aware per-destination-shard price behind the
+    // PlacementOptions flag (see placement.h). Both the exact paths
+    // and the class-level fast path below dispatch on this.
+    const bool paired = options_.pairingAwareFlowPricing;
+    auto flow_price = [&](double bytes, const DeviceSet &src,
+                          const DeviceSet &dst) {
+        return paired ? coll.pairedFlowTime(bytes, src, dst)
+                      : coll.flowTime(bytes, src, dst);
+    };
 
     std::uint32_t seq_cursor = 0; // Sequential strategy cursor
 
@@ -568,7 +585,7 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                 }
                 double comm = 0;
                 for (const auto &[bytes, src] : inflows)
-                    comm += coll.flowTime(bytes, *src, win);
+                    comm += flow_price(bytes, *src, win);
                 double non_resident_bytes = 0;
                 for (const SliceParam &sp : sig) {
                     if (sp.bytes <= 0)
@@ -614,8 +631,14 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                         const DeviceSet &src = *src_ptr;
                         InflowCtx &ctx = inflow_ctx[k];
 
-                        const double streams = static_cast<double>(
-                            std::min<std::size_t>(src.size(), n));
+                        // The whole flow over the best pair, sharded
+                        // across min(|src|, n) streams — both
+                        // pricing modes: the pairing-aware oracle is
+                        // this bound scaled by its window's
+                        // island-miss fraction (see pairedFlowTime).
+                        const double streams =
+                            static_cast<double>(std::min<std::size_t>(
+                                src.size(), n));
                         for (int c = 0; c < kNumLinkClasses; ++c)
                             ctx.flowByClass[c] =
                                 bytes / streams /
@@ -743,6 +766,12 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                                                  (B + 1);
                         if (bs.inflowPref.size() < need)
                             bs.inflowPref.resize(need);
+                        if (paired) {
+                            const std::size_t mneed =
+                                inflows.size() * (B + 1);
+                            if (bs.missPref.size() < mneed)
+                                bs.missPref.resize(mneed);
+                        }
                         bs.eqWindow.assign(inflows.size(), -1);
                     }
                 }
@@ -788,6 +817,21 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                                 pref[c * stride + i + 1] =
                                     pref[c * stride + i] +
                                     (cls == c ? 1u : 0u);
+                        }
+                        if (paired) {
+                            // Island-miss prefix: positions whose
+                            // island holds no source device (the
+                            // pairing-aware surcharge counts them).
+                            std::uint32_t *mpref =
+                                bs.missPref.data() + k * stride;
+                            mpref[0] = 0;
+                            for (std::size_t i = 0; i < B; ++i)
+                                mpref[i + 1] =
+                                    mpref[i] +
+                                    (ctx.srcCountByIsland
+                                             [pos_island[band[i]]] == 0
+                                         ? 1u
+                                         : 0u);
                         }
 
                         const DeviceSet &src = *inflows[k].second;
@@ -938,7 +982,7 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                                         free[band[w + j]];
                                 for (const auto &[bytes, src] :
                                      inflows)
-                                    comm += coll.flowTime(
+                                    comm += flow_price(
                                         bytes, *src, win_scratch);
                             } else {
                                 for (std::size_t k = 0;
@@ -966,8 +1010,30 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                                             break;
                                         }
                                     }
-                                    comm += inflow_ctx[k]
-                                                .flowByClass[cls];
+                                    const double t =
+                                        inflow_ctx[k].flowByClass[cls];
+                                    if (paired) {
+                                        // Pairing-aware surcharge:
+                                        // the flow pays its cost
+                                        // again for the fraction of
+                                        // window members in islands
+                                        // holding no source (see
+                                        // pairedFlowTime).
+                                        const std::uint32_t *mpref =
+                                            bs.missPref.data() +
+                                            k * stride;
+                                        const std::uint32_t miss =
+                                            mpref[w + n] - mpref[w];
+                                        comm +=
+                                            t *
+                                            (1.0 +
+                                             static_cast<double>(
+                                                 miss) /
+                                                 static_cast<double>(
+                                                     n));
+                                        continue;
+                                    }
+                                    comm += t;
                                 }
                             }
 
@@ -1029,8 +1095,8 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                         for (std::uint32_t j = 0; j < n; ++j)
                             win_scratch[j] = free[win_pos[j]];
                         for (const auto &[bytes, src] : inflows)
-                            comm += coll.flowTime(bytes, *src,
-                                                  win_scratch);
+                            comm += flow_price(bytes, *src,
+                                               win_scratch);
                     } else {
                         for (std::size_t k = 0; k < inflows.size();
                              ++k) {
@@ -1059,8 +1125,24 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                                 if (best_rank == 0)
                                     break;
                             }
-                            comm +=
+                            const double t =
                                 ctx.flowByClass[class_by_bw[best_rank]];
+                            if (paired) {
+                                // Pairing-aware surcharge over the
+                                // window's island-miss fraction (see
+                                // pairedFlowTime).
+                                std::uint32_t miss = 0;
+                                for (std::uint32_t p : win_pos)
+                                    if (ctx.srcCountByIsland
+                                            [pos_island[p]] == 0)
+                                        ++miss;
+                                comm +=
+                                    t * (1.0 +
+                                         static_cast<double>(miss) /
+                                             static_cast<double>(n));
+                                continue;
+                            }
+                            comm += t;
                         }
                     }
 
@@ -1215,7 +1297,11 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
 
             // Attribute the committed flows to intra- vs
             // inter-island fabric, shard by shard (see
-            // interIslandShardFraction).
+            // interIslandShardFraction). Deliberately priced with
+            // the legacy flowTime even under pairing-aware scoring,
+            // so interIslandCommSeconds stays one metric comparable
+            // across pricing modes (the acceptance comparison in
+            // planner_equivalence_test depends on this).
             double entry_inter = 0;
             for (const auto &[bytes, src] : inflows) {
                 const double t = coll.flowTime(bytes, *src, best_win);

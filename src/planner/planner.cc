@@ -55,6 +55,8 @@ optionsFingerprint(const PlannerOptions &o)
     h = mix(h, o.placement.memorySlack);
     h = mix(h, o.placement.memoryWeight);
     h = mix(h, o.placement.paramAffinityWeight);
+    h = mix(h,
+            static_cast<std::uint64_t>(o.placement.pairingAwareFlowPricing));
     h = mix(h, o.memory.optimizerFactor);
     h = mix(h, static_cast<std::uint64_t>(o.memory.zeroShardOptimizer));
     h = mix(h, static_cast<std::uint64_t>(o.memory.zeroShardParams));

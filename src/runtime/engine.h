@@ -144,8 +144,11 @@ struct EngineOptions
      * (default) keeps the legacy single-ring schedule bit for bit;
      * Hierarchical splits each cross-island group into intra-island
      * reduce-scatter / leader-ring / intra-island all-gather phases
-     * dispatched as separate simulator reservations; Auto picks the
-     * cheaper algorithm per group.
+     * dispatched as separate simulator reservations;
+     * ShardedHierarchical additionally fans the inter-island phase
+     * out into min(smallest island slice, rail count) concurrent
+     * per-rail rings (rails come from the fabric's LinkParams); Auto
+     * picks the cheapest algorithm per group.
      */
     CollectiveKind collective = CollectiveKind::FlatRing;
 

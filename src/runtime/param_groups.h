@@ -34,7 +34,11 @@ struct ParamGroup
      * Island decomposition of `devices`, cached at pool build when a
      * topology was supplied (the group set is frozen for the whole
      * training run, so the runtime's per-iteration collective
-     * scheduling must not re-derive it). Null without a topology.
+     * scheduling must not re-derive it). Carries everything the
+     * sharded-hierarchical algorithm needs too — the smallest-slice
+     * size capping its concurrent inter-island rings is a
+     * GroupDecomposition query (minSliceSize()). Null without a
+     * topology.
      */
     const GroupDecomposition *decomposition() const
     {

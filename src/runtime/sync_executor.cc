@@ -31,7 +31,9 @@ SyncExecutor::execute(double fwd_end, double bwd_end, bool overlap)
         // as soon as its own backward predecessors finished.
         // Stages are barriers within the group: a stage starts when
         // every step of the previous stage ended; steps of one stage
-        // touch disjoint devices (distinct islands) and overlap.
+        // touch disjoint devices (distinct islands' intra phases, or
+        // the sharded algorithm's concurrent per-rail inter rings)
+        // and overlap as separate same-start reservations.
         double stage_start = overlap ? 0.0 : bwd_end;
         for (const auto &stage : sched.stages) {
             double stage_end = stage_start;

@@ -57,7 +57,7 @@ TEST(Collective, TrivialGroupsAreFree)
     const DeviceSet pair = {0, 9};
     for (CollectiveKind kind :
          {CollectiveKind::FlatRing, CollectiveKind::Hierarchical,
-          CollectiveKind::Auto}) {
+          CollectiveKind::ShardedHierarchical, CollectiveKind::Auto}) {
         EXPECT_EQ(coll.allReduceTime(1e6, lone, kind), 0.0);
         EXPECT_EQ(coll.allGatherTime(1e6, lone, kind), 0.0);
         EXPECT_EQ(coll.allReduceTime(0.0, pair, kind), 0.0);
@@ -80,6 +80,9 @@ TEST(Collective, SingleIslandGroupDegeneratesExactlyToFlatRing)
                                            CollectiveKind::FlatRing));
         EXPECT_EQ(flat, coll.allReduceTime(4e8, group,
                                            CollectiveKind::Hierarchical));
+        EXPECT_EQ(flat,
+                  coll.allReduceTime(4e8, group,
+                                     CollectiveKind::ShardedHierarchical));
         EXPECT_EQ(flat,
                   coll.allReduceTime(4e8, group, CollectiveKind::Auto));
         EXPECT_EQ(coll.resolveAuto(4e8, group, CollectiveKind::Auto),
@@ -147,7 +150,7 @@ TEST(Collective, DecompositionHandlesPartialAndPermutedMembership)
     CollectiveModel coll(topo);
     for (CollectiveKind kind :
          {CollectiveKind::FlatRing, CollectiveKind::Hierarchical,
-          CollectiveKind::Auto}) {
+          CollectiveKind::ShardedHierarchical, CollectiveKind::Auto}) {
         EXPECT_EQ(coll.allReduceTime(5e7, group, kind),
                   coll.allReduceTime(5e7, group, kind, &d));
     }
@@ -259,6 +262,230 @@ TEST(Collective, HierarchicalScheduleShape)
                                  CollectiveKind::FlatRing));
 }
 
+/** twoIslandTopo with a rail count on the inter collective class. */
+ClusterTopology
+railedTwoIslandTopo(std::uint32_t rails)
+{
+    ClusterConfig cfg;
+    cfg.islands.resize(2);
+    for (std::uint32_t d = 0; d < 4; ++d)
+        cfg.islands[0].devices.push_back(d);
+    for (std::uint32_t d = 4; d < 8; ++d)
+        cfg.islands[1].devices.push_back(d);
+    cfg.intraIsland = {400.0, 0.5};
+    cfg.interIslandCollective = {100.0, 2.0, rails};
+    return ClusterTopology(cfg);
+}
+
+TEST(Collective, ShardedDegeneratesByteExactAtRailsOne)
+{
+    // On any rails == 1 fabric the sharded algorithm IS the
+    // hierarchical one: time, all-gather, resolveAuto and the full
+    // phase schedule, bit for bit.
+    ClusterTopology topo = twoIslandTopo();
+    CollectiveModel coll(topo);
+    for (const DeviceSet &group :
+         {DeviceSet{0, 1, 2, 3, 4, 5, 6, 7}, DeviceSet{0, 2, 3, 6},
+          DeviceSet{1, 5}}) {
+        for (double bytes : {1200.0, 3.7e8}) {
+            EXPECT_EQ(
+                coll.allReduceTime(bytes, group,
+                                   CollectiveKind::ShardedHierarchical),
+                coll.allReduceTime(bytes, group,
+                                   CollectiveKind::Hierarchical));
+            EXPECT_EQ(
+                coll.allGatherTime(bytes, group,
+                                   CollectiveKind::ShardedHierarchical),
+                coll.allGatherTime(bytes, group,
+                                   CollectiveKind::Hierarchical));
+            const CollectiveSchedule sharded = coll.allReduceSchedule(
+                bytes, group, CollectiveKind::ShardedHierarchical, "s");
+            const CollectiveSchedule hier = coll.allReduceSchedule(
+                bytes, group, CollectiveKind::Hierarchical, "s");
+            ASSERT_EQ(sharded.stages.size(), hier.stages.size());
+            for (std::size_t st = 0; st < hier.stages.size(); ++st) {
+                ASSERT_EQ(sharded.stages[st].size(),
+                          hier.stages[st].size());
+                for (std::size_t i = 0; i < hier.stages[st].size();
+                     ++i) {
+                    EXPECT_EQ(sharded.stages[st][i].devices,
+                              hier.stages[st][i].devices);
+                    EXPECT_EQ(sharded.stages[st][i].seconds,
+                              hier.stages[st][i].seconds);
+                    EXPECT_EQ(sharded.stages[st][i].label,
+                              hier.stages[st][i].label);
+                }
+            }
+        }
+        // Auto never resolves to Sharded on a rails == 1 fabric (the
+        // sharded/hierarchical tie goes to Hierarchical).
+        EXPECT_NE(coll.resolveAuto(1200, group, CollectiveKind::Auto),
+                  CollectiveKind::ShardedHierarchical);
+    }
+}
+
+TEST(Collective, ShardedClosedFormAndRailSaturation)
+{
+    // Four rails, 4-wide island slices: S = 4 concurrent rings each
+    // carrying bytes/4. Intra phases unchanged (3.75 each way for
+    // 1200 bytes, as in HierarchicalClosedForm); inter ring:
+    // 2 * 1/2 * (1200/4)/100 + 2 * 2 = 3 + 4 = 7.
+    ClusterTopology topo4 = railedTwoIslandTopo(4);
+    CollectiveModel coll4(topo4);
+    const DeviceSet all = {0, 1, 2, 3, 4, 5, 6, 7};
+    const double bytes = 1200;
+    EXPECT_DOUBLE_EQ(
+        coll4.allReduceTime(bytes, all,
+                            CollectiveKind::ShardedHierarchical),
+        3.75 + 7.0 + 3.75);
+    // All-gather: sharded leaders 1/2 * 300/100 + 2 = 3.5, intra 3.75.
+    EXPECT_DOUBLE_EQ(
+        coll4.allGatherTime(bytes, all,
+                            CollectiveKind::ShardedHierarchical),
+        3.5 + 3.75);
+
+    // rails >= slice size saturates at S = g_i: 8 rails price
+    // byte-identically to 4 on 4-wide slices.
+    ClusterTopology topo8 = railedTwoIslandTopo(8);
+    CollectiveModel coll8(topo8);
+    EXPECT_EQ(coll8.allReduceTime(bytes, all,
+                                  CollectiveKind::ShardedHierarchical),
+              coll4.allReduceTime(bytes, all,
+                                  CollectiveKind::ShardedHierarchical));
+
+    // A singleton island slice caps S at 1 regardless of rails:
+    // sharded collapses to hierarchical for that group.
+    const DeviceSet partial = {0, 2, 3, 6};
+    EXPECT_EQ(coll4.allReduceTime(bytes, partial,
+                                  CollectiveKind::ShardedHierarchical),
+              coll4.allReduceTime(bytes, partial,
+                                  CollectiveKind::Hierarchical));
+
+    // Auto is the three-way minimum and resolves to Sharded where it
+    // is strictly cheapest.
+    const double flat =
+        coll4.allReduceTime(bytes, all, CollectiveKind::FlatRing);
+    const double hier =
+        coll4.allReduceTime(bytes, all, CollectiveKind::Hierarchical);
+    const double sharded = coll4.allReduceTime(
+        bytes, all, CollectiveKind::ShardedHierarchical);
+    EXPECT_LT(sharded, hier);
+    EXPECT_EQ(coll4.allReduceTime(bytes, all, CollectiveKind::Auto),
+              std::min(std::min(flat, hier), sharded));
+    EXPECT_EQ(coll4.resolveAuto(bytes, all, CollectiveKind::Auto),
+              CollectiveKind::ShardedHierarchical);
+}
+
+TEST(Collective, ShardedRespectsPerPairRailOverrides)
+{
+    // Three 3-GPU islands; the (0, 1) collective link is overridden
+    // to a faster 3-rail class, everything else stays on the
+    // single-rail default. A group on islands {0, 1} shards by 3;
+    // one spanning the default class must not.
+    ClusterConfig cfg;
+    cfg.islands.resize(3);
+    cfg.islands[0].devices = {0, 1, 2};
+    cfg.islands[1].devices = {3, 4, 5};
+    cfg.islands[2].devices = {6, 7, 8};
+    cfg.intraIsland = {400.0, 0.0};
+    cfg.interIslandCollective = {100.0, 1.0};
+    cfg.islandLinks.push_back({0, 1, {}, {200.0, 1.0, 3}});
+    ClusterTopology topo(cfg);
+    CollectiveModel coll(topo);
+
+    const double bytes = 900;
+    // Islands {0, 1}: intra 2/3 * 900/400 = 1.5 each way; inter ring
+    // over the 3-rail override:
+    // 2 * 1/2 * (900/3)/200 + 2 * 1 = 1.5 + 2 = 3.5.
+    const DeviceSet g01 = {0, 1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(
+        coll.allReduceTime(bytes, g01,
+                           CollectiveKind::ShardedHierarchical),
+        1.5 + 3.5 + 1.5);
+
+    // Islands {0, 2}: default single-rail class — sharded equals
+    // hierarchical bit for bit.
+    const DeviceSet g02 = {0, 1, 2, 6, 7, 8};
+    EXPECT_EQ(coll.allReduceTime(bytes, g02,
+                                 CollectiveKind::ShardedHierarchical),
+              coll.allReduceTime(bytes, g02,
+                                 CollectiveKind::Hierarchical));
+
+    // A group spanning all three islands bottlenecks on the worst
+    // pair's class (single-rail default): no sharding.
+    const DeviceSet g012 = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_EQ(coll.allReduceTime(bytes, g012,
+                                 CollectiveKind::ShardedHierarchical),
+              coll.allReduceTime(bytes, g012,
+                                 CollectiveKind::Hierarchical));
+}
+
+TEST(Collective, ShardedScheduleShape)
+{
+    ClusterTopology topo = railedTwoIslandTopo(4);
+    CollectiveModel coll(topo);
+    const DeviceSet all = {0, 1, 2, 3, 4, 5, 6, 7};
+    const CollectiveSchedule sched = coll.allReduceSchedule(
+        1200, all, CollectiveKind::ShardedHierarchical, "param_sync");
+
+    // [rs x2 islands] -> [4 disjoint per-rail rings] -> [ag x2].
+    ASSERT_EQ(sched.stages.size(), 3u);
+    ASSERT_EQ(sched.stages[0].size(), 2u);
+    EXPECT_EQ(sched.stages[0][0].label, "param_sync_rs");
+    ASSERT_EQ(sched.stages[1].size(), 4u);
+    for (std::uint32_t r = 0; r < 4; ++r) {
+        const CollectiveStep &step = sched.stages[1][r];
+        EXPECT_EQ(step.devices, (DeviceSet{r, r + 4}));
+        EXPECT_EQ(step.label, "param_sync_xr");
+        EXPECT_EQ(step.seconds, sched.stages[1][0].seconds);
+    }
+    // Ring 0 is exactly the leader set.
+    EXPECT_EQ(sched.stages[1][0].devices,
+              decomposeByIsland(topo, all).leaders);
+    ASSERT_EQ(sched.stages[2].size(), 2u);
+    EXPECT_EQ(sched.stages[2][0].label, "param_sync_ag");
+
+    // The schedule's analytic total is the algorithm's price.
+    EXPECT_EQ(sched.seconds(),
+              coll.allReduceTime(1200, all,
+                                 CollectiveKind::ShardedHierarchical));
+}
+
+TEST(Collective, PairedFlowTimePunishesTouchingTheSlowIsland)
+{
+    // src = island 0; a destination window entirely inside island 0
+    // prices intra-only, while a window that merely touches island 1
+    // pays the slow class for its cross-island shard — which the
+    // best-pair flowTime cannot see.
+    ClusterTopology topo = twoIslandTopo();
+    CollectiveModel coll(topo);
+    const DeviceSet src = {0, 1, 2, 3};
+    const DeviceSet aligned = {1, 2};
+    const DeviceSet touching = {1, 6};
+
+    const double bytes = 800;
+    // Both windows overlap src, so flowTime prices the on-device
+    // copy class for either — it cannot tell them apart.
+    EXPECT_EQ(coll.flowTime(bytes, src, aligned),
+              coll.flowTime(bytes, src, touching));
+
+    // pairedFlowTime: the aligned window has no island miss, so it
+    // prices exactly like flowTime; the touching window pays the
+    // attributed surcharge — device 6's island holds no source, so
+    // half its shards cross islands and the flow is charged 1.5x.
+    EXPECT_EQ(coll.pairedFlowTime(bytes, src, aligned),
+              coll.flowTime(bytes, src, aligned));
+    EXPECT_LT(coll.pairedFlowTime(bytes, src, aligned),
+              coll.pairedFlowTime(bytes, src, touching));
+    EXPECT_DOUBLE_EQ(coll.pairedFlowTime(bytes, src, touching),
+                     coll.flowTime(bytes, src, touching) * 1.5);
+
+    // Degenerate cases match flowTime: identical sets are free, and
+    // zero bytes are free.
+    EXPECT_EQ(coll.pairedFlowTime(bytes, src, src), 0.0);
+    EXPECT_EQ(coll.pairedFlowTime(0.0, src, touching), 0.0);
+}
+
 TEST(Collective, TpPricingIsAlgorithmInvariant)
 {
     // The Megatron-TP charge the estimator/planner consume is the
@@ -270,7 +497,8 @@ TEST(Collective, TpPricingIsAlgorithmInvariant)
                   3e7, 4, topo.config().intraIsland));
     const DeviceSet tp_group = {8, 9, 10, 11};
     for (CollectiveKind kind :
-         {CollectiveKind::Hierarchical, CollectiveKind::Auto}) {
+         {CollectiveKind::Hierarchical,
+          CollectiveKind::ShardedHierarchical, CollectiveKind::Auto}) {
         EXPECT_EQ(coll.allReduceTime(3e7, tp_group, kind),
                   coll.allReduceTime(3e7, tp_group,
                                      CollectiveKind::FlatRing));

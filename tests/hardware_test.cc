@@ -347,6 +347,48 @@ TEST(TopologyValidation, LatencyOnlyOverrideInheritsBandwidth)
     EXPECT_DOUBLE_EQ(topo.intraLink(0).latency, 5 * kMicro);
 }
 
+TEST(TopologyValidation, RailsValidatedAndInherited)
+{
+    // rails == 0 is rejected on the default classes and on overrides.
+    {
+        ClusterConfig cfg;
+        cfg.interIslandCollective.rails = 0;
+        EXPECT_EXIT({ ClusterTopology topo(std::move(cfg)); },
+                    ::testing::ExitedWithCode(1),
+                    "interIslandCollective rails");
+    }
+    {
+        ClusterConfig cfg;
+        cfg.numNodes = 2;
+        cfg.islandLinks.push_back({0, 1, {}, {50 * kGiga, 0, 0}});
+        EXPECT_EXIT({ ClusterTopology topo(std::move(cfg)); },
+                    ::testing::ExitedWithCode(1), "rails");
+    }
+
+    // A rails-only override (all else default) inherits bandwidth
+    // and latency from the default class and changes only the rail
+    // count; an all-default override still inherits wholesale.
+    ClusterConfig cfg;
+    cfg.numNodes = 3;
+    cfg.islandLinks.push_back({0, 1, {}, {0, 0, 4}});
+    ClusterTopology topo(cfg);
+    EXPECT_DOUBLE_EQ(topo.collectiveLink(0, 1).bandwidth,
+                     cfg.interIslandCollective.bandwidth);
+    EXPECT_DOUBLE_EQ(topo.collectiveLink(0, 1).latency,
+                     cfg.interIslandCollective.latency);
+    EXPECT_EQ(topo.collectiveLink(0, 1).rails, 4u);
+    EXPECT_EQ(topo.collectiveLink(0, 2).rails, 1u);
+
+    // rails participates in the fingerprint: a fabric differing only
+    // in rail count must not share cached plans.
+    ClusterConfig plain;
+    plain.numNodes = 3;
+    ClusterConfig railed = plain;
+    railed.interIslandCollective.rails = 8;
+    EXPECT_NE(ClusterTopology(plain).fingerprint(),
+              ClusterTopology(railed).fingerprint());
+}
+
 TEST(TopologyValidation, RejectsMalformedIslandLinks)
 {
     const auto dies = [](ClusterConfig cfg, const char *pattern) {

@@ -210,6 +210,11 @@ randomIslandConfig(std::mt19937_64 &rng)
         for (std::uint32_t j = 0; j < sizes[k]; ++j)
             cfg.islands[k].devices.push_back(ids[cursor++]);
 
+    // Sometimes a multi-rail default fabric (only the sharded
+    // algorithm reads rails; everything else must ignore them).
+    cfg.interIslandCollective.rails =
+        static_cast<std::uint32_t>(pick(1, 4));
+
     // Sometimes degrade one island pair's collective class.
     if (num_islands >= 2 && pick(0, 1) == 0) {
         const std::uint32_t a =
@@ -221,7 +226,8 @@ randomIslandConfig(std::mt19937_64 &rng)
         cfg.islandLinks.push_back(
             {a, b, /*p2p=*/{0, 0},
              /*collective=*/{double(pick(10, 100)) * kGiga,
-                             double(pick(1, 40)) * kMicro}});
+                             double(pick(1, 40)) * kMicro,
+                             static_cast<std::uint32_t>(pick(1, 3))}});
     }
     return cfg;
 }
@@ -262,10 +268,13 @@ TEST_P(RandomIslandGraph, AutoIsNeverSlowerThanFlatRing)
             coll.allReduceTime(bytes, group, CollectiveKind::FlatRing);
         const double hier = coll.allReduceTime(
             bytes, group, CollectiveKind::Hierarchical);
+        const double sharded = coll.allReduceTime(
+            bytes, group, CollectiveKind::ShardedHierarchical);
         const double aut =
             coll.allReduceTime(bytes, group, CollectiveKind::Auto);
         EXPECT_LE(aut, flat);
-        EXPECT_EQ(aut, std::min(flat, hier));
+        EXPECT_LE(sharded, hier); // more rings never slows the stage
+        EXPECT_EQ(aut, std::min(std::min(flat, hier), sharded));
         // The winner's schedule prices exactly like the oracle.
         EXPECT_EQ(coll.allReduceSchedule(bytes, group,
                                          CollectiveKind::Auto, "s")
@@ -286,6 +295,7 @@ TEST_P(RandomIslandGraph, AllReduceTimeIsMonotoneInBytes)
         double bytes = 1.0;
         for (CollectiveKind kind :
              {CollectiveKind::FlatRing, CollectiveKind::Hierarchical,
+              CollectiveKind::ShardedHierarchical,
               CollectiveKind::Auto}) {
             double prev = -1.0;
             for (int step = 0; step < 12; ++step) {
@@ -314,10 +324,13 @@ TEST_P(RandomIslandGraph, HierarchicalIsInvariantUnderRenumbering)
     const std::uint32_t islands = static_cast<std::uint32_t>(pick(1, 4));
     const std::uint32_t size = static_cast<std::uint32_t>(pick(2, 6));
     testutil::StripeRelabel pi{islands, size};
-    ClusterTopology contiguous(
-        testutil::contiguousIslandConfig(islands, size));
-    ClusterTopology striped(
-        testutil::stripedIslandConfig(islands, size));
+    ClusterConfig cfg_a = testutil::contiguousIslandConfig(islands, size);
+    ClusterConfig cfg_b = testutil::stripedIslandConfig(islands, size);
+    // A railed fabric so the sharded algorithm is non-degenerate.
+    cfg_a.interIslandCollective.rails = 3;
+    cfg_b.interIslandCollective.rails = 3;
+    ClusterTopology contiguous(cfg_a);
+    ClusterTopology striped(cfg_b);
     CollectiveModel coll_a(contiguous);
     CollectiveModel coll_b(striped);
 
@@ -329,6 +342,7 @@ TEST_P(RandomIslandGraph, HierarchicalIsInvariantUnderRenumbering)
             std::uniform_real_distribution<double>(1.0, 4e9)(rng);
         for (CollectiveKind kind :
              {CollectiveKind::FlatRing, CollectiveKind::Hierarchical,
+              CollectiveKind::ShardedHierarchical,
               CollectiveKind::Auto}) {
             EXPECT_DOUBLE_EQ(coll_a.allReduceTime(bytes, group, kind),
                              coll_b.allReduceTime(bytes, image, kind))
@@ -373,6 +387,49 @@ TEST_P(RandomIslandGraph, DecompositionPartitionsTheGroup)
         }
         EXPECT_EQ(reunion, group);
         EXPECT_EQ(d.leaders.size(), d.islands.size());
+    }
+}
+
+TEST_P(RandomIslandGraph, FlowPricingInvariantUnderStripeRelabel)
+{
+    // flowTime picks the best pairwise link class; with tied
+    // bandwidths the lower-latency class must win *independently of
+    // pair iteration order*. A striping relabel permutes device ids
+    // (hence the order pairs are scanned in) while preserving the
+    // set of spanned link classes, so both flow oracles must price
+    // identically on the relabeled sets — this pins the
+    // deterministic tiebreak.
+    std::mt19937_64 rng(GetParam() * 2654435761 + 5);
+    auto pick = [&](int lo, int hi) {
+        return std::uniform_int_distribution<int>(lo, hi)(rng);
+    };
+    const std::uint32_t islands = static_cast<std::uint32_t>(pick(2, 4));
+    const std::uint32_t size = static_cast<std::uint32_t>(pick(2, 5));
+    testutil::StripeRelabel pi{islands, size};
+    ClusterConfig cfg_a = testutil::contiguousIslandConfig(islands, size);
+    ClusterConfig cfg_b = testutil::stripedIslandConfig(islands, size);
+    for (ClusterConfig *cfg : {&cfg_a, &cfg_b}) {
+        // Tie the intra and inter point-to-point bandwidths; only
+        // latency separates the classes.
+        cfg->intraIsland = {200 * kGiga, 1 * kMicro};
+        cfg->interIsland = {200 * kGiga, 25 * kMicro};
+    }
+    ClusterTopology contiguous(cfg_a);
+    ClusterTopology striped(cfg_b);
+    CollectiveModel coll_a(contiguous);
+    CollectiveModel coll_b(striped);
+
+    for (int trial = 0; trial < 16; ++trial) {
+        const DeviceSet src = randomGroup(rng, contiguous.numDevices());
+        const DeviceSet dst = randomGroup(rng, contiguous.numDevices());
+        const double bytes =
+            std::uniform_real_distribution<double>(1.0, 4e9)(rng);
+        EXPECT_DOUBLE_EQ(
+            coll_a.flowTime(bytes, src, dst),
+            coll_b.flowTime(bytes, pi.image(src), pi.image(dst)));
+        EXPECT_DOUBLE_EQ(coll_a.pairedFlowTime(bytes, src, dst),
+                         coll_b.pairedFlowTime(bytes, pi.image(src),
+                                               pi.image(dst)));
     }
 }
 
