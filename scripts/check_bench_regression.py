@@ -80,12 +80,27 @@ per-runner budget padding is needed; records without a floor (the
 64-GPU chaos run) are informational. A baseline with no min_speedup
 record at all fails — the gate cannot silently evaporate.
 
+service — gate the PlanService multi-tenant front end.
+bench_plan_service writes BENCH_service.json with per-worker-count
+request throughput over an identical mixed-workload storm. Two value
+gates apply to every baseline record on any runner (they are
+deterministic): the byte-identity check against serial plan() must
+report mismatches == 0, and the whole-plan dedupe rate must reach the
+record's "min_full_hit_rate" floor. Records carrying "min_speedup"
+(the 8-worker point) additionally gate wall-clock: the current run's
+1-worker seconds divided by this record's seconds must reach the
+floor — but, as with planner-threads, only when the runner has at
+least as many hardware threads as the record runs workers (never
+below 4); a serial machine reports and skips. A baseline with no
+min_speedup record at all fails — the gate cannot silently
+evaporate.
+
 Wall-clock budgets are deliberately generous (several times a warm
 local run) so shared CI runners do not flap. Other scale points are
 reported informationally.
 
 Usage: check_bench_regression.py
-       {planner|planner-threads|collectives|replan|recovery}
+       {planner|planner-threads|collectives|replan|recovery|service}
        CURRENT_JSON BASELINE_JSON [FACTOR]
 """
 
@@ -426,6 +441,98 @@ def check_recovery(current, baseline):
     return failures
 
 
+def check_service(current, baseline):
+    failures = []
+    gated = 0
+    for name, base in sorted(baseline.items()):
+        floor = base.get("min_speedup")
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        mismatches = cur.get("mismatches")
+        hit_rate = cur.get("full_hit_rate")
+        seconds = cur.get("seconds")
+        if mismatches is None or hit_rate is None or seconds is None:
+            failures.append(f"{name}: service fields missing")
+            continue
+
+        problems = []
+        # Deterministic value gates: apply on every runner.
+        if mismatches != 0:
+            problems.append(
+                f"{int(mismatches)} responses diverged from serial "
+                f"plan() — the byte-identity contract is broken"
+            )
+        hit_floor = base.get("min_full_hit_rate")
+        if hit_floor is not None and hit_rate < hit_floor:
+            problems.append(
+                f"dedupe full-hit rate {hit_rate:.3f} < floor "
+                f"{hit_floor:.3f}"
+            )
+
+        # Wall-clock gate: 1-worker seconds / this record's seconds.
+        speedup_txt = ""
+        if floor is not None:
+            gated += 1
+            serial_name = name.split("/workers=")[0] + "/workers=1"
+            serial = current.get(serial_name)
+            hw_raw = cur.get("hw_threads")
+            if serial is None:
+                problems.append(
+                    f"serial record {serial_name} missing from "
+                    f"current run"
+                )
+            elif hw_raw is None:
+                # Missing field != small machine (see planner-threads).
+                problems.append(
+                    "hw_threads missing from current record (stale "
+                    "BENCH_service.json or bench regression?)"
+                )
+            else:
+                needed = max(
+                    int(base.get("workers", 0)),
+                    MIN_HW_THREADS_FOR_SPEEDUP,
+                )
+                if int(hw_raw) < needed:
+                    print(
+                        f"skip  {name:<36} runner has {int(hw_raw)} "
+                        f"hardware threads (< {needed}); the "
+                        f"throughput gate needs parallel hardware "
+                        f"for every worker"
+                    )
+                else:
+                    serial_s = serial["seconds"]
+                    speedup = (
+                        serial_s / seconds
+                        if seconds > 0
+                        else float("inf")
+                    )
+                    speedup_txt = (
+                        f"  speedup={speedup:5.2f}x  floor={floor:.1f}x"
+                    )
+                    if speedup < floor:
+                        problems.append(
+                            f"throughput speedup {speedup:.2f}x < "
+                            f"floor {floor:.1f}x"
+                        )
+
+        status = "FAIL" if problems else "OK"
+        print(
+            f"{status:>4}  {name:<36} seconds={seconds:8.3f}"
+            f"  hit_rate={hit_rate:.3f}"
+            f"  mismatches={int(mismatches)}{speedup_txt}"
+        )
+        for p in problems:
+            failures.append(f"{name}: {p}")
+    if gated == 0:
+        failures.append(
+            "service: no baseline record carries min_speedup; the "
+            "service throughput gate is not wired up"
+        )
+    return failures
+
+
 def main(argv):
     if len(argv) not in (4, 5) or argv[1] not in (
         "planner",
@@ -433,6 +540,7 @@ def main(argv):
         "collectives",
         "replan",
         "recovery",
+        "service",
     ):
         print(__doc__)
         return 2
@@ -449,6 +557,8 @@ def main(argv):
         failures = check_replan(current, baseline)
     elif mode == "recovery":
         failures = check_recovery(current, baseline)
+    elif mode == "service":
+        failures = check_service(current, baseline)
     else:
         failures = check_collectives(current, baseline, factor)
 

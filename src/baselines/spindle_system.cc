@@ -1,5 +1,7 @@
 #include "baselines/spindle_system.h"
 
+#include "common/logging.h"
+
 namespace spindle {
 
 SpindleSystem::SpindleSystem(const HardwareModel &hw,
@@ -19,6 +21,23 @@ SpindleSystem::name() const
 ExecutionPlan
 SpindleSystem::buildPlan(const MetaGraph &graph) const
 {
+    // API-misuse tripwire, not a lock: overlapping calls used to
+    // race on planner_ (and the planner's pool + cache) and corrupt
+    // them silently. Panic — the *caller* holds the bug — naming the
+    // contract and the supported alternatives.
+    panicIf(building_.exchange(true, std::memory_order_acquire),
+            "SpindleSystem::buildPlan: overlapping call on one "
+            "instance. buildPlan caches the planner and its worker "
+            "pool across calls, so calls must be serialized per "
+            "instance; for concurrent planning give each thread its "
+            "own SpindleSystem or submit requests through a "
+            "PlanService (service/plan_service.h)");
+    struct Guard
+    {
+        std::atomic<bool> &flag;
+        ~Guard() { flag.store(false, std::memory_order_release); }
+    } guard{building_};
+
     PlannerOptions options = options_;
     // EngineOptions::plannerThreads is the system-level override
     // (like the collective selector); unset defers to the planner

@@ -7,6 +7,7 @@
 #ifndef SPINDLE_BASELINES_SPINDLE_SYSTEM_H
 #define SPINDLE_BASELINES_SPINDLE_SYSTEM_H
 
+#include <atomic>
 #include <memory>
 
 #include "baselines/system.h"
@@ -21,8 +22,13 @@ namespace spindle {
  * calls, so concurrent buildPlan() on one instance is not supported
  * — matching ExecutionPlanner::plan(), which was never itself
  * thread-safe. Parallelism belongs *inside* a plan
- * (EngineOptions::plannerThreads), not across planners sharing an
- * instance.
+ * (EngineOptions::plannerThreads) or *across requests* behind a
+ * PlanService (service/plan_service.h), not across threads sharing
+ * one SpindleSystem. The misuse used to corrupt the cached
+ * planner/pool state silently; an atomic in-use guard now panics
+ * with an actionable message instead (overlapping buildPlan calls —
+ * including re-entry from a placement window-generator callback —
+ * are detected, not raced).
  */
 class SpindleSystem : public System
 {
@@ -42,6 +48,10 @@ class SpindleSystem : public System
     /** Cached planner (owns the worker pool); rebuilt only when the
      *  effective thread count changes (see buildPlan). */
     mutable std::unique_ptr<ExecutionPlanner> planner_;
+
+    /** buildPlan() in-use guard: detects overlapping calls on one
+     *  instance (an API misuse) before they corrupt planner_. */
+    mutable std::atomic<bool> building_{false};
 };
 
 /** Convenience: Spindle with the Fig. 10 sequential-placement

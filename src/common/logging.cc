@@ -5,9 +5,34 @@
 
 namespace spindle {
 
+namespace {
+
+/** Recoverable-fatal opt-in of the current thread (RecoverableScope). */
+thread_local bool recoverable_fatals = false;
+
+} // namespace
+
+RecoverableScope::RecoverableScope() : prev_(recoverable_fatals)
+{
+    recoverable_fatals = true;
+}
+
+RecoverableScope::~RecoverableScope()
+{
+    recoverable_fatals = prev_;
+}
+
+bool
+RecoverableScope::active()
+{
+    return recoverable_fatals;
+}
+
 void
 fatal(const std::string &msg)
 {
+    if (recoverable_fatals)
+        throw RecoverableError(msg);
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     std::exit(1);
 }

@@ -83,7 +83,8 @@ ThreadPool::workerLoop()
         bool woke = false;
         for (int spin = 0; spin < kSpinIterations; ++spin) {
             if (stop_.load(std::memory_order_relaxed) ||
-                job_gen_.load(std::memory_order_acquire) != seen) {
+                job_gen_.load(std::memory_order_acquire) != seen ||
+                num_tasks_.load(std::memory_order_acquire) != 0) {
                 woke = true;
                 break;
             }
@@ -93,10 +94,24 @@ ThreadPool::workerLoop()
             std::unique_lock<std::mutex> lk(mu_);
             if (!woke)
                 cv_work_.wait(lk, [&] {
-                    return stop_.load() || job_gen_.load() != seen;
+                    return stop_.load() || job_gen_.load() != seen ||
+                           !tasks_.empty();
                 });
             if (stop_.load())
                 return;
+            // Posted tasks first: a detached task never blocks a
+            // chunked region (the region's caller is itself a lane),
+            // but a region parked behind a long request would stall
+            // its caller.
+            if (!tasks_.empty()) {
+                std::function<void()> task = std::move(tasks_.front());
+                tasks_.pop_front();
+                num_tasks_.store(tasks_.size(),
+                                 std::memory_order_release);
+                lk.unlock();
+                task();
+                continue;
+            }
             if (job_gen_.load() == seen)
                 continue; // raced with a wake for work already done
             // job_ and job_gen_ are written together under mu_, so
@@ -114,6 +129,29 @@ ThreadPool::workerLoop()
             cv_done_.notify_all();
         }
     }
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    panicIf(threads_ == 1,
+            "ThreadPool::post: pool has no worker threads (threads() "
+            "== 1); posted tasks only run on workers — construct the "
+            "pool with at least 2 lanes");
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        panicIf(stop_.load(), "ThreadPool::post: pool is stopping");
+        tasks_.push_back(std::move(task));
+        num_tasks_.store(tasks_.size(), std::memory_order_release);
+    }
+    cv_work_.notify_one();
+}
+
+std::size_t
+ThreadPool::pendingTasks() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return tasks_.size();
 }
 
 void

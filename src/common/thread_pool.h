@@ -25,10 +25,20 @@
  *     variable, which keeps back-to-back regions (the common planner
  *     pattern) on the fast path.
  *
- * Tasks must not throw: planner error paths are fatal()/panic(),
- * which terminate the process. The calling thread always participates
- * in chunk execution, so a pool of `threads() == k` runs a region on
- * at most k lanes (k - 1 workers + the caller).
+ * Chunk tasks must not throw: planner error paths are
+ * fatal()/panic(), which terminate the process (a service worker
+ * that wants recoverable errors catches them inside its posted task
+ * — see post()). The calling thread always participates in chunk
+ * execution, so a pool of `threads() == k` runs a region on at most
+ * k lanes (k - 1 workers + the caller).
+ *
+ * Besides the synchronous chunked regions, the pool doubles as the
+ * service-side task executor: post() enqueues a detached task that
+ * some worker runs as soon as it is free (PlanService admits plan
+ * requests this way). Chunked regions and posted tasks share the
+ * workers fairly — a worker between chunk jobs drains the task
+ * queue, and a region dispatched while tasks run simply executes on
+ * the remaining lanes (the caller is always one of them).
  */
 
 #ifndef SPINDLE_COMMON_THREAD_POOL_H
@@ -37,6 +47,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -81,6 +92,22 @@ class ThreadPool
     void run(std::size_t begin, std::size_t end, std::size_t grain,
              const std::function<void(std::size_t, std::size_t,
                                       std::size_t)> &fn);
+
+    /**
+     * Enqueue a detached task for asynchronous execution on some
+     * worker thread. Tasks run in FIFO order (one worker at a time
+     * pops the front; several workers drain the queue concurrently)
+     * and must not throw out of their own body. panic()s on a pool
+     * with no workers (threads() == 1): there is nobody to run the
+     * task, and running it inline would turn an async API into a
+     * blocking one. Tasks still queued when the pool is destroyed
+     * are dropped without running — owners that need every task to
+     * run (PlanService) must drain before tearing the pool down.
+     */
+    void post(std::function<void()> task);
+
+    /** Posted tasks not yet picked up by a worker. */
+    std::size_t pendingTasks() const;
 
     /** Element-wise parallel for: fn(i) for every i in [begin, end). */
     template <typename Fn>
@@ -141,10 +168,15 @@ class ThreadPool
     std::uint32_t threads_ = 1;
     std::vector<std::thread> workers_;
 
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable cv_work_;
     std::condition_variable cv_done_;
     Job job_;
+
+    /** Detached tasks (post()), FIFO; guarded by mu_. */
+    std::deque<std::function<void()>> tasks_;
+    /** tasks_.size() mirror for the workers' lock-free spin check. */
+    std::atomic<std::size_t> num_tasks_{0};
 
     /** Bumped (under mu_) for every new job; workers key off it. */
     std::atomic<std::uint64_t> job_gen_{0};

@@ -138,37 +138,50 @@ PlanCache::PlanCache(std::size_t max_plans_per_context)
 {
 }
 
-const PlanCache::CachedPlan *
+PlanCache::Stripe &
+PlanCache::stripeOf(std::uint64_t ctx) const
+{
+    // Contexts are already FNV-mixed fingerprints, so the low bits
+    // spread well; re-mix once to decouple from kStripes anyway.
+    return stripes_[(ctx * 0x9e3779b97f4a7c15ull >> 32) % kStripes];
+}
+
+PlanCache::PlanPtr
 PlanCache::findPlan(std::uint64_t ctx, const GraphSignature &sig) const
 {
-    auto it = contexts_.find(ctx);
-    if (it == contexts_.end())
+    Stripe &s = stripeOf(ctx);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.contexts.find(ctx);
+    if (it == s.contexts.end())
         return nullptr;
     // Newest first: the storm pattern revisits recent task mixes.
     for (auto plan = it->second.plans.rbegin();
          plan != it->second.plans.rend(); ++plan)
-        if (plan->sig.hash == sig.hash && plan->sig.equalLevels(sig))
-            return &*plan;
+        if ((*plan)->sig.hash == sig.hash &&
+            (*plan)->sig.equalLevels(sig))
+            return *plan;
     return nullptr;
 }
 
-const PlanCache::CachedPlan *
+PlanCache::PlanPtr
 PlanCache::bestPrefixDonor(std::uint64_t ctx, const GraphSignature &sig,
                            std::size_t *prefix_levels) const
 {
     *prefix_levels = 0;
-    auto it = contexts_.find(ctx);
-    if (it == contexts_.end())
+    Stripe &s = stripeOf(ctx);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.contexts.find(ctx);
+    if (it == s.contexts.end())
         return nullptr;
-    const CachedPlan *best = nullptr;
+    PlanPtr best;
     for (auto plan = it->second.plans.rbegin();
          plan != it->second.plans.rend(); ++plan) {
-        if (plan->commitLog.empty())
+        if ((*plan)->commitLog.empty())
             continue; // fallback plans cannot donate a replay prefix
-        const std::size_t common = sig.commonPrefixLevels(plan->sig);
+        const std::size_t common = sig.commonPrefixLevels((*plan)->sig);
         if (common > *prefix_levels) {
             *prefix_levels = common;
-            best = &*plan;
+            best = *plan;
         }
     }
     return best;
@@ -177,57 +190,120 @@ PlanCache::bestPrefixDonor(std::uint64_t ctx, const GraphSignature &sig,
 void
 PlanCache::storePlan(std::uint64_t ctx, CachedPlan plan)
 {
-    Context &context = contexts_[ctx];
-    context.plans.push_back(std::move(plan));
+    // Allocate the node outside the lock; only the list splice and
+    // the duplicate scan run under it.
+    PlanPtr entry = std::make_shared<CachedPlan>(std::move(plan));
+    Stripe &s = stripeOf(ctx);
+    std::lock_guard<std::mutex> lk(s.mu);
+    Context &context = s.contexts[ctx];
+    // Concurrent misses on one signature both plan and both store;
+    // the bytes are identical, so keeping the first (and not aging
+    // out a distinct neighbor to hold a duplicate) is value-free.
+    for (const PlanPtr &existing : context.plans)
+        if (existing->sig.hash == entry->sig.hash &&
+            existing->sig.equalLevels(entry->sig))
+            return;
+    context.plans.push_back(std::move(entry));
     while (context.plans.size() > max_plans_) {
         context.plans.pop_front();
-        ++stats_.evictions;
+        stats_.evictions.fetch_add(1, std::memory_order_relaxed);
     }
 }
 
-const ScalingCurve *
+std::optional<ScalingCurve>
 PlanCache::findCurve(std::uint64_t ctx, const CurveKey &key) const
 {
-    auto it = contexts_.find(ctx);
-    if (it == contexts_.end())
-        return nullptr;
+    Stripe &s = stripeOf(ctx);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.contexts.find(ctx);
+    if (it == s.contexts.end())
+        return std::nullopt;
     for (const auto &[cached_key, curve] : it->second.curves)
         if (cached_key == key)
-            return &curve;
-    return nullptr;
+            return curve;
+    return std::nullopt;
 }
 
 void
 PlanCache::storeCurve(std::uint64_t ctx, const CurveKey &key,
                       const ScalingCurve &curve)
 {
-    contexts_[ctx].curves.emplace_back(key, curve);
+    Stripe &s = stripeOf(ctx);
+    std::lock_guard<std::mutex> lk(s.mu);
+    Context &context = s.contexts[ctx];
+    for (const auto &[cached_key, cached] : context.curves)
+        if (cached_key == key)
+            return; // racing miss already stored identical bytes
+    context.curves.emplace_back(key, curve);
 }
 
-const LevelAllocation *
+std::optional<LevelAllocation>
 PlanCache::findLevelAlloc(std::uint64_t ctx, const LevelKey &key) const
 {
-    auto it = contexts_.find(ctx);
-    if (it == contexts_.end())
-        return nullptr;
+    Stripe &s = stripeOf(ctx);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.contexts.find(ctx);
+    if (it == s.contexts.end())
+        return std::nullopt;
     for (const auto &[cached_key, alloc] : it->second.levels)
         if (cached_key == key)
-            return &alloc;
-    return nullptr;
+            return alloc;
+    return std::nullopt;
 }
 
 void
 PlanCache::storeLevelAlloc(std::uint64_t ctx, const LevelKey &key,
                            const LevelAllocation &alloc)
 {
-    contexts_[ctx].levels.emplace_back(key, alloc);
+    Stripe &s = stripeOf(ctx);
+    std::lock_guard<std::mutex> lk(s.mu);
+    Context &context = s.contexts[ctx];
+    for (const auto &[cached_key, cached] : context.levels)
+        if (cached_key == key)
+            return;
+    context.levels.emplace_back(key, alloc);
+}
+
+PlanCache::Stats
+PlanCache::stats() const
+{
+    Stats out;
+    out.fullHits = stats_.fullHits.load(std::memory_order_relaxed);
+    out.misses = stats_.misses.load(std::memory_order_relaxed);
+    out.curveHits = stats_.curveHits.load(std::memory_order_relaxed);
+    out.curveMisses = stats_.curveMisses.load(std::memory_order_relaxed);
+    out.allocHits = stats_.allocHits.load(std::memory_order_relaxed);
+    out.allocMisses = stats_.allocMisses.load(std::memory_order_relaxed);
+    out.reusedLevels =
+        stats_.reusedLevels.load(std::memory_order_relaxed);
+    out.evictions = stats_.evictions.load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+PlanCache::addStats(const Stats &delta)
+{
+    auto add = [](std::atomic<std::uint64_t> &c, std::uint64_t v) {
+        if (v != 0)
+            c.fetch_add(v, std::memory_order_relaxed);
+    };
+    add(stats_.fullHits, delta.fullHits);
+    add(stats_.misses, delta.misses);
+    add(stats_.curveHits, delta.curveHits);
+    add(stats_.curveMisses, delta.curveMisses);
+    add(stats_.allocHits, delta.allocHits);
+    add(stats_.allocMisses, delta.allocMisses);
+    add(stats_.reusedLevels, delta.reusedLevels);
+    add(stats_.evictions, delta.evictions);
 }
 
 std::size_t
 PlanCache::numPlans(std::uint64_t ctx) const
 {
-    auto it = contexts_.find(ctx);
-    return it == contexts_.end() ? 0 : it->second.plans.size();
+    Stripe &s = stripeOf(ctx);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.contexts.find(ctx);
+    return it == s.contexts.end() ? 0 : it->second.plans.size();
 }
 
 } // namespace spindle

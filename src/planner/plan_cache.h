@@ -23,17 +23,35 @@
  * Everything cached is value-transparent: a hit returns bits the
  * uncached pipeline would also have produced, which is what lets
  * replan() keep planner_equivalence_test's frozen-reference,
- * byte-identity discipline. The cache is NOT thread-safe — the
- * planner's internal thread pool never touches it concurrently, but
- * two planners sharing one cache must not replan at the same time.
+ * byte-identity discipline.
+ *
+ * **Thread safety.** The cache is safe for concurrent lookups and
+ * stores from any number of threads: contexts are sharded over
+ * striped mutexes (the StripedMemo pattern from
+ * common/sharded_memo.h), whole-plan hits are returned as
+ * shared_ptrs so a concurrent eviction can never pull an entry out
+ * from under a reader, and the curve/allocation tiers hand out
+ * copies. Counters (including evictions) are atomics kept exact
+ * under the stripe locks. This is what lets many planners — e.g.
+ * every PlanService worker — share one cache through
+ * PlannerOptions::cache and replan() concurrently: racing misses on
+ * the same signature may compute the plan twice, but both
+ * computations produce identical bytes (the pipeline is
+ * deterministic) and each caller returns the plan it computed, so
+ * even the racers agree bit for bit.
  */
 
 #ifndef SPINDLE_PLANNER_PLAN_CACHE_H
 #define SPINDLE_PLANNER_PLAN_CACHE_H
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "cost/scaling_curve.h"
@@ -191,13 +209,16 @@ class PlanCache
         std::uint64_t evictions = 0;
     };
 
+    /** Shared-ownership view of a cached plan: stays valid after a
+     *  concurrent eviction drops the cache's own reference. */
+    using PlanPtr = std::shared_ptr<const CachedPlan>;
+
     /** @param max_plans_per_context FIFO bound on the whole-plan tier
      *  (curve/allocation tiers are small and unbounded). */
     explicit PlanCache(std::size_t max_plans_per_context = 32);
 
     /** Cached plan whose signature equals @p sig, or nullptr. */
-    const CachedPlan *findPlan(std::uint64_t ctx,
-                               const GraphSignature &sig) const;
+    PlanPtr findPlan(std::uint64_t ctx, const GraphSignature &sig) const;
 
     /**
      * Cached plan sharing the longest non-empty level prefix with
@@ -205,27 +226,33 @@ class PlanCache
      * go to the most recently stored entry. @p prefix_levels gets
      * the matched level count. nullptr when nothing matches.
      */
-    const CachedPlan *bestPrefixDonor(std::uint64_t ctx,
-                                      const GraphSignature &sig,
-                                      std::size_t *prefix_levels) const;
+    PlanPtr bestPrefixDonor(std::uint64_t ctx, const GraphSignature &sig,
+                            std::size_t *prefix_levels) const;
 
-    /** Insert a plan, evicting the oldest entry past the bound. */
+    /** Insert a plan, evicting the oldest entry past the bound. A
+     *  plan whose signature is already cached for @p ctx replaces
+     *  nothing and is dropped (racing misses stay bounded). */
     void storePlan(std::uint64_t ctx, CachedPlan plan);
 
-    const ScalingCurve *findCurve(std::uint64_t ctx,
-                                  const CurveKey &key) const;
+    /** Copy of the cached curve for @p key, if any. */
+    std::optional<ScalingCurve> findCurve(std::uint64_t ctx,
+                                          const CurveKey &key) const;
     void storeCurve(std::uint64_t ctx, const CurveKey &key,
                     const ScalingCurve &curve);
 
     /** Hit values are stored positionally: callers must remap the
      *  contained MetaOp ids onto their own graph's level ids. */
-    const LevelAllocation *findLevelAlloc(std::uint64_t ctx,
-                                          const LevelKey &key) const;
+    std::optional<LevelAllocation>
+    findLevelAlloc(std::uint64_t ctx, const LevelKey &key) const;
     void storeLevelAlloc(std::uint64_t ctx, const LevelKey &key,
                          const LevelAllocation &alloc);
 
-    const Stats &stats() const { return stats_; }
-    Stats &stats() { return stats_; }
+    /** Consistent snapshot of the cumulative counters. */
+    Stats stats() const;
+
+    /** Atomically add every (nonzero) field of @p delta to the
+     *  counters — how replan() publishes its per-call accounting. */
+    void addStats(const Stats &delta);
 
     /** Plans currently cached for @p ctx (tests/bench introspection). */
     std::size_t numPlans(std::uint64_t ctx) const;
@@ -233,14 +260,40 @@ class PlanCache
   private:
     struct Context
     {
-        std::deque<CachedPlan> plans; ///< newest at the back
+        std::deque<PlanPtr> plans; ///< newest at the back
         std::vector<std::pair<CurveKey, ScalingCurve>> curves;
         std::vector<std::pair<LevelKey, LevelAllocation>> levels;
     };
 
-    std::map<std::uint64_t, Context> contexts_;
+    /** Contexts sharded over lock stripes by fingerprint. One
+     *  context's state lives entirely inside one stripe, so every
+     *  per-context operation takes exactly one lock. */
+    struct Stripe
+    {
+        mutable std::mutex mu;
+        std::map<std::uint64_t, Context> contexts;
+    };
+
+    static constexpr std::size_t kStripes = 16;
+
+    Stripe &stripeOf(std::uint64_t ctx) const;
+
+    mutable std::array<Stripe, kStripes> stripes_;
     std::size_t max_plans_;
-    Stats stats_;
+
+    /** Counter fields mirror Stats one for one. */
+    struct AtomicStats
+    {
+        std::atomic<std::uint64_t> fullHits{0};
+        std::atomic<std::uint64_t> misses{0};
+        std::atomic<std::uint64_t> curveHits{0};
+        std::atomic<std::uint64_t> curveMisses{0};
+        std::atomic<std::uint64_t> allocHits{0};
+        std::atomic<std::uint64_t> allocMisses{0};
+        std::atomic<std::uint64_t> reusedLevels{0};
+        std::atomic<std::uint64_t> evictions{0};
+    };
+    mutable AtomicStats stats_;
 };
 
 } // namespace spindle

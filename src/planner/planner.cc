@@ -224,13 +224,13 @@ ExecutionPlanner::replan(const MetaGraph &graph) const
     // ---- Full hit: this exact workload value was planned before in
     // this context. Remap the cached plan's ids positionally; no
     // pipeline stage runs.
-    if (const PlanCache::CachedPlan *hit = cache.findPlan(ctx, sig)) {
+    if (const PlanCache::PlanPtr hit = cache.findPlan(ctx, sig)) {
         out.replan.fullHit = true;
         out.replan.reusedLevels = out.replan.totalLevels;
         out.replan.prefixWaves =
             static_cast<std::uint32_t>(hit->plan.waves.size());
-        ++cache.stats().fullHits;
-        cache.stats().reusedLevels += graph.numLevels();
+        cache.addStats({.fullHits = 1,
+                        .reusedLevels = graph.numLevels()});
         out.phaseSeconds.diff = seconds(t0, clock_type::now());
         remapCachedPlan(*hit, graph, out);
         // Cheap insurance on the remap: re-derive readiness on the
@@ -241,7 +241,7 @@ ExecutionPlanner::replan(const MetaGraph &graph) const
         out.planningSeconds = seconds(t0, clock_type::now());
         return out;
     }
-    ++cache.stats().misses;
+    cache.addStats({.misses = 1});
     const auto t_diffed = clock_type::now();
     out.phaseSeconds.diff = seconds(t0, t_diffed);
 
@@ -253,8 +253,8 @@ ExecutionPlanner::replan(const MetaGraph &graph) const
     curves.reserve(graph.numMetaOps());
     for (const MetaOp &m : graph.metaOps()) {
         const PlanCache::CurveKey key = curveKeyOf(m, n);
-        if (const ScalingCurve *hit = cache.findCurve(ctx, key)) {
-            curves.push_back(*hit);
+        if (std::optional<ScalingCurve> hit = cache.findCurve(ctx, key)) {
+            curves.push_back(std::move(*hit));
             ++out.replan.curveHits;
         } else {
             curves.push_back(estimator.estimate(m, n));
@@ -263,8 +263,8 @@ ExecutionPlanner::replan(const MetaGraph &graph) const
         }
     }
     out.curves = std::move(curves);
-    cache.stats().curveHits += out.replan.curveHits;
-    cache.stats().curveMisses += out.replan.curveMisses;
+    cache.addStats({.curveHits = out.replan.curveHits,
+                    .curveMisses = out.replan.curveMisses});
     const auto t_estimated = clock_type::now();
     out.phaseSeconds.estimation = seconds(t_diffed, t_estimated);
 
@@ -280,8 +280,9 @@ ExecutionPlanner::replan(const MetaGraph &graph) const
             const MetaOp &m = graph.metaOp(id);
             key.ops.emplace_back(curveKeyOf(m, n), m.numOps());
         }
-        if (const LevelAllocation *hit = cache.findLevelAlloc(ctx, key)) {
-            allocations[k] = *hit;
+        if (std::optional<LevelAllocation> hit =
+                cache.findLevelAlloc(ctx, key)) {
+            allocations[k] = std::move(*hit);
             allocations[k].metaOps = ids;
             panicIf(allocations[k].plans.size() != ids.size(),
                     "replan: cached allocation shape mismatch");
@@ -294,8 +295,8 @@ ExecutionPlanner::replan(const MetaGraph &graph) const
             ++out.replan.allocMisses;
         }
     }
-    cache.stats().allocHits += out.replan.allocHits;
-    cache.stats().allocMisses += out.replan.allocMisses;
+    cache.addStats({.allocHits = out.replan.allocHits,
+                     .allocMisses = out.replan.allocMisses});
     const auto t_allocated = clock_type::now();
     out.phaseSeconds.allocation = seconds(t_estimated, t_allocated);
 
@@ -326,7 +327,7 @@ ExecutionPlanner::replan(const MetaGraph &graph) const
                               options_.placement, pool_.get());
     std::vector<PlacementCommit> commit_log;
     std::size_t donor_levels = 0;
-    const PlanCache::CachedPlan *donor =
+    const PlanCache::PlanPtr donor =
         options_.placement.strategy == PlacementStrategy::Spindle
             ? cache.bestPrefixDonor(ctx, sig, &donor_levels)
             : nullptr;
@@ -366,7 +367,7 @@ ExecutionPlanner::replan(const MetaGraph &graph) const
             graph, out.plan, resume_wave, prefix, &commit_log);
         out.replan.reusedLevels = static_cast<std::uint32_t>(donor_levels);
         out.replan.prefixWaves = static_cast<std::uint32_t>(resume_wave);
-        cache.stats().reusedLevels += donor_levels;
+        cache.addStats({.reusedLevels = donor_levels});
     } else {
         out.placement = placement.place(graph, out.plan, &commit_log);
     }

@@ -59,11 +59,14 @@ struct PlannerOptions
     /**
      * Plan cache consulted by replan() (non-owning; must outlive the
      * planner). nullptr gives the planner a lazily created private
-     * cache. Sharing one cache between planners is safe — entries
-     * are keyed by a (topology fingerprint, options fingerprint)
-     * context — as long as the planners never replan concurrently
-     * (PlanCache is not thread-safe). Excluded from the context
-     * fingerprint itself, like `threads`.
+     * cache. Sharing one cache between planners is safe, including
+     * planners replanning concurrently on different threads —
+     * PlanCache is internally synchronized (striped locks), and
+     * entries are keyed by a (topology fingerprint, options
+     * fingerprint) context, so near-identical workloads from
+     * different tenants dedupe into full hits while different
+     * contexts never collide. Excluded from the context fingerprint
+     * itself, like `threads`.
      */
     PlanCache *cache = nullptr;
 };

@@ -84,7 +84,11 @@ WavefrontScheduler::scheduleLevel(const LevelAllocation &alloc,
                                   double t_start,
                                   std::vector<Wave> &waves) const
 {
-    panicIf(alloc.metaOps.empty(),
+    // Request-reachable (a malformed workload can contract to an
+    // empty MetaLevel), so it is a user error, not an invariant:
+    // fatal() lets a RecoverableScope boundary (PlanService) turn it
+    // into a structured PlanError instead of process death.
+    fatalIf(alloc.metaOps.empty(),
             "scheduleLevel: empty level allocation (no MetaOps)");
     panicIf(alloc.plans.size() != alloc.metaOps.size(),
             "scheduleLevel: allocation plans misaligned with MetaOps");

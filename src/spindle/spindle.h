@@ -35,6 +35,7 @@
 #include "planner/planner.h"
 #include "runtime/engine.h"
 #include "runtime/recovery.h"
+#include "service/plan_service.h"
 #include "sim/fault.h"
 
 #endif // SPINDLE_SPINDLE_H

@@ -8,8 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "common/csv.h"
@@ -43,6 +46,52 @@ TEST(Logging, FatalIfOnlyFiresWhenTrue)
 TEST(Logging, PanicAborts)
 {
     EXPECT_DEATH(panic("invariant"), "invariant");
+}
+
+TEST(Logging, RecoverableScopeTurnsFatalIntoException)
+{
+    EXPECT_FALSE(RecoverableScope::active());
+    {
+        RecoverableScope scope;
+        EXPECT_TRUE(RecoverableScope::active());
+        EXPECT_THROW(fatal("bad request"), RecoverableError);
+        try {
+            fatalIf(true, "tenant config rejected");
+            FAIL() << "fatalIf must throw inside a RecoverableScope";
+        } catch (const RecoverableError &err) {
+            EXPECT_STREQ(err.what(), "tenant config rejected");
+        }
+        // Nesting: the inner scope's exit must not disable the outer.
+        {
+            RecoverableScope inner;
+            EXPECT_TRUE(RecoverableScope::active());
+        }
+        EXPECT_TRUE(RecoverableScope::active());
+    }
+    EXPECT_FALSE(RecoverableScope::active());
+    // Back to the historical contract once the scope is gone.
+    EXPECT_EXIT(fatal("boom"), ::testing::ExitedWithCode(1), "boom");
+}
+
+TEST(Logging, RecoverableScopeIsThreadLocal)
+{
+    RecoverableScope scope;
+    bool other_thread_active = true;
+    std::thread probe(
+        [&] { other_thread_active = RecoverableScope::active(); });
+    probe.join();
+    EXPECT_FALSE(other_thread_active)
+        << "a scope on one thread must not leak to others";
+}
+
+TEST(Logging, PanicStaysFatalInsideRecoverableScope)
+{
+    EXPECT_DEATH(
+        {
+            RecoverableScope scope;
+            panic("invariant broke");
+        },
+        "invariant broke");
 }
 
 TEST(NearlyEqual, AbsoluteAndRelative)
@@ -227,6 +276,58 @@ TEST(ThreadPoolTest, BackToBackRegionsReuseWorkers)
     }
     for (int v : data)
         EXPECT_EQ(v, 200);
+}
+
+TEST(ThreadPoolTest, PostedTasksRunFifoToCompletion)
+{
+    // post() is the PlanService admission substrate: detached tasks
+    // must all run, and a single worker must drain them in FIFO
+    // order.
+    ThreadPool pool(2); // exactly one worker thread
+    std::mutex mu;
+    std::vector<int> order;
+    std::condition_variable cv;
+    for (int i = 0; i < 16; ++i)
+        pool.post([&, i] {
+            std::lock_guard<std::mutex> lk(mu);
+            order.push_back(i);
+            cv.notify_all();
+        });
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return order.size() == 16; });
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+    EXPECT_EQ(pool.pendingTasks(), 0u);
+}
+
+TEST(ThreadPoolTest, PostedTasksCoexistWithChunkedRegions)
+{
+    // A chunked region dispatched while detached tasks drain: both
+    // must complete; neither may starve the other.
+    ThreadPool pool(4);
+    std::atomic<int> tasks_run{0};
+    for (int i = 0; i < 32; ++i)
+        pool.post([&] { tasks_run.fetch_add(1); });
+    std::vector<std::atomic<int>> hits(512);
+    pool.parallelFor(0, hits.size(), 8,
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    while (tasks_run.load() != 32)
+        std::this_thread::yield();
+    EXPECT_EQ(tasks_run.load(), 32);
+}
+
+TEST(ThreadPoolDeathTest, PostOnWorkerlessPoolPanics)
+{
+    // threads == 1 has nobody to run a detached task; silently
+    // running it inline would turn an async API into a blocking one.
+    EXPECT_DEATH(
+        {
+            ThreadPool pool(1);
+            pool.post([] {});
+        },
+        "no worker threads");
 }
 
 TEST(StripedMemoTest, ValueTransparentAndConcurrent)

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <thread>
 
 #include "planner/planner.h"
 #include "test_util.h"
@@ -386,6 +387,80 @@ TEST(Planner, DegradedReplanByteIdenticalAcrossThreadCounts)
         // replan() (the recovery path) stays pinned to plan() too.
         expectSameBytes(planner.replan(meta), want);
     }
+}
+
+// ===================================================================
+// Plan cache under concurrent replans (PlanService substrate)
+// ===================================================================
+
+TEST(Planner, PlanCacheSafeUnderConcurrentReplans)
+{
+    // The PlanService contract at the planner layer: N threads, each
+    // with a private planner, replan a mix of workloads through ONE
+    // shared PlannerOptions::cache at the same time. Every output
+    // must be byte-identical to the serial reference, and the exact
+    // counters must balance — racing misses may both compute (both
+    // count as misses) but dedupe on store, so hits + misses must
+    // equal the number of replans and hits must meet the floor that
+    // dedupe guarantees. Runs under TSan in CI (tsan-planner job).
+    std::vector<ComputationGraph> graphs;
+    graphs.push_back(fig3Workload());
+    graphs.push_back(buildMultitaskClip({.numTasks = 3}));
+    graphs.push_back(fig3Workload(/*batch=*/64));
+    std::vector<MetaGraph> metas;
+    for (const ComputationGraph &g : graphs)
+        metas.push_back(contractGraph(g));
+
+    ClusterTopology topo = smallCluster(2);
+    HardwareModel hw(topo);
+    const ExecutionPlanner reference(hw);
+    std::vector<PlannerOutput> want;
+    for (const MetaGraph &meta : metas)
+        want.push_back(reference.plan(meta));
+
+    PlanCache cache;
+    PlannerOptions options;
+    options.cache = &cache;
+
+    constexpr std::size_t kThreads = 4;
+    constexpr std::size_t kRounds = 3;
+    std::vector<std::vector<PlannerOutput>> results(kThreads);
+    {
+        std::vector<std::thread> threads;
+        for (std::size_t t = 0; t < kThreads; ++t)
+            threads.emplace_back([&, t] {
+                // One planner per thread (plan() itself is not
+                // thread-safe); only the cache is shared.
+                ExecutionPlanner planner(hw, options);
+                for (std::size_t r = 0; r < kRounds; ++r)
+                    for (std::size_t m = 0; m < metas.size(); ++m)
+                        results[t].push_back(planner.replan(
+                            metas[(t + r + m) % metas.size()]));
+            });
+        for (std::thread &th : threads)
+            th.join();
+    }
+
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        ASSERT_EQ(results[t].size(), kRounds * metas.size());
+        std::size_t i = 0;
+        for (std::size_t r = 0; r < kRounds; ++r)
+            for (std::size_t m = 0; m < metas.size(); ++m, ++i) {
+                SCOPED_TRACE(strCat("thread ", t, " result ", i));
+                expectSameBytes(
+                    results[t][i],
+                    want[(t + r + m) % metas.size()]);
+            }
+    }
+
+    const PlanCache::Stats stats = cache.stats();
+    const std::uint64_t replans = kThreads * kRounds * metas.size();
+    EXPECT_EQ(stats.fullHits + stats.misses, replans);
+    // At most one miss per (workload, racing thread); everything
+    // after the first round is warm for sure.
+    EXPECT_LE(stats.misses, metas.size() * kThreads);
+    EXPECT_GE(stats.fullHits, replans - metas.size() * kThreads);
+    EXPECT_EQ(stats.evictions, 0u);
 }
 
 } // namespace
