@@ -3,7 +3,11 @@
  * Planner scaling sweep: full execution-planning wall-clock from 8
  * to 256 GPUs on the heavy seed workloads (CLIP-10, OFASys-7 and the
  * 70B QWen-VAL of Tab. 2), with the per-phase breakdown (estimation /
- * allocation / scheduling / placement seconds) attached as counters.
+ * allocation / scheduling / placement seconds) attached as counters,
+ * plus sampled 1024/2048/4096-GPU CLIP-10 points probing the scale
+ * envelope and a 512-GPU memory-fallback stress lane (the
+ * Placement.MemoryFallback512GpuStress scenario as a gated
+ * wall-clock record).
  *
  * The paper claims planning completes "within 3 seconds" at 64 GPUs;
  * the incremental placement scoring and memoized cost model keep the
@@ -16,12 +20,14 @@
  * SPINDLE_BENCH_JSON) for trajectory tracking and the CI perf smoke
  * job — see scripts/check_bench_regression.py (planner mode for the
  * wall-clock budgets, planner-threads mode for the parallel-vs-serial
- * speedup floor; each record carries hw_threads so the speedup gate
- * can skip runners without parallel hardware).
+ * speedup floor, planner-stress mode for the 512-GPU fallback lane;
+ * each record carries hw_threads so the wall-clock gates can skip
+ * runners without parallel hardware).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <thread>
 
@@ -87,10 +93,12 @@ planAtScale(benchmark::State &state, const WorkloadCase &wl)
     const std::uint32_t gpus = nodes * 8;
 
     // Which planning phase is the serial tail at this scale — the
-    // argmax of the per-phase breakdown (0 = estimation,
-    // 1 = allocation, 2 = scheduling, 3 = placement; first wins on
-    // ties). At the 1024-GPU sample this is what decides where the
-    // next scaling PR spends its effort.
+    // argmax of the per-phase breakdown (first wins on ties). At the
+    // 1024-GPU-and-up samples this is what decides where the next
+    // scaling PR spends its effort. The JSON records carry the phase
+    // *name* (kPlannerPhaseNames) so the artifact stays
+    // self-describing if phases are ever added or reordered; the
+    // benchmark counter stays numeric (counters are doubles).
     const double phases[4] = {best.phaseSeconds.estimation,
                               best.phaseSeconds.allocation,
                               best.phaseSeconds.scheduling,
@@ -127,8 +135,91 @@ planAtScale(benchmark::State &state, const WorkloadCase &wl)
          {"allocation_seconds", best.phaseSeconds.allocation},
          {"scheduling_seconds", best.phaseSeconds.scheduling},
          {"placement_seconds", best.phaseSeconds.placement},
-         {"serial_tail_phase", static_cast<double>(tail)},
+         {"serial_tail_phase", plannerPhaseName(tail)},
          {"waves", static_cast<double>(best.plan.waves.size())}});
+}
+
+/**
+ * The promoted 512-GPU stress lane (satellite of the 4096-GPU scaling
+ * work): the exact Placement.MemoryFallback512GpuStress scenario —
+ * QWen-VAL on 64 8-GPU nodes, device memory tightened along a
+ * pressure ladder until the comm-first pass fails mid-plan and the
+ * memory-first fallback takes the partial restart — run as a
+ * wall-clock benchmark. The record carries the fallback facts
+ * (used_fallback, fallback_restart_wave) as value gates that hold on
+ * any runner, plus plan_seconds for the hw_threads-gated wall-clock
+ * budget (scripts/check_bench_regression.py, planner-stress mode).
+ */
+void
+placementStress512(benchmark::State &state)
+{
+    ComputationGraph g = buildQwenVal({});
+    MetaGraph meta = contractGraph(g);
+
+    constexpr std::uint32_t kThreads = 8;
+    ClusterConfig cfg;
+    cfg.numNodes = 64;
+    cfg.gpusPerNode = 8;
+    PlannerOptions options;
+    options.threads = kThreads;
+
+    // Find the pressure rung that forces the fallback (same ladder as
+    // the ctest stress), once, outside the timed loop.
+    double peak = 0;
+    {
+        ClusterTopology roomy(cfg);
+        HardwareModel hw_roomy(roomy);
+        PlannerOutput baseline =
+            ExecutionPlanner(hw_roomy, options).plan(meta);
+        for (double b : baseline.placement.peakBytes)
+            peak = std::max(peak, b);
+    }
+    bool fell_back = false;
+    for (double frac : {0.999, 0.95, 0.9, 0.85, 0.8, 0.75, 0.7}) {
+        cfg.device.memoryBytes =
+            peak * frac / PlacementOptions{}.memorySlack;
+        ClusterTopology tight(cfg);
+        HardwareModel hw(tight);
+        PlannerOutput probe = ExecutionPlanner(hw, options).plan(meta);
+        if (probe.placement.usedMemoryFallback) {
+            fell_back = true;
+            break;
+        }
+    }
+
+    // Time the fallback-taking plan; keep the fastest iteration (the
+    // budget gate logic of planAtScale).
+    ClusterTopology tight(cfg);
+    HardwareModel hw(tight);
+    ExecutionPlanner planner(hw, options);
+    PlannerOutput best;
+    bool first = true;
+    for (auto _ : state) {
+        PlannerOutput out = planner.plan(meta);
+        benchmark::DoNotOptimize(out.plan.estimatedSpan);
+        if (first || out.planningSeconds < best.planningSeconds) {
+            best = std::move(out);
+            first = false;
+        }
+    }
+
+    state.counters["used_fallback"] =
+        fell_back && best.placement.usedMemoryFallback ? 1 : 0;
+    state.counters["fallback_restart_wave"] =
+        static_cast<double>(best.placement.fallbackRestartWave);
+    state.counters["plan_seconds"] = best.planningSeconds;
+
+    jsonLog().record(
+        "QWenVAL-stress/gpus=512",
+        {{"gpus", 512.0},
+         {"threads", static_cast<double>(kThreads)},
+         {"hw_threads", static_cast<double>(
+                            std::thread::hardware_concurrency())},
+         {"used_fallback",
+          fell_back && best.placement.usedMemoryFallback ? 1.0 : 0.0},
+         {"fallback_restart_wave",
+          static_cast<double>(best.placement.fallbackRestartWave)},
+         {"plan_seconds", best.planningSeconds}});
 }
 
 const WorkloadCase clip10{"CLIP-10",
@@ -146,18 +237,20 @@ const WorkloadCase clip10_hetero{"CLIP-10-hetero",
 } // namespace
 
 // 8..256 GPUs serially, plus the threads dimension at 256 GPUs
-// (args are {nodes, planner threads}) and one sampled 1024-GPU point
-// on the heaviest workload (128 nodes, serial) probing the scale
-// envelope — serial_tail_phase on that record names the phase the
-// next scaling push has to attack. QWen-VAL 70B needs >= 64 GPUs to
-// fit 80 GB devices even with ZeRO-3 sharding, so its sweep starts
-// there. The hetero case plans the same GPU counts over mixed
-// 12/4-GPU islands with island-aware window generation.
+// (args are {nodes, planner threads}) and sampled 1024/2048/4096-GPU
+// points on the heaviest workload (128/256/512 nodes, serial)
+// probing the scale envelope — serial_tail_phase on those records
+// names the phase the next scaling push has to attack. QWen-VAL 70B
+// needs >= 64 GPUs to fit 80 GB devices even with ZeRO-3 sharding,
+// so its sweep starts there. The hetero case plans the same GPU
+// counts over mixed 12/4-GPU islands with island-aware window
+// generation.
 BENCHMARK_CAPTURE(planAtScale, CLIP_10Tasks, clip10)
     ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1})
     ->Args({16, 1})->Args({32, 1})->Args({32, 2})->Args({32, 8})
-    ->Args({128, 1})
+    ->Args({128, 1})->Args({256, 1})->Args({512, 1})
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(placementStress512)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(planAtScale, OFASys_7Tasks, ofa7)
     ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1})
     ->Args({16, 1})->Args({32, 1})->Args({32, 2})->Args({32, 8})

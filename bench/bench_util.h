@@ -23,11 +23,29 @@
 namespace spindle::bench {
 
 /**
+ * One record field: a number or a string. Implicit construction from
+ * arithmetic values keeps the historical `{{"gpus", 8.0}, ...}` call
+ * shape working unchanged; string fields make the artifacts
+ * self-describing where an enum index would rot (e.g. the
+ * serial_tail_phase of BENCH_planner.json naming a planner phase).
+ */
+struct BenchField
+{
+    BenchField(double v) : num(v) {}
+    BenchField(const char *s) : str(s), isString(true) {}
+    BenchField(std::string s) : str(std::move(s)), isString(true) {}
+
+    double num = 0;
+    std::string str;
+    bool isString = false;
+};
+
+/**
  * Minimal JSON emitter for benchmark artifacts: an array of flat
- * records, each a name plus numeric fields. Lets bench binaries
- * drop machine-readable results (e.g. BENCH_planner.json) next to
- * their human-readable tables, so trajectory tooling and the CI
- * perf smoke can diff runs without parsing stdout.
+ * records, each a name plus numeric or string fields. Lets bench
+ * binaries drop machine-readable results (e.g. BENCH_planner.json)
+ * next to their human-readable tables, so trajectory tooling and the
+ * CI perf smoke can diff runs without parsing stdout.
  */
 class BenchJsonWriter
 {
@@ -35,7 +53,7 @@ class BenchJsonWriter
     /** Add (or overwrite, matched by name) one record. */
     void
     record(const std::string &name,
-           std::vector<std::pair<std::string, double>> fields)
+           std::vector<std::pair<std::string, BenchField>> fields)
     {
         for (auto &rec : records_) {
             if (rec.first == name) {
@@ -58,8 +76,13 @@ class BenchJsonWriter
         for (std::size_t i = 0; i < records_.size(); ++i) {
             const auto &[name, fields] = records_[i];
             os << "  {\"name\": \"" << name << "\"";
-            for (const auto &[key, value] : fields)
-                os << ", \"" << key << "\": " << value;
+            for (const auto &[key, value] : fields) {
+                os << ", \"" << key << "\": ";
+                if (value.isString)
+                    os << "\"" << value.str << "\"";
+                else
+                    os << value.num;
+            }
             os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
         }
         os << "]\n";
@@ -106,7 +129,7 @@ class BenchJsonWriter
                 continue;
             }
             const std::string name = line.substr(pos, name_end - pos);
-            std::vector<std::pair<std::string, double>> fields;
+            std::vector<std::pair<std::string, BenchField>> fields;
             bool line_ok = true;
             pos = name_end + 1;
             while (true) {
@@ -123,17 +146,35 @@ class BenchJsonWriter
                     line_ok = false;
                     break;
                 }
-                const char *start = line.c_str() + colon + 1;
+                std::string key = line.substr(key_begin + 1,
+                                              key_end - key_begin - 1);
+                std::size_t val_begin = colon + 1;
+                while (val_begin < line.size() &&
+                       line[val_begin] == ' ')
+                    ++val_begin;
+                if (val_begin < line.size() && line[val_begin] == '"') {
+                    // Quoted string value (e.g. a phase name).
+                    const std::size_t val_end =
+                        line.find('"', val_begin + 1);
+                    if (val_end == std::string::npos) {
+                        line_ok = false;
+                        break;
+                    }
+                    fields.emplace_back(
+                        std::move(key),
+                        line.substr(val_begin + 1,
+                                    val_end - val_begin - 1));
+                    pos = val_end + 1;
+                    continue;
+                }
+                const char *start = line.c_str() + val_begin;
                 char *end = nullptr;
                 const double value = std::strtod(start, &end);
                 if (end == start) {
                     line_ok = false;
                     break;
                 }
-                fields.emplace_back(
-                    line.substr(key_begin + 1,
-                                key_end - key_begin - 1),
-                    value);
+                fields.emplace_back(std::move(key), value);
                 pos = static_cast<std::size_t>(end - line.c_str());
             }
             if (line_ok)
@@ -146,7 +187,7 @@ class BenchJsonWriter
 
   private:
     std::vector<std::pair<
-        std::string, std::vector<std::pair<std::string, double>>>>
+        std::string, std::vector<std::pair<std::string, BenchField>>>>
         records_;
 };
 

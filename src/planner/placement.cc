@@ -1,12 +1,15 @@
 #include "planner/placement.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <map>
 #include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+
 
 namespace spindle {
 
@@ -38,6 +41,13 @@ struct SliceParam
 /** Number of link classes a (src set, device) pair can fall into. */
 constexpr int kNumLinkClasses = 3;
 
+/** Packed per-class prefix counters (BandState::inflowPref): each
+ *  class owns a disjoint 21-bit field of one 64-bit word. */
+constexpr unsigned kClsFieldBits = 21;
+constexpr std::uint64_t kClsFieldMask = (std::uint64_t{1} << kClsFieldBits) - 1;
+static_assert(kNumLinkClasses * kClsFieldBits <= 64,
+              "packed class counters must fit one word");
+
 /** Below this much estimated per-phase work (rough element-visit
  *  count) a parallel dispatch costs more than it saves; purely a
  *  performance threshold — both paths compute identical bytes. */
@@ -57,6 +67,14 @@ struct InflowCtx
     std::uint32_t srcSize = 0;
     std::vector<std::uint8_t> cls;               ///< per free pos
     std::vector<std::uint32_t> srcCountByIsland; ///< per island
+    /** Per free pos: device is in the source set. Marked from the
+     *  (small) source set, so the position pass needs no per-device
+     *  binary search. */
+    std::vector<char> inSrc;
+    /** Class a device of this island resolves to, in / not in the
+     *  source set. A device's class depends only on (island, inSrc),
+     *  so the per-position work collapses to one table lookup. */
+    std::vector<std::uint8_t> clsIn, clsOut;
 };
 
 /**
@@ -69,11 +87,27 @@ struct BandState
 {
     std::size_t ordinalBase = 0; ///< global ordinal of window w=0
     std::size_t numWindows = 0;  ///< B - n + 1, or 0 when B < n
+    double minTotal = 0; ///< min candidate total along the band
 
     std::vector<std::uint32_t> chgPref; ///< island changes, size B
-    std::vector<std::uint32_t> resPref; ///< residency, rows x (B+1)
-    /** Link-class counts, inflows x kNumLinkClasses x (B+1). */
-    std::vector<std::uint32_t> inflowPref;
+    /**
+     * Sparse residency: per residency row, the ascending band
+     * indices whose position holds the row's key (intersection of
+     * the band with the row's holder-position list). The sweep
+     * advances one pointer per row as the window slides — amortized
+     * O(1) per window — and the pruning bound binary-searches a
+     * chunk's whole range in one probe per row.
+     */
+    std::vector<std::vector<std::uint32_t>> resIdx;
+    /**
+     * Link-class counts, inflows x (B+1), the kNumLinkClasses
+     * per-class counters packed into disjoint 21-bit fields of one
+     * word (a band never exceeds 2^21 positions). One add per
+     * position instead of kNumLinkClasses, and a window's class
+     * presence is one subtraction — fields are individually
+     * monotone, so the difference never borrows across them.
+     */
+    std::vector<std::uint64_t> inflowPref;
     /** Island-miss counts, inflows x (B+1); paired pricing only. */
     std::vector<std::uint32_t> missPref;
     std::vector<std::ptrdiff_t> eqWindow; ///< per inflow, -1 = none
@@ -163,8 +197,33 @@ interIslandShardFraction(const ClusterTopology &topo,
  */
 struct DevicePlacement::Attempt
 {
-    /** Per-device stored parameter state, deduplicated by key. */
+    /**
+     * Per-device stored parameter state, deduplicated by key. The
+     * map stays the owner: deviceTotal() walks it in bucket order,
+     * and that accumulation order is pinned by the byte-identity
+     * contract.
+     */
     std::vector<std::unordered_map<std::int64_t, double>> params;
+
+    /**
+     * Sorted-by-key mirror of params, one vector per device, probed
+     * by the candidate sweep with binary searches instead of map
+     * lookups. The values are the exact doubles the map holds, so a
+     * mirror probe feeds the scoring arithmetic the same bits a map
+     * probe would. Re-derived per committed device (a device's
+     * parameter set changes only when an entry commits to it).
+     */
+    std::vector<std::vector<std::pair<std::int64_t, double>>> flat;
+
+    /**
+     * Reverse index: parameter key -> devices holding it. Lists are
+     * unsorted and append-only; a device is appended exactly once,
+     * when the key first lands on it, so each list is exactly the
+     * key's holder set. The sweep unions an entry's key lists into
+     * the "affected" device set — the only devices whose candidate
+     * total can differ from the shared all-miss base.
+     */
+    std::unordered_map<std::int64_t, std::vector<DeviceId>> holders;
 
     /** Per-device accumulated activation bytes. */
     std::vector<double> activations;
@@ -176,10 +235,20 @@ struct DevicePlacement::Attempt
     std::vector<double> total_cache;
     std::vector<char> total_dirty;
 
+    /** Lazy-refresh bits for the flat mirror: commits just flag the
+     *  device, and the next probe re-derives. Probes from the
+     *  parallel position pass touch distinct devices on distinct
+     *  lanes (like the deviceTotal cache), so the lazy refresh
+     *  stays race-free. */
+    std::vector<char> flat_dirty;
+
     void
     init(std::uint32_t num_devices)
     {
         params.assign(num_devices, {});
+        flat.assign(num_devices, {});
+        flat_dirty.assign(num_devices, 0);
+        holders.clear();
         activations.assign(num_devices, 0.0);
         total_cache.assign(num_devices, 0.0);
         total_dirty.assign(num_devices, 1);
@@ -189,6 +258,90 @@ struct DevicePlacement::Attempt
     markDirty(DeviceId d)
     {
         total_dirty[d] = 1;
+        flat_dirty[d] = 1;
+    }
+
+    /** Re-derive flat[d] from params[d]. Sorting by key makes the
+     *  mirror independent of the map's bucket order. */
+    void
+    refreshFlat(DeviceId d)
+    {
+        auto &fv = flat[d];
+        fv.clear();
+        fv.reserve(params[d].size());
+        for (const auto &kv : params[d])
+            fv.push_back(kv);
+        std::sort(fv.begin(), fv.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        flat_dirty[d] = 0;
+    }
+
+    /**
+     * Fold a committed slice into flat[d] incrementally: every key
+     * of @p keys (sorted, deduplicated) takes its value from the
+     * already-updated map — existing entries in place, new keys
+     * appended (ascending, since @p keys ascend) and merged. O(K)
+     * per device instead of refreshFlat's O(K log K) rebuild, which
+     * matters because commits are the only steady-state writer.
+     */
+    void
+    mergeFlat(DeviceId d, const std::vector<std::int64_t> &keys,
+              const std::vector<double> &shares)
+    {
+        if (flat_dirty[d]) {
+            refreshFlat(d); // map changed behind the mirror: rebuild
+            return;
+        }
+        auto &fv = flat[d];
+        const std::size_t old = fv.size();
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+            const auto begin = fv.begin();
+            const auto it = std::lower_bound(
+                begin, begin + static_cast<std::ptrdiff_t>(old),
+                keys[i], [](const auto &a, std::int64_t k) {
+                    return a.first < k;
+                });
+            // The committed value is the strict-max fold of the
+            // existing share (exact in the clean mirror) with the
+            // slice's maximum share — no map lookup needed.
+            if (it != begin + static_cast<std::ptrdiff_t>(old) &&
+                it->first == keys[i]) {
+                if (shares[i] > it->second)
+                    it->second = shares[i];
+            } else {
+                fv.emplace_back(keys[i], shares[i]);
+            }
+        }
+        // Slice keys usually all sort above the device's existing
+        // keys (fresh parameters get fresh dedup keys), leaving the
+        // append already in order — skip the merge (and its internal
+        // temp buffer) then.
+        if (fv.size() == old || old == 0 ||
+            fv[old - 1].first < fv[old].first)
+            return;
+        std::inplace_merge(
+            fv.begin(), fv.begin() + static_cast<std::ptrdiff_t>(old),
+            fv.end(), [](const auto &a, const auto &b) {
+                return a.first < b.first;
+            });
+    }
+
+    /** Binary-search flat[d] for @p key; nullptr when absent.
+     *  Refreshes a stale mirror first (see flat_dirty). */
+    const double *
+    findFlat(DeviceId d, std::int64_t key)
+    {
+        if (flat_dirty[d])
+            refreshFlat(d);
+        const auto &fv = flat[d];
+        const auto it = std::lower_bound(
+            fv.begin(), fv.end(), key,
+            [](const auto &a, std::int64_t k) { return a.first < k; });
+        if (it == fv.end() || it->first != key)
+            return nullptr;
+        return &it->second;
     }
 
     double
@@ -371,7 +524,9 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                     const double share = param_share(op, cfg);
                     auto [it, inserted] =
                         state.params[d].emplace(key, share);
-                    if (!inserted && share > it->second)
+                    if (inserted)
+                        state.holders[key].push_back(d);
+                    else if (share > it->second)
                         it->second = share;
                 }
                 state.markDirty(d);
@@ -441,17 +596,55 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
     std::vector<double> cand_total;        // per free pos: total if placed
     std::vector<std::uint32_t> pos_island; // per free pos: island index
     std::vector<SliceParam> sig;           // slice param signature
+    std::vector<std::int64_t> uniq_keys;   // distinct sig keys, sorted
+    std::vector<double> uniq_vals;         // per uniq key: max sig share
+    /** (key, max share) in first-occurrence sig order — the commit
+     *  loop's working set. Multi-task slices repeat shared keys many
+     *  times; committing each distinct key once with the strict-max
+     *  share leaves the map byte-identical (same distinct-insertion
+     *  sequence, so the same bucket layout deviceTotal() walks, and
+     *  strict-max folding is order-independent selection). */
+    std::vector<std::pair<std::int64_t, double>> commit_keys;
+    std::vector<char> key_seen;            // per uniq key, per entry
     std::vector<std::int32_t> sig_row;     // sig index -> residency row
     std::vector<std::int64_t> row_key;     // residency row -> param key
     std::unordered_map<std::int64_t, std::int32_t> row_of;
-    std::vector<char> res_flag;            // residency flags, rows x F
+    /** Per row: ascending free-list positions holding the key. */
+    std::vector<std::vector<std::uint32_t>> row_pos;
     std::vector<InflowCtx> inflow_ctx;     // per-inflow fast-path state
     std::vector<BandState> band_states;    // per-band prefix state
     CandidateWindows cand_windows;         // generator output
     std::vector<SweepTask> sweep_tasks;
     DeviceSet win_buf; // serial-sweep window scratch (exact-comm path)
+    /** Free-list positions of the winning window (empty on the
+     *  Sequential path), kept for the attribution fast path below. */
+    std::vector<std::uint32_t> win_positions;
     std::vector<std::size_t> deque_scratch; // serial-sweep deque
+    std::vector<std::size_t> rowptr_scratch; // serial residency ptrs
+    std::vector<char> rownonres_scratch;     // serial residency flags
     std::vector<char> island_scratch; // inter-island attribution
+
+    // Affected-device epoch stamps: device d holds at least one of
+    // the current entry's keys iff affected_epoch[d] == entry_epoch.
+    // Stamping instead of clearing keeps the per-entry cost at the
+    // size of the holder lists, not the device count.
+    std::vector<std::uint64_t> affected_epoch(num_devices, 0);
+    std::uint64_t entry_epoch = 0;
+
+    // Free-list position of each device this entry (valid iff
+    // pos_epoch[d] == entry_epoch — the stamp doubles as the
+    // free-membership test), filled by the position pass. Turns the
+    // holder-list -> row-position intersection into O(1) lookups.
+    std::vector<std::uint32_t> pos_of(num_devices, 0);
+    std::vector<std::uint64_t> pos_epoch(num_devices, 0);
+
+    // Best primary score committed so far in the current entry's
+    // sweep, shared across lanes for admissible pruning. Relaxed is
+    // enough: a stale read only prunes less, and pruning decisions
+    // never change the winner (see placement.h).
+    const bool prune = options_.bandPruning;
+    std::atomic<double> prune_bound{
+        std::numeric_limits<double>::infinity()};
 
     for (std::size_t wi = resume_wave; wi < plan.waves.size(); ++wi) {
         Wave &wave = plan.waves[wi];
@@ -513,6 +706,46 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                 sig.push_back({paramDedupKey(op), param_share(op, cfg),
                                op.paramBytes});
             }
+
+            // Distinct keys of the slice (affected-set derivation
+            // and reverse-index upkeep at commit). Zero-byte keys
+            // are included on purpose: they still sit in the device
+            // maps, so a device holding one is "affected" — its
+            // probe loop takes the hit branch.
+            uniq_keys.clear();
+            for (const SliceParam &sp : sig)
+                uniq_keys.push_back(sp.key);
+            std::sort(uniq_keys.begin(), uniq_keys.end());
+            uniq_keys.erase(
+                std::unique(uniq_keys.begin(), uniq_keys.end()),
+                uniq_keys.end());
+            // Max share per distinct key (the value a device that
+            // held nothing ends up storing — mergeFlat strict-max
+            // folds it into the mirror at commit) and the distinct
+            // keys in first-occurrence order (the commit loop's
+            // working set, see commit_keys).
+            uniq_vals.assign(uniq_keys.size(),
+                             -std::numeric_limits<double>::infinity());
+            key_seen.assign(uniq_keys.size(), 0);
+            commit_keys.clear();
+            for (const SliceParam &sp : sig) {
+                const std::size_t i = static_cast<std::size_t>(
+                    std::lower_bound(uniq_keys.begin(),
+                                     uniq_keys.end(), sp.key) -
+                    uniq_keys.begin());
+                if (sp.share > uniq_vals[i])
+                    uniq_vals[i] = sp.share;
+                if (!key_seen[i]) {
+                    key_seen[i] = 1;
+                    commit_keys.emplace_back(sp.key, 0.0);
+                }
+            }
+            // Resolve the shares once every occurrence is folded.
+            for (auto &kv : commit_keys)
+                kv.second = uniq_vals[static_cast<std::size_t>(
+                    std::lower_bound(uniq_keys.begin(),
+                                     uniq_keys.end(), kv.first) -
+                    uniq_keys.begin())];
 
             // Inter-wave data sources feeding this entry, in the
             // edge order the score accumulates them: first slices
@@ -652,6 +885,50 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                             ++ctx.srcCountByIsland[topo_.islandOf(s)];
                         if (ctx.cls.size() < F)
                             ctx.cls.resize(F);
+
+                        // A device's class is the fastest one it has
+                        // any pair in: copy needs the device itself
+                        // in src, intra another src device in its
+                        // island, inter a src device in a different
+                        // island. That depends only on (island,
+                        // in-src), so resolve it here per island —
+                        // probing classes in bandwidth order, as the
+                        // per-position loop used to — and mark the
+                        // in-src positions from the source set.
+                        const std::size_t num_isl = topo_.numIslands();
+                        ctx.clsIn.resize(num_isl);
+                        ctx.clsOut.resize(num_isl);
+                        for (std::size_t isl = 0; isl < num_isl;
+                             ++isl) {
+                            const std::uint32_t cnt =
+                                ctx.srcCountByIsland[isl];
+                            const bool avail_in[kNumLinkClasses] = {
+                                true, cnt > 1, ctx.srcSize > cnt};
+                            const bool avail_out[kNumLinkClasses] = {
+                                false, cnt > 0, ctx.srcSize > cnt};
+                            auto pick = [&](const bool *avail) {
+                                int cls =
+                                    class_by_bw[kNumLinkClasses - 1];
+                                for (int r = 0; r < kNumLinkClasses;
+                                     ++r) {
+                                    if (avail[class_by_bw[r]]) {
+                                        cls = class_by_bw[r];
+                                        break;
+                                    }
+                                }
+                                return static_cast<std::uint8_t>(cls);
+                            };
+                            ctx.clsIn[isl] = pick(avail_in);
+                            ctx.clsOut[isl] = pick(avail_out);
+                        }
+                        ctx.inSrc.assign(F, 0);
+                        for (DeviceId s : src) {
+                            const auto fit = std::lower_bound(
+                                free.begin(), free.end(), s);
+                            if (fit != free.end() && *fit == s)
+                                ctx.inSrc[static_cast<std::size_t>(
+                                    fit - free.begin())] = 1;
+                        }
                     }
                 }
 
@@ -675,68 +952,91 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                     cand_total.resize(F);
                     pos_island.resize(F);
                 }
-                if (res_flag.size() < rows * F)
-                    res_flag.resize(rows * F);
+
+                // The would-be per-device load splits into one
+                // shared all-miss base and sparse overrides: a
+                // device holding none of the slice's keys misses
+                // every probe, so its delta is act_share plus every
+                // share — accumulated here once, in the exact order
+                // the probe loop performs, so the base is
+                // bit-identical to the probes it replaces. Only the
+                // *affected* devices (union of the keys' holder
+                // lists) can deviate and take the probe loop.
+                double sig_base = act_share;
+                for (const SliceParam &sp : sig)
+                    sig_base += sp.share;
+                ++entry_epoch;
+                for (std::int64_t key : uniq_keys) {
+                    const auto hit = state.holders.find(key);
+                    if (hit == state.holders.end())
+                        continue;
+                    for (DeviceId d : hit->second)
+                        affected_epoch[d] = entry_epoch;
+                }
 
                 // ---- Phase A: per free position, the device's
-                // would-be total, island, link class per inflow, and
-                // residency flags. Positions are independent (each
-                // lane touches its own device's lazy total), so this
-                // is the entry's first parallel region.
+                // would-be total, island, and link class per inflow.
+                // Positions are independent (each lane touches its
+                // own device's lazy total), so this is the entry's
+                // first parallel region.
                 auto compute_position = [&](std::size_t pos) {
                     const DeviceId d = free[pos];
-                    double add = act_share;
-                    for (const SliceParam &sp : sig) {
-                        auto it = state.params[d].find(sp.key);
-                        if (it == state.params[d].end())
-                            add += sp.share;
-                        else if (sp.share > it->second)
-                            add += sp.share - it->second;
+                    pos_of[d] = static_cast<std::uint32_t>(pos);
+                    pos_epoch[d] = entry_epoch;
+                    double add;
+                    if (affected_epoch[d] != entry_epoch) {
+                        add = sig_base;
+                    } else {
+                        add = act_share;
+                        for (const SliceParam &sp : sig) {
+                            const double *held =
+                                state.findFlat(d, sp.key);
+                            if (held == nullptr)
+                                add += sp.share;
+                            else if (sp.share > *held)
+                                add += sp.share - *held;
+                        }
                     }
                     cand_total[pos] = state.deviceTotal(d) + add;
                     const std::uint32_t isl = topo_.islandOf(d);
                     pos_island[pos] = isl;
 
                     if (!exact_comm) {
-                        // A device's class is the fastest one it has
-                        // any pair in: copy needs the device itself
-                        // in src, intra another src device in its
-                        // island, inter a src device in a different
-                        // island.
+                        // Class tables are precomputed per island
+                        // (see the inflow setup above): one lookup
+                        // per inflow.
                         for (std::size_t k = 0; k < inflows.size();
                              ++k) {
                             InflowCtx &ctx = inflow_ctx[k];
-                            const DeviceSet &src = *inflows[k].second;
-                            const bool in_src = std::binary_search(
-                                src.begin(), src.end(), d);
-                            const std::uint32_t same_island =
-                                ctx.srcCountByIsland[isl];
-                            const bool avail[kNumLinkClasses] = {
-                                in_src,
-                                same_island > (in_src ? 1u : 0u),
-                                ctx.srcSize > same_island,
-                            };
-                            int cls = class_by_bw[kNumLinkClasses - 1];
-                            for (int r = 0; r < kNumLinkClasses; ++r) {
-                                if (avail[class_by_bw[r]]) {
-                                    cls = class_by_bw[r];
-                                    break;
-                                }
-                            }
-                            ctx.cls[pos] =
-                                static_cast<std::uint8_t>(cls);
+                            ctx.cls[pos] = ctx.inSrc[pos]
+                                               ? ctx.clsIn[isl]
+                                               : ctx.clsOut[isl];
                         }
                     }
-
-                    for (std::size_t r = 0; r < rows; ++r)
-                        res_flag[r * F + pos] =
-                            state.params[d].count(row_key[r]) ? 1 : 0;
                 };
                 const std::size_t pos_work =
-                    F * (sig.size() + rows + inflows.size() + 1);
+                    F * (inflows.size() + 2);
                 maybeParallelFor(pool_,
                                  pos_work >= kMinParallelWork, 0, F,
                                  16, compute_position);
+
+                // Sparse residency: per row, the ascending free-list
+                // positions whose device already holds the row's key
+                // — exactly the still-free holders, so the lists
+                // stay tiny relative to F and bands intersect them
+                // instead of scanning a rows x F flag matrix.
+                if (row_pos.size() < rows)
+                    row_pos.resize(rows);
+                for (std::size_t r = 0; r < rows; ++r) {
+                    row_pos[r].clear();
+                    const auto hit = state.holders.find(row_key[r]);
+                    if (hit == state.holders.end())
+                        continue;
+                    for (DeviceId d : hit->second)
+                        if (pos_epoch[d] == entry_epoch)
+                            row_pos[r].push_back(pos_of[d]);
+                    std::sort(row_pos[r].begin(), row_pos[r].end());
+                }
 
                 // ---- Phase B: per-band prefix state. Sizing and
                 // ordinal bases are serial (cheap, and resizes must
@@ -756,14 +1056,13 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                     if (bs.numWindows == 0)
                         continue;
                     band_positions += B;
-                    if (bs.chgPref.size() < B)
+                    if (cfg.tp > 1 && bs.chgPref.size() < B)
                         bs.chgPref.resize(B);
-                    if (bs.resPref.size() < rows * (B + 1))
-                        bs.resPref.resize(rows * (B + 1));
+                    if (bs.resIdx.size() < rows)
+                        bs.resIdx.resize(rows);
                     if (!exact_comm) {
-                        const std::size_t need = inflows.size() *
-                                                 kNumLinkClasses *
-                                                 (B + 1);
+                        const std::size_t need =
+                            inflows.size() * (B + 1);
                         if (bs.inflowPref.size() < need)
                             bs.inflowPref.resize(need);
                         if (paired) {
@@ -788,35 +1087,72 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                         return;
                     const auto &band = cand_windows.bands[b];
                     const std::size_t B = band.size();
+                    // Bands ascend (generator contract), so first
+                    // position 0 and last B-1 force the identity
+                    // permutation — the common ContiguousRuns case,
+                    // where dropping the band[i] indirection lets
+                    // the fills below vectorize.
+                    const bool ident =
+                        band[0] == 0 &&
+                        band[B - 1] == static_cast<std::uint32_t>(
+                                           B - 1);
+                    const auto at = [&](std::size_t i) {
+                        return ident ? static_cast<std::uint32_t>(i)
+                                     : band[i];
+                    };
 
                     // Island-change prefix: a window holds within
                     // one island iff no adjacent pair inside it
                     // changes islands (exact under any numbering).
-                    bs.chgPref[0] = 0;
-                    for (std::size_t i = 1; i < B; ++i)
-                        bs.chgPref[i] =
-                            bs.chgPref[i - 1] +
-                            (pos_island[band[i]] !=
-                                     pos_island[band[i - 1]]
-                                 ? 1u
-                                 : 0u);
+                    // Only the TP island penalty reads it, so it is
+                    // built only when cfg.tp > 1. The minimum load
+                    // along the band always is: it is the admissible
+                    // bound for the memory term (every window's
+                    // maximum is >= the band-wide minimum) and the
+                    // whole-band capacity skip.
+                    if (cfg.tp > 1) {
+                        bs.chgPref[0] = 0;
+                        for (std::size_t i = 1; i < B; ++i)
+                            bs.chgPref[i] =
+                                bs.chgPref[i - 1] +
+                                (pos_island[at(i)] !=
+                                         pos_island[at(i - 1)]
+                                     ? 1u
+                                     : 0u);
+                    }
+                    double mn;
+                    if (ident) {
+                        mn = cand_total[0];
+                        for (std::size_t i = 1; i < B; ++i)
+                            mn = std::min(mn, cand_total[i]);
+                    } else {
+                        mn = cand_total[band[0]];
+                        for (std::size_t i = 1; i < B; ++i)
+                            mn = std::min(mn, cand_total[band[i]]);
+                    }
+                    bs.minTotal = mn;
 
                     if (exact_comm)
                         return;
                     const std::size_t stride = B + 1;
                     for (std::size_t k = 0; k < inflows.size(); ++k) {
-                        std::uint32_t *pref =
-                            bs.inflowPref.data() +
-                            k * kNumLinkClasses * stride;
+                        std::uint64_t *pref =
+                            bs.inflowPref.data() + k * stride;
                         const InflowCtx &ctx = inflow_ctx[k];
-                        for (int c = 0; c < kNumLinkClasses; ++c)
-                            pref[c * stride] = 0;
-                        for (std::size_t i = 0; i < B; ++i) {
-                            const int cls = ctx.cls[band[i]];
-                            for (int c = 0; c < kNumLinkClasses; ++c)
-                                pref[c * stride + i + 1] =
-                                    pref[c * stride + i] +
-                                    (cls == c ? 1u : 0u);
+                        pref[0] = 0;
+                        if (ident) {
+                            for (std::size_t i = 0; i < B; ++i)
+                                pref[i + 1] =
+                                    pref[i] +
+                                    (std::uint64_t{1}
+                                     << (kClsFieldBits * ctx.cls[i]));
+                        } else {
+                            for (std::size_t i = 0; i < B; ++i)
+                                pref[i + 1] =
+                                    pref[i] +
+                                    (std::uint64_t{1}
+                                     << (kClsFieldBits *
+                                         ctx.cls[band[i]]));
                         }
                         if (paired) {
                             // Island-miss prefix: positions whose
@@ -829,7 +1165,7 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                                 mpref[i + 1] =
                                     mpref[i] +
                                     (ctx.srcCountByIsland
-                                             [pos_island[band[i]]] == 0
+                                             [pos_island[at(i)]] == 0
                                          ? 1u
                                          : 0u);
                         }
@@ -862,20 +1198,25 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                         }
                     }
                 };
-                // Residency prefix of one row along one band.
+                // Resident band indices of one row along one band:
+                // intersect the band (ascending positions, per the
+                // generator contract) with the row's holder-position
+                // list. O(holders · log B) instead of O(B).
                 auto build_band_row = [&](std::size_t b,
                                           std::size_t row) {
                     BandState &bs = band_states[b];
                     if (bs.numWindows == 0)
                         return;
                     const auto &band = cand_windows.bands[b];
-                    const std::size_t B = band.size();
-                    std::uint32_t *pref =
-                        bs.resPref.data() + row * (B + 1);
-                    const char *flags = res_flag.data() + row * F;
-                    pref[0] = 0;
-                    for (std::size_t i = 0; i < B; ++i)
-                        pref[i + 1] = pref[i] + flags[band[i]];
+                    std::vector<std::uint32_t> &out = bs.resIdx[row];
+                    out.clear();
+                    for (std::uint32_t p : row_pos[row]) {
+                        const auto it = std::lower_bound(
+                            band.begin(), band.end(), p);
+                        if (it != band.end() && *it == p)
+                            out.push_back(static_cast<std::uint32_t>(
+                                it - band.begin()));
+                    }
                 };
                 const std::size_t units_per_band = 1 + rows;
                 const std::size_t num_units =
@@ -890,7 +1231,7 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                 };
                 const std::size_t band_work =
                     band_positions *
-                    (1 + rows + kNumLinkClasses * inflows.size());
+                    (2 + kNumLinkClasses * inflows.size());
                 maybeParallelFor(pool_,
                                  band_work >= kMinParallelWork, 0,
                                  num_units, 1, build_unit);
@@ -898,7 +1239,11 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                 // ---- Phase C: the window sweep, a reduction over
                 // the candidate ordinals. consider() mirrors the
                 // historical replace-on-strictly-better scan (see
-                // struct Candidate).
+                // struct Candidate), and publishes improved
+                // primaries into the shared pruning bound.
+                prune_bound.store(
+                    std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
                 auto consider = [&](Candidate &best, double max_total,
                                     double comm, std::size_t ord,
                                     std::int32_t band,
@@ -926,6 +1271,16 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                         best.ordinal = ord;
                         best.band = band;
                         best.start = start;
+                        if (prune) {
+                            double cur = prune_bound.load(
+                                std::memory_order_relaxed);
+                            while (primary < cur &&
+                                   !prune_bound
+                                        .compare_exchange_weak(
+                                            cur, primary,
+                                            std::memory_order_relaxed))
+                                ;
+                        }
                     }
                 };
 
@@ -936,15 +1291,154 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                 // deque over the n-1 positions before its first
                 // window, so the maximum — a selection, not an
                 // accumulation — is bit-identical to the full scan.
+                //
+                // Before scoring, the chunk may be pruned: the lower
+                // bound below is exact (each term <= its counterpart
+                // in every window's score, accumulated in the same
+                // structural order, so rounded addition keeps the
+                // bound <= every primary), and a chunk is skipped
+                // only when the bound is *strictly* above an
+                // already-scored primary — such a chunk cannot
+                // contain the winner even via the (secondary,
+                // ordinal) tie-break, which only arbitrates equal
+                // primaries. See placement.h.
                 auto score_band_range =
                     [&](std::size_t b, std::size_t w_lo,
                         std::size_t w_hi, Candidate &best,
                         DeviceSet &win_scratch,
-                        std::vector<std::size_t> &dq) {
+                        std::vector<std::size_t> &dq,
+                        std::vector<std::size_t> &row_ptr,
+                        std::vector<char> &row_nonres) {
                         const auto &band = cand_windows.bands[b];
                         const BandState &bs = band_states[b];
                         const std::size_t B = band.size();
                         const std::size_t stride = B + 1;
+
+                        if (prune && bs.minTotal > capacity)
+                            return; // every window fails capacity
+
+                        if (prune) {
+                            // Chunk windows cover band positions
+                            // [w_lo, w_hi + n - 1).
+                            const std::size_t r_end = w_hi + n - 1;
+                            double lb = 0;
+                            if (memory_first) {
+                                lb = bs.minTotal /
+                                     topo_.device().memoryBytes;
+                            } else {
+                                if (!exact_comm) {
+                                    for (std::size_t k = 0;
+                                         k < inflows.size(); ++k) {
+                                        if (inflows[k].first <= 0)
+                                            continue;
+                                        const std::ptrdiff_t eq =
+                                            bs.eqWindow[k];
+                                        if (eq >= static_cast<
+                                                      std::ptrdiff_t>(
+                                                      w_lo) &&
+                                            eq < static_cast<
+                                                     std::ptrdiff_t>(
+                                                     w_hi))
+                                            continue; // one pays 0
+                                        // Cheapest class present
+                                        // anywhere in the range: a
+                                        // window's class is present
+                                        // in it, hence in the range,
+                                        // hence covered by this min
+                                        // (classes can invert the
+                                        // bandwidth order via
+                                        // latency, so min over
+                                        // values, not first by
+                                        // rank).
+                                        const std::uint64_t *pref =
+                                            bs.inflowPref.data() +
+                                            k * stride;
+                                        const std::uint64_t diff =
+                                            pref[r_end] - pref[w_lo];
+                                        double t = std::numeric_limits<
+                                            double>::infinity();
+                                        for (int c = 0;
+                                             c < kNumLinkClasses;
+                                             ++c) {
+                                            if ((diff >>
+                                                 (kClsFieldBits *
+                                                  static_cast<
+                                                      unsigned>(c))) &
+                                                kClsFieldMask)
+                                                t = std::min(
+                                                    t,
+                                                    inflow_ctx[k]
+                                                        .flowByClass
+                                                            [c]);
+                                        }
+                                        lb += t;
+                                    }
+                                }
+                                // Rows with no resident position in
+                                // the whole range are non-resident
+                                // in every window; their bytes are a
+                                // floor on the affinity term.
+                                double nrb = 0;
+                                if (rows > 0) {
+                                    row_nonres.resize(rows);
+                                    for (std::size_t r = 0; r < rows;
+                                         ++r) {
+                                        const auto &idx =
+                                            bs.resIdx[r];
+                                        const auto it =
+                                            std::lower_bound(
+                                                idx.begin(),
+                                                idx.end(),
+                                                static_cast<
+                                                    std::uint32_t>(
+                                                    w_lo));
+                                        row_nonres[r] =
+                                            (it == idx.end() ||
+                                             *it >= r_end)
+                                                ? 1
+                                                : 0;
+                                    }
+                                    for (std::size_t s = 0;
+                                         s < sig.size(); ++s) {
+                                        const std::int32_t row =
+                                            sig_row[s];
+                                        if (row >= 0 &&
+                                            row_nonres[static_cast<
+                                                std::size_t>(row)])
+                                            nrb += sig[s].bytes;
+                                    }
+                                }
+                                lb += options_.paramAffinityWeight *
+                                      2.0 * nrb /
+                                      topo_.config()
+                                          .interIslandCollective
+                                          .bandwidth;
+                                if (cfg.tp > 1)
+                                    lb += std::min(0.0,
+                                                   island_penalty);
+                                lb += options_.memoryWeight *
+                                      (bs.minTotal /
+                                       topo_.device().memoryBytes);
+                            }
+                            if (lb > prune_bound.load(
+                                         std::memory_order_relaxed))
+                                return;
+                        }
+
+                        // Per-row sweep pointers: first resident
+                        // band index >= w_lo; advanced as the window
+                        // slides (amortized O(1) per window).
+                        row_ptr.resize(rows);
+                        row_nonres.resize(rows);
+                        for (std::size_t r = 0; r < rows; ++r) {
+                            const auto &idx = bs.resIdx[r];
+                            row_ptr[r] = static_cast<std::size_t>(
+                                std::lower_bound(
+                                    idx.begin(), idx.end(),
+                                    static_cast<std::uint32_t>(
+                                        w_lo)) -
+                                idx.begin());
+                        }
 
                         dq.clear();
                         std::size_t head = 0;
@@ -992,9 +1486,11 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                                         continue; // data resident
                                     if (inflows[k].first <= 0)
                                         continue;
-                                    const std::uint32_t *pref =
+                                    const std::uint64_t *pref =
                                         bs.inflowPref.data() +
-                                        k * kNumLinkClasses * stride;
+                                        k * stride;
+                                    const std::uint64_t diff =
+                                        pref[w + n] - pref[w];
                                     // Fastest link class present in
                                     // the window (classes partition
                                     // the devices, so the probe
@@ -1004,8 +1500,11 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                                     for (int r = 0;
                                          r < kNumLinkClasses; ++r) {
                                         const int c = class_by_bw[r];
-                                        if (pref[c * stride + w + n] >
-                                            pref[c * stride + w]) {
+                                        if ((diff >>
+                                             (kClsFieldBits *
+                                              static_cast<unsigned>(
+                                                  c))) &
+                                            kClsFieldMask) {
                                             cls = c;
                                             break;
                                         }
@@ -1043,19 +1542,35 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                             // elsewhere would grow the corresponding
                             // gradient-sync groups by roughly one
                             // ring pass of the non-resident bytes.
+                            // The bytes accumulate in sig order (the
+                            // historical FP order); the per-row
+                            // flags come from the sliding pointers
+                            // into the sparse resident-index lists.
                             double non_resident_bytes = 0;
-                            for (std::size_t s = 0; s < sig.size();
-                                 ++s) {
-                                const std::int32_t row = sig_row[s];
-                                if (row < 0)
-                                    continue;
-                                const std::uint32_t *pref =
-                                    bs.resPref.data() +
-                                    static_cast<std::size_t>(row) *
-                                        stride;
-                                if (pref[w + n] == pref[w])
-                                    non_resident_bytes +=
-                                        sig[s].bytes;
+                            if (rows > 0) {
+                                for (std::size_t r = 0; r < rows;
+                                     ++r) {
+                                    const auto &idx = bs.resIdx[r];
+                                    std::size_t &ptr = row_ptr[r];
+                                    while (ptr < idx.size() &&
+                                           idx[ptr] < w)
+                                        ++ptr;
+                                    row_nonres[r] =
+                                        (ptr >= idx.size() ||
+                                         idx[ptr] >= w + n)
+                                            ? 1
+                                            : 0;
+                                }
+                                for (std::size_t s = 0;
+                                     s < sig.size(); ++s) {
+                                    const std::int32_t row =
+                                        sig_row[s];
+                                    if (row >= 0 &&
+                                        row_nonres[static_cast<
+                                            std::size_t>(row)])
+                                        non_resident_bytes +=
+                                            sig[s].bytes;
+                                }
                             }
                             comm += options_.paramAffinityWeight *
                                     2.0 * non_resident_bytes /
@@ -1077,7 +1592,8 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                 // Score one explicit window (cross-island unions
                 // etc.).
                 auto score_extra = [&](std::size_t ei, Candidate &best,
-                                       DeviceSet &win_scratch) {
+                                       DeviceSet &win_scratch,
+                                       std::vector<char> &row_nonres) {
                     const auto &win_pos = cand_windows.extras[ei];
                     panicIf(win_pos.size() != n,
                             "tryPlace: generator emitted a window of "
@@ -1147,22 +1663,27 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                     }
 
                     double non_resident_bytes = 0;
-                    for (std::size_t s = 0; s < sig.size(); ++s) {
-                        const std::int32_t row = sig_row[s];
-                        if (row < 0)
-                            continue;
-                        const char *flags =
-                            res_flag.data() +
-                            static_cast<std::size_t>(row) * F;
-                        bool resident = false;
-                        for (std::uint32_t p : win_pos) {
-                            if (flags[p]) {
-                                resident = true;
-                                break;
+                    if (rows > 0) {
+                        row_nonres.resize(rows);
+                        for (std::size_t r = 0; r < rows; ++r) {
+                            const auto &rp = row_pos[r];
+                            bool resident = false;
+                            for (std::uint32_t p : win_pos) {
+                                if (std::binary_search(rp.begin(),
+                                                       rp.end(), p)) {
+                                    resident = true;
+                                    break;
+                                }
                             }
+                            row_nonres[r] = resident ? 0 : 1;
                         }
-                        if (!resident)
-                            non_resident_bytes += sig[s].bytes;
+                        for (std::size_t s = 0; s < sig.size(); ++s) {
+                            const std::int32_t row = sig_row[s];
+                            if (row >= 0 &&
+                                row_nonres[static_cast<std::size_t>(
+                                    row)])
+                                non_resident_bytes += sig[s].bytes;
+                        }
                     }
                     comm += options_.paramAffinityWeight * 2.0 *
                             non_resident_bytes /
@@ -1188,23 +1709,30 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                 };
 
                 // Chunk the candidate space into sweep tasks. Chunk
-                // size only balances lanes; any chunking yields the
-                // same winner (the ordinal tie-break is global).
+                // size only balances lanes and sets the pruning
+                // granularity; any chunking yields the same winner
+                // (the ordinal tie-break is global, and pruning is
+                // winner-preserving per chunk). The serial sweep is
+                // chunked too — that is what gives pruning its
+                // skippable units — with a floor of 4n so the
+                // per-chunk deque warm-up (n - 1 positions) stays
+                // under a quarter of the chunk.
                 const std::size_t sweep_work =
                     total_candidates *
                     (sig.size() + inflows.size() + 4);
                 const bool sweep_parallel =
                     use_pool && sweep_work >= kMinParallelWork &&
                     total_candidates > 1;
+                const std::size_t chunk_floor = std::max<std::size_t>(
+                    kMinSweepChunk, 4 * static_cast<std::size_t>(n));
                 const std::size_t chunk =
                     sweep_parallel
-                        ? std::max<std::size_t>(
-                              kMinSweepChunk,
-                              total_candidates /
-                                  (static_cast<std::size_t>(
-                                       pool_->threads()) *
-                                   4))
-                        : std::numeric_limits<std::size_t>::max();
+                        ? std::max(chunk_floor,
+                                   total_candidates /
+                                       (static_cast<std::size_t>(
+                                            pool_->threads()) *
+                                        4))
+                        : chunk_floor;
                 sweep_tasks.clear();
                 for (std::size_t b = 0; b < num_bands; ++b) {
                     const std::size_t W = band_states[b].numWindows;
@@ -1223,14 +1751,18 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                 auto run_task = [&](const SweepTask &t,
                                     Candidate &best,
                                     DeviceSet &win_scratch,
-                                    std::vector<std::size_t> &dq) {
+                                    std::vector<std::size_t> &dq,
+                                    std::vector<std::size_t> &row_ptr,
+                                    std::vector<char> &row_nonres) {
                     if (t.band >= 0)
                         score_band_range(
                             static_cast<std::size_t>(t.band), t.lo,
-                            t.hi, best, win_scratch, dq);
+                            t.hi, best, win_scratch, dq, row_ptr,
+                            row_nonres);
                     else
                         for (std::size_t ei = t.lo; ei < t.hi; ++ei)
-                            score_extra(ei, best, win_scratch);
+                            score_extra(ei, best, win_scratch,
+                                        row_nonres);
                 };
 
                 Candidate best;
@@ -1241,9 +1773,12 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                             std::size_t hi) {
                             DeviceSet win_scratch;
                             std::vector<std::size_t> dq;
+                            std::vector<std::size_t> row_ptr;
+                            std::vector<char> row_nonres;
                             for (std::size_t t = lo; t < hi; ++t)
                                 run_task(sweep_tasks[t], acc,
-                                         win_scratch, dq);
+                                         win_scratch, dq, row_ptr,
+                                         row_nonres);
                         },
                         [](Candidate &out, const Candidate &c) {
                             if (betterThan(c, out))
@@ -1251,7 +1786,8 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                         });
                 } else {
                     for (const SweepTask &t : sweep_tasks)
-                        run_task(t, best, win_buf, deque_scratch);
+                        run_task(t, best, win_buf, deque_scratch,
+                                 rowptr_scratch, rownonres_scratch);
                 }
 
                 if (!best.found()) {
@@ -1261,34 +1797,58 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
                 }
                 best_comm = best.comm;
                 best_win.resize(n);
+                win_positions.clear();
                 if (best.band >= 0) {
                     const auto &band =
                         cand_windows.bands[static_cast<std::size_t>(
                             best.band)];
-                    for (std::uint32_t j = 0; j < n; ++j)
+                    for (std::uint32_t j = 0; j < n; ++j) {
+                        win_positions.push_back(band[best.start + j]);
                         best_win[j] = free[band[best.start + j]];
+                    }
                 } else {
                     const auto &win_pos =
                         cand_windows.extras[best.start];
-                    for (std::uint32_t j = 0; j < n; ++j)
+                    for (std::uint32_t j = 0; j < n; ++j) {
+                        win_positions.push_back(win_pos[j]);
                         best_win[j] = free[win_pos[j]];
+                    }
+                }
+            }
+
+            // Reverse-index upkeep, serially before the commit
+            // mutates any device: a key gains exactly the window
+            // devices that do not yet hold it (probed against the
+            // still-pre-commit flat mirror). uniq_keys is
+            // deduplicated, so no device is appended twice for one
+            // key, keeping holder lists exact.
+            for (std::int64_t key : uniq_keys) {
+                std::vector<DeviceId> *hv = nullptr;
+                for (DeviceId d : best_win) {
+                    if (state.findFlat(d, key) != nullptr)
+                        continue;
+                    if (hv == nullptr)
+                        hv = &state.holders[key];
+                    hv->push_back(d);
                 }
             }
 
             // Commit the chosen window. Devices are committed
             // independently (each lane touches only its own device's
-            // map), so large entries parallelize; order is
-            // irrelevant to the resulting state.
+            // map, flat mirror, and dirty bit), so large entries
+            // parallelize; order is irrelevant to the resulting
+            // state.
             auto commit_device = [&](std::size_t j) {
                 const DeviceId d = best_win[j];
                 state.activations[d] += act_share;
-                for (const SliceParam &sp : sig) {
+                for (const auto &[key, share] : commit_keys) {
                     auto [it, inserted] =
-                        state.params[d].emplace(sp.key, sp.share);
-                    if (!inserted && sp.share > it->second)
-                        it->second = sp.share;
+                        state.params[d].emplace(key, share);
+                    if (!inserted && share > it->second)
+                        it->second = share;
                 }
-                state.markDirty(d);
+                state.mergeFlat(d, uniq_keys, uniq_vals);
+                state.total_dirty[d] = 1;
             };
             maybeParallelFor(pool_,
                              best_win.size() * (sig.size() + 1) >=
@@ -1303,8 +1863,34 @@ DevicePlacement::tryPlace(const MetaGraph &graph, ExecutionPlan &plan,
             // across pricing modes (the acceptance comparison in
             // planner_equivalence_test depends on this).
             double entry_inter = 0;
-            for (const auto &[bytes, src] : inflows) {
-                const double t = coll.flowTime(bytes, *src, best_win);
+            for (std::size_t k = 0; k < inflows.size(); ++k) {
+                const auto &[bytes, src] = inflows[k];
+                double t;
+                if (!exact_comm && !win_positions.empty()) {
+                    // Same class machinery the sweep scored with,
+                    // which equals flowTime bit for bit on uniform
+                    // fabrics: zero for empty flows and src == dst
+                    // (flowTime's own early-outs), otherwise the
+                    // flow time of the fastest class present in the
+                    // window. O(n) instead of the oracle's
+                    // O(|src| * n) pair scan.
+                    if (bytes <= 0 || *src == best_win) {
+                        t = 0;
+                    } else {
+                        const InflowCtx &ctx = inflow_ctx[k];
+                        int best_rank = kNumLinkClasses - 1;
+                        for (std::uint32_t p : win_positions) {
+                            const int r = rank_of_class[ctx.cls[p]];
+                            if (r < best_rank)
+                                best_rank = r;
+                            if (best_rank == 0)
+                                break;
+                        }
+                        t = ctx.flowByClass[class_by_bw[best_rank]];
+                    }
+                } else {
+                    t = coll.flowTime(bytes, *src, best_win);
+                }
                 if (t > 0)
                     entry_inter +=
                         t * interIslandShardFraction(

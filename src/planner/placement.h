@@ -30,6 +30,41 @@
  * historical placer bit for bit (planner_equivalence_test);
  * `IslandAware` decouples window shape from device numbering.
  *
+ * **Incremental per-entry sweep (4096-GPU scaling).** The per-entry
+ * setup itself is incremental across entries rather than a rescan:
+ * the attempt state keeps, besides the per-device parameter maps, a
+ * sorted flat mirror of each map (binary-search probes in the hot
+ * loops, same stored doubles, so identical arithmetic) and a
+ * reverse index from parameter key to the devices holding it. An
+ * entry's would-be per-device load then splits into one shared
+ * "all-miss" base — activation share plus every signature share,
+ * accumulated once in the exact order the probe loop would have —
+ * and sparse overrides for the *affected* devices (the union of the
+ * holder lists of the entry's keys), the only devices where a probe
+ * can hit. Commits dirty only the chosen window's devices, so
+ * affected sets stay tiny and per-entry setup is O(free) + O(affected
+ * · |sig|) instead of O(free · |sig|). Parameter residency follows
+ * the same scheme: per residency row a sparse ascending list of
+ * holder positions replaces the rows × free flag matrix.
+ *
+ * **Admissible band pruning** (PlacementOptions::bandPruning): before
+ * scoring a chunk of band windows, the sweep derives an exact lower
+ * bound on every window's primary score from the already-built
+ * prefix state — minimum load along the band for the memory term,
+ * the cheapest link class present anywhere in the chunk's position
+ * range per inflow, residency over the whole range for the affinity
+ * term, and min(0, penalty) for the island penalty. Each bound term
+ * is ≤ its counterpart and is accumulated in the same structural
+ * order as the real score, so by monotonicity of rounded addition
+ * the bound never exceeds any window's primary. A chunk is skipped
+ * only when its bound is *strictly* above an already-scored
+ * candidate's primary; the selection tie-break (secondary, then
+ * serial enumeration ordinal) only arbitrates between equal
+ * primaries, so a pruned chunk can never contain the winner and the
+ * emitted plan is byte-identical with pruning on or off, at any
+ * thread count (pinned by planner_equivalence_test, which toggles
+ * the flag at 1024 GPUs).
+ *
  * With a ThreadPool the per-entry sweep runs as a parallel reduction:
  * the position setup (per-device loads, link classes, residency
  * flags), the per-band prefix builds, and the window scoring are
@@ -37,7 +72,10 @@
  * deterministic merge on (primary score, secondary score, candidate
  * ordinal) — the ordinal is the serial enumeration index, so the
  * emitted plan is byte-identical to the single-threaded sweep at any
- * thread count (pinned by planner_equivalence_test).
+ * thread count (pinned by planner_equivalence_test). Lanes share the
+ * pruning bound through a relaxed atomic: a stale read only prunes
+ * less, never differently, so pruning is also determinism-neutral
+ * under concurrency.
  *
  * A Sequential strategy (each entry takes the next consecutive
  * device ids, no topology awareness — by design independent of the
@@ -122,6 +160,18 @@ struct PlacementOptions
      * fingerprint).
      */
     bool pairingAwareFlowPricing = false;
+
+    /**
+     * Admissible pruning of the candidate sweep (see the file
+     * comment): skip a chunk of band windows when an exact lower
+     * bound on every window's primary score is strictly above an
+     * already-scored candidate's. Winner-preserving by construction,
+     * so plans are byte-identical with the flag on or off; it exists
+     * as the equivalence test's proof handle and as a perf escape
+     * hatch. Value-transparent — excluded from the planner options
+     * fingerprint, like thread count and plan-cache settings.
+     */
+    bool bandPruning = true;
 };
 
 /**

@@ -35,7 +35,11 @@ mix(std::uint64_t h, double v)
 /**
  * Fingerprint of every option that can change planned bytes.
  * `threads` is deliberately excluded (plans are byte-identical at
- * any thread count), as are `cache` (bookkeeping, not behavior) and
+ * any thread count), as are `cache` (bookkeeping, not behavior),
+ * `placement.bandPruning` (the admissible pruning is
+ * winner-preserving by construction — see placement.h — so toggling
+ * it cannot change a single planned byte, and fingerprinting it
+ * would needlessly split otherwise-identical cache contexts) and
  * the estimator noise/seed fields — replan() bypasses the cache
  * entirely when noise is on, and with noise off the seed is unread.
  */

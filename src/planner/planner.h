@@ -81,6 +81,28 @@ struct PlannerPhaseSeconds
     double diff = 0;       ///< replan(): signature build + cache probe
 };
 
+/**
+ * Phase names, in PlannerPhaseSeconds member order. Benchmarks and
+ * baselines refer to phases by these names (e.g. the
+ * `serial_tail_phase` field of BENCH_planner.json) rather than by
+ * positional index, which would silently shift if a phase were ever
+ * added or reordered.
+ */
+inline constexpr const char *kPlannerPhaseNames[] = {
+    "estimation", "allocation", "scheduling", "placement", "diff",
+};
+
+inline constexpr std::size_t kNumPlannerPhases =
+    sizeof(kPlannerPhaseNames) / sizeof(kPlannerPhaseNames[0]);
+
+/** Name of phase @p index, or "unknown" when out of range. */
+inline const char *
+plannerPhaseName(std::size_t index)
+{
+    return index < kNumPlannerPhases ? kPlannerPhaseNames[index]
+                                     : "unknown";
+}
+
 /** What one replan() call reused. All-zero for plan(). */
 struct ReplanStats
 {

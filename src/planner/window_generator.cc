@@ -14,25 +14,24 @@ ContiguousRunsGenerator::generate(const WindowGenContext &ctx,
     out.clear();
     panicIf(ctx.n == 0 || ctx.n > ctx.free.size(),
             "ContiguousRuns: entry size exceeds free devices");
-    std::vector<std::uint32_t> band(ctx.free.size());
+    std::vector<std::uint32_t> &band = out.appendBand();
+    band.resize(ctx.free.size());
     std::iota(band.begin(), band.end(), 0u);
-    out.bands.push_back(std::move(band));
 }
 
 namespace {
 
 /** Merge the first @p take_a of @p a with the first @p take_b of
- *  @p b into one ascending position list. */
-std::vector<std::uint32_t>
+ *  @p b into @p win as one ascending position list. */
+void
 mergedPrefix(const std::vector<std::uint32_t> &a, std::size_t take_a,
-             const std::vector<std::uint32_t> &b, std::size_t take_b)
+             const std::vector<std::uint32_t> &b, std::size_t take_b,
+             std::vector<std::uint32_t> &win)
 {
-    std::vector<std::uint32_t> win;
     win.reserve(take_a + take_b);
     std::merge(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(take_a),
                b.begin(), b.begin() + static_cast<std::ptrdiff_t>(take_b),
                std::back_inserter(win));
-    return win;
 }
 
 } // namespace
@@ -48,8 +47,13 @@ IslandAwareGenerator::generate(const WindowGenContext &ctx,
             "IslandAware: entry size exceeds free devices");
 
     // Free positions per island, island-id order. Positions ascend
-    // within each island because the free list ascends.
-    std::vector<std::vector<std::uint32_t>> isl(ctx.topo.numIslands());
+    // within each island because the free list ascends. Built in the
+    // caller-owned scratch so repeated sweeps reuse capacity instead
+    // of allocating one list set per entry. (scratch may be larger
+    // than num_isl from an earlier call; only [0, num_isl) is live.)
+    const std::size_t num_isl = ctx.topo.numIslands();
+    out.prepareScratch(num_isl);
+    std::vector<std::vector<std::uint32_t>> &isl = out.scratch;
     for (std::size_t pos = 0; pos < F; ++pos)
         isl[ctx.topo.islandOf(ctx.free[pos])].push_back(
             static_cast<std::uint32_t>(pos));
@@ -57,10 +61,10 @@ IslandAwareGenerator::generate(const WindowGenContext &ctx,
     // 1. Per-island bands: sliding runs that never leave an island,
     //    whatever the device numbering looks like.
     std::size_t largest = 0;
-    for (const auto &positions : isl) {
-        largest = std::max(largest, positions.size());
-        if (positions.size() >= n)
-            out.bands.push_back(positions);
+    for (std::size_t k = 0; k < num_isl; ++k) {
+        largest = std::max(largest, isl[k].size());
+        if (isl[k].size() >= n)
+            out.appendBand() = isl[k];
     }
 
     // 2. Deliberate cross-island unions for entries at least one of
@@ -69,11 +73,11 @@ IslandAwareGenerator::generate(const WindowGenContext &ctx,
     //    the second), each taking the lowest-id free devices of its
     //    island. Unordered iteration keeps the (i, j) and (j, i)
     //    splits from being emitted — and scored — twice.
-    for (std::size_t i = 0; i + 1 < isl.size() && n >= 2; ++i) {
+    for (std::size_t i = 0; i + 1 < num_isl && n >= 2; ++i) {
         const std::size_t ci = isl[i].size();
         if (ci == 0)
             continue;
-        for (std::size_t j = i + 1; j < isl.size(); ++j) {
+        for (std::size_t j = i + 1; j < num_isl; ++j) {
             const std::size_t cj = isl[j].size();
             if (cj == 0 || ci + cj < n)
                 continue;
@@ -91,13 +95,13 @@ IslandAwareGenerator::generate(const WindowGenContext &ctx,
                 std::clamp<std::size_t>(n / 2, lo, hi), // balanced
                 lo,                                     // j-heavy
             };
-            std::size_t prev = isl.size() + n; // never a valid take
+            std::size_t prev = num_isl + n; // never a valid take
             for (std::size_t take_i : takes) {
                 if (take_i == prev)
                     continue; // dedupe equal splits
                 prev = take_i;
-                out.extras.push_back(
-                    mergedPrefix(isl[i], take_i, isl[j], n - take_i));
+                mergedPrefix(isl[i], take_i, isl[j], n - take_i,
+                             out.appendExtra());
             }
         }
     }
@@ -110,16 +114,20 @@ IslandAwareGenerator::generate(const WindowGenContext &ctx,
     //    a single candidate whose devices happen to be loaded.
     if (largest < n) {
         std::vector<std::size_t> order;
-        for (std::size_t k = 0; k < isl.size(); ++k)
+        for (std::size_t k = 0; k < num_isl; ++k)
             if (!isl[k].empty())
                 order.push_back(k);
         std::stable_sort(order.begin(), order.end(),
                          [&](std::size_t a, std::size_t b) {
                              return isl[a].size() > isl[b].size();
                          });
-        std::vector<std::vector<std::uint32_t>> greedy;
+        // Emit the variants straight into extras (recycled storage),
+        // then sort-and-dedupe that tail in place: different starts
+        // can coincide, and each window must be emitted once, in the
+        // historical lexicographic order.
+        const std::size_t greedy_base = out.extras.size();
         for (std::size_t start : order) {
-            std::vector<std::uint32_t> win;
+            std::vector<std::uint32_t> &win = out.appendExtra();
             win.reserve(n);
             auto take_from = [&](std::size_t k) {
                 if (win.size() >= n)
@@ -135,14 +143,15 @@ IslandAwareGenerator::generate(const WindowGenContext &ctx,
                 if (k != start)
                     take_from(k);
             std::sort(win.begin(), win.end());
-            greedy.push_back(std::move(win));
         }
-        // Different starts can coincide; emit each window once.
-        std::sort(greedy.begin(), greedy.end());
-        greedy.erase(std::unique(greedy.begin(), greedy.end()),
-                     greedy.end());
-        for (auto &win : greedy)
-            out.extras.push_back(std::move(win));
+        const auto greedy_begin =
+            out.extras.begin() +
+            static_cast<std::ptrdiff_t>(greedy_base);
+        std::sort(greedy_begin, out.extras.end());
+        const auto tail =
+            std::unique(greedy_begin, out.extras.end());
+        out.dropLastExtras(
+            static_cast<std::size_t>(out.extras.end() - tail));
     }
 }
 

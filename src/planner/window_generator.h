@@ -55,6 +55,15 @@ struct WindowGenContext
  * Candidate windows for one entry. Positions index into
  * WindowGenContext::free; all position sequences ascend, so every
  * realized window is automatically a canonical DeviceSet.
+ *
+ * The struct is designed to be reused across entries without
+ * allocating: clear() recycles the inner vectors into a pool instead
+ * of freeing them, and generators obtain recycled (empty, capacity
+ * retained) vectors through appendBand()/appendExtra(). At 4096
+ * devices the placer calls a generator once per wave entry, so
+ * per-entry band emission must not hit the allocator in steady
+ * state. Generators that push fresh vectors directly (tests do)
+ * still work — they just skip the pool on the way in.
  */
 struct CandidateWindows
 {
@@ -67,12 +76,83 @@ struct CandidateWindows
     /** Explicit windows: ascending positions, exactly n each. */
     std::vector<std::vector<std::uint32_t>> extras;
 
+    /**
+     * Generator workspace (e.g. IslandAware's per-island position
+     * lists). Owned here rather than by the generator because the
+     * built-in generators are shared immutable singletons that may
+     * be invoked concurrently from several planners; the caller's
+     * CandidateWindows is the only per-sweep mutable state.
+     */
+    std::vector<std::vector<std::uint32_t>> scratch;
+
+    /** Recycle bands and extras into the pool (capacity kept). */
     void
     clear()
     {
-        bands.clear();
-        extras.clear();
+        recycle(bands);
+        recycle(extras);
     }
+
+    /** Append a recycled empty vector to bands and return it. */
+    std::vector<std::uint32_t> &
+    appendBand()
+    {
+        return append(bands);
+    }
+
+    /** Append a recycled empty vector to extras and return it. */
+    std::vector<std::uint32_t> &
+    appendExtra()
+    {
+        return append(extras);
+    }
+
+    /** Ensure scratch holds >= @p count vectors, the first @p count
+     *  of them empty (capacity kept). */
+    void
+    prepareScratch(std::size_t count)
+    {
+        if (scratch.size() < count)
+            scratch.resize(count);
+        for (std::size_t i = 0; i < count; ++i)
+            scratch[i].clear();
+    }
+
+    /** Move the last @p count extras back into the pool (used by
+     *  generators that emit-then-dedupe). */
+    void
+    dropLastExtras(std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i) {
+            pool_.push_back(std::move(extras.back()));
+            extras.pop_back();
+        }
+    }
+
+  private:
+    void
+    recycle(std::vector<std::vector<std::uint32_t>> &from)
+    {
+        for (auto &v : from)
+            pool_.push_back(std::move(v));
+        from.clear();
+    }
+
+    std::vector<std::uint32_t> &
+    append(std::vector<std::vector<std::uint32_t>> &to)
+    {
+        if (pool_.empty()) {
+            to.emplace_back();
+        } else {
+            pool_.back().clear();
+            to.push_back(std::move(pool_.back()));
+            pool_.pop_back();
+        }
+        return to.back();
+    }
+
+    /** Retired inner vectors, capacity intact. */
+    std::vector<std::vector<std::uint32_t>> pool_;
 };
 
 /** Window-generation strategy interface. */

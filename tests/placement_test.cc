@@ -422,6 +422,37 @@ TEST(Placement, CustomWindowGeneratorIsConsumed)
     }
 }
 
+TEST(Placement, CandidateWindowPoolRecyclesCapacity)
+{
+    // The placer calls the window generator once per wave entry; at
+    // 4096 devices the emitted bands are large, so clear() must
+    // recycle the inner vectors (capacity intact) instead of freeing
+    // them — steady-state generation may not hit the allocator.
+    CandidateWindows cw;
+    cw.appendBand().assign(4096, 0u);
+    cw.appendExtra().assign(64, 1u);
+    const std::size_t pooled_cap =
+        cw.bands[0].capacity() + cw.extras[0].capacity();
+    cw.clear();
+    EXPECT_TRUE(cw.bands.empty());
+    EXPECT_TRUE(cw.extras.empty());
+
+    // Recycled vectors come back empty with their capacity kept.
+    std::vector<std::uint32_t> &band = cw.appendBand();
+    std::vector<std::uint32_t> &extra = cw.appendExtra();
+    EXPECT_TRUE(band.empty());
+    EXPECT_TRUE(extra.empty());
+    EXPECT_EQ(band.capacity() + extra.capacity(), pooled_cap);
+
+    // dropLastExtras (the emit-then-dedupe path) also recycles: the
+    // dropped vector's storage resurfaces on the next append.
+    extra.assign(512, 2u);
+    const std::size_t dropped_cap = extra.capacity();
+    cw.dropLastExtras(1);
+    EXPECT_TRUE(cw.extras.empty());
+    EXPECT_EQ(cw.appendExtra().capacity(), dropped_cap);
+}
+
 TEST(Placement, SequentialStrategyIgnoresMemoryBalance)
 {
     ComputationGraph g = fig3Workload();
